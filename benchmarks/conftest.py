@@ -1,0 +1,29 @@
+"""Shared plumbing for the benchmark harness.
+
+Every ``test_figN_*``/``test_tableN_*`` benchmark regenerates one figure or
+table of the paper: it runs the corresponding experiment harness under
+pytest-benchmark, writes the rows to ``results/<name>.csv`` and the rendered
+text to ``results/<name>.txt``, and asserts the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_experiment(result, results_dir: Path):
+    """Persist one ExperimentResult as CSV + rendered text."""
+    csv_path = result.save(results_dir)
+    text_path = results_dir / f"{result.name}.txt"
+    text_path.write_text(result.render() + "\n")
+    return csv_path

@@ -1,0 +1,25 @@
+"""Figure 1 bench: GEMM vs non-GEMM split on GPT2-XL and Swin-b, CPU vs GPU."""
+
+from benchmarks.conftest import save_experiment
+from repro.analysis import run_fig1
+
+
+def test_fig1_motivation(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig1(iterations=3), rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)
+
+    rows = {(r["model"], r["device"]): r for r in result.rows}
+    # paper: CPU runs are GEMM-dominated ...
+    assert rows[("gpt2-xl", "CPU")]["gemm_pct"] > 60
+    assert rows[("swin-b", "CPU")]["gemm_pct"] > 50
+    # ... and GPU acceleration makes non-GEMM roughly half the latency
+    for model in ("gpt2-xl", "swin-b"):
+        gained = (
+            rows[(model, "CPU+GPU")]["non_gemm_pct"] - rows[(model, "CPU")]["non_gemm_pct"]
+        )
+        assert gained > 10, f"{model}: non-GEMM share should grow with GPU ({gained:+.1f}pp)"
+        assert 30 <= rows[(model, "CPU+GPU")]["non_gemm_pct"] <= 75
+    # GPU accelerates the end-to-end latency
+    assert rows[("gpt2-xl", "CPU+GPU")]["latency_ms"] < rows[("gpt2-xl", "CPU")]["latency_ms"]

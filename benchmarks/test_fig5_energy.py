@@ -1,0 +1,25 @@
+"""Figure 5 bench: per-inference GPU energy across all models and batch sizes."""
+
+from benchmarks.conftest import save_experiment
+from repro.analysis import run_fig5
+
+
+def test_fig5_energy(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig5(iterations=2), rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)
+
+    energy = {(r["model"], r["batch"]): r["gpu_energy_j"] for r in result.rows}
+    assert len(energy) == 17 * 2
+
+    # larger batches always cost more energy per inference
+    for model in {m for m, _ in energy}:
+        assert energy[(model, 8)] > energy[(model, 1)]
+
+    # paper orderings: NLP giants dominate; segformer is the lightest IS model
+    assert energy[("llama2-7b", 1)] > energy[("gpt2", 1)]
+    assert energy[("mixtral-8x7b", 1)] > energy[("llama2-7b", 1)]
+    assert energy[("maskformer", 1)] > energy[("segformer", 1)]
+    assert energy[("vit-h", 1)] > energy[("vit-b", 1)]
+    assert energy[("swin-b", 1)] > energy[("swin-t", 1)]

@@ -1,0 +1,35 @@
+"""Figure 6 bench: the full breakdown grid (17 models x batches x devices x platforms)."""
+
+from benchmarks.conftest import save_experiment
+from repro.analysis import run_fig6
+
+
+def test_fig6_breakdown(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig6(iterations=2), rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)
+
+    # 17 models x 2 batches x 2 devices x 2 platforms
+    assert len(result.rows) == 17 * 2 * 2 * 2
+
+    cpu_rows = [r for r in result.rows if r["device"] == "cpu"]
+    gpu_rows = [r for r in result.rows if r["device"] == "cpu+gpu"]
+    cpu_avg = sum(r["non_gemm_pct"] for r in cpu_rows) / len(cpu_rows)
+    gpu_avg = sum(r["non_gemm_pct"] for r in gpu_rows) / len(gpu_rows)
+
+    # paper: average non-GEMM share rises from 17.2% to 42.3% with GPUs;
+    # our simulated averages must show the same direction and ballpark.
+    assert gpu_avg > cpu_avg + 5
+    assert 25 <= gpu_avg <= 60
+    assert cpu_avg <= 45
+
+    # paper: non-GEMM spans a wide range across models with GPUs (11.3-73.6%)
+    gpu_shares = [r["non_gemm_pct"] for r in gpu_rows]
+    assert min(gpu_shares) < 30 and max(gpu_shares) > 55
+
+    # the phenomenon holds on both platform classes
+    for platform in ("A", "B"):
+        plat_gpu = [r["non_gemm_pct"] for r in gpu_rows if r["platform"] == platform]
+        plat_cpu = [r["non_gemm_pct"] for r in cpu_rows if r["platform"] == platform]
+        assert sum(plat_gpu) / len(plat_gpu) > sum(plat_cpu) / len(plat_cpu)

@@ -1,0 +1,29 @@
+"""Figure 7 bench: PyTorch vs ONNX Runtime on GPT2-XL and Llama-2."""
+
+from benchmarks.conftest import save_experiment
+from repro.analysis import run_fig7
+
+
+def test_fig7_deployment(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig7(iterations=3), rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)
+
+    rows = {(r["flow"], r["model"]): r for r in result.rows}
+
+    # ORT reduces absolute latency for both models (paper Fig. 7 latencies)
+    for model in ("gpt2-xl", "llama2-7b"):
+        assert rows[("onnxruntime", model)]["latency_ms"] < rows[("pytorch", model)]["latency_ms"]
+
+    # GPT2-XL: unsupported memory ops fall back to CPU and the Memory group
+    # share explodes (paper: 3.2% -> 66.8% average across the two models)
+    assert rows[("onnxruntime", "gpt2-xl")]["memory_pct"] > 3 * rows[("pytorch", "gpt2-xl")]["memory_pct"]
+
+    # Llama-2's export is clean: it gets the speedup without the blowup
+    assert rows[("onnxruntime", "llama2-7b")]["memory_pct"] < 15
+    speedup = (
+        rows[("pytorch", "llama2-7b")]["latency_ms"]
+        / rows[("onnxruntime", "llama2-7b")]["latency_ms"]
+    )
+    assert speedup > 1.5

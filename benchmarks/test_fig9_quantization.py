@@ -1,0 +1,35 @@
+"""Figure 9 bench: LLM.int8() Llama-3 8B across sequence lengths."""
+
+from benchmarks.conftest import save_experiment
+from repro.analysis import run_fig9
+
+
+def test_fig9_quantization(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig9(iterations=2), rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)
+
+    rows = {(r["seq_len"], r["precision"]): r for r in result.rows}
+    seqs = (512, 1024, 2048, 4096, 8192)
+    assert len(result.rows) == len(seqs) * 2
+
+    for seq in seqs:
+        fp16 = rows[(seq, "fp16")]
+        int8 = rows[(seq, "int8")]
+        # GEMM latency improves with int8 arithmetic (paper: -38.2% average)
+        assert int8["gemm_ms"] < fp16["gemm_ms"]
+        # non-GEMM dominates after quantization (paper: 29.3% -> 76.7%)
+        assert int8["non_gemm_pct"] > fp16["non_gemm_pct"] + 10
+        assert int8["non_gemm_pct"] > 55
+        # the Q/DQ group exists only in the quantized graph
+        assert int8["q/dq_pct"] > 0 and fp16["q/dq_pct"] == 0
+
+    # thousands of operators are added by the pass (paper: 6510)
+    assert rows[(512, "int8")]["ops_added"] > 1000
+
+    # element-wise share grows from seq 512 to 8192 (paper: 31.8% -> 63.8%)
+    assert (
+        rows[(8192, "int8")]["element_wise_arithmetic_pct"]
+        > rows[(512, "int8")]["element_wise_arithmetic_pct"]
+    )

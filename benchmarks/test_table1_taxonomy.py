@@ -1,0 +1,32 @@
+"""Table I bench: the non-GEMM operator taxonomy with captured shapes."""
+
+from benchmarks.conftest import save_experiment
+from repro.analysis import run_table1
+
+
+def test_table1_taxonomy(benchmark, results_dir):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    save_experiment(result, results_dir)
+
+    by_op = {}
+    for row in result.rows:
+        by_op.setdefault(row["operator"], []).append(row)
+
+    # the operator families of the paper's Table I are all captured
+    for op in ("relu", "gelu", "silu", "layer_norm", "batch_norm2d", "rms_norm",
+               "frozen_batch_norm2d", "add", "mul", "neg", "div_scalar",
+               "contiguous", "permute", "split", "view", "reshape", "expand",
+               "squeeze", "softmax", "nms", "interpolate"):
+        assert op in by_op, f"missing taxonomy row for {op}"
+
+    # trait columns match the paper's characterization
+    assert by_op["softmax"][0]["reduction"] and by_op["softmax"][0]["dynamicity"]
+    assert by_op["nms"][0]["dynamicity"] and not by_op["nms"][0]["single_operation"]
+    assert by_op["layer_norm"][0]["non_linearity"] and by_op["layer_norm"][0]["reduction"]
+    assert by_op["view"][0]["single_operation"] and by_op["view"][0]["single_operand"]
+
+    # captured example shapes come from real model graphs (Table I examples)
+    gpt2_gelu = [r for r in by_op["gelu"] if r["model"] == "gpt2-xl"]
+    assert gpt2_gelu and gpt2_gelu[0]["example_input_shape"] == [1, 8, 6400]
+    llama_silu = [r for r in by_op["silu"] if r["model"] == "llama2-7b"]
+    assert llama_silu and llama_silu[0]["example_input_shape"] == [1, 10, 11008]

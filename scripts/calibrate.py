@@ -1,0 +1,75 @@
+"""Calibration harness: per-model shares vs the paper's anchors.
+
+Run:  python scripts/calibrate.py [--platform A|B] [--batch 1]
+
+Prints, for every paper model: CPU-only and CPU+GPU non-GEMM shares, the
+dominant non-GEMM group with its share, and the paper's Table IV target for
+quick visual comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.flows import get_flow
+from repro.hardware import get_platform
+from repro.models import PAPER_MODELS, build_model
+from repro.profiler import profile_graph
+
+# Table IV anchors: model -> (group label, share of total latency)
+PAPER_TABLE4 = {
+    "vit-b": ("Normalization", 0.140),
+    "vit-l": ("Normalization", 0.133),
+    "vit-h": ("Normalization", 0.112),
+    "swin-t": ("Memory", 0.318),
+    "swin-s": ("Memory", 0.331),
+    "swin-b": ("Memory", 0.328),
+    "faster-rcnn": ("Element-wise Arithmetic", 0.344),
+    "mask-rcnn": ("Element-wise Arithmetic", 0.336),
+    "detr": ("Normalization", 0.348),
+    "maskformer": ("Memory", 0.408),
+    "segformer": ("Normalization", 0.174),
+    "gpt2": ("Activation", 0.302),
+    "gpt2-l": ("Activation", 0.299),
+    "gpt2-xl": ("Activation", 0.281),
+    "llama2-7b": ("Normalization", 0.149),
+    "bert": ("Normalization", 0.131),
+    "mixtral-8x7b": ("Memory", 0.431),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--platform", default="A")
+    parser.add_argument("--batch", type=int, default=1)
+    parser.add_argument("--models", nargs="*", default=None)
+    args = parser.parse_args()
+
+    platform = get_platform(args.platform)
+    flow = get_flow("pytorch")
+    names = args.models or PAPER_MODELS
+
+    print(
+        f"{'model':14s} {'cpu ms':>9s} {'cpuNG%':>7s} {'gpu ms':>9s} {'gpuNG%':>7s}"
+        f"  {'dominant group':24s} {'share':>6s}  {'paper target':>28s}"
+    )
+    for name in names:
+        graph = build_model(name, batch_size=args.batch)
+        cpu = profile_graph(
+            graph, flow, platform.cpu_only(), use_gpu=False, batch_size=args.batch, model_name=name
+        )
+        gpu = profile_graph(
+            graph, flow, platform, use_gpu=True, batch_size=args.batch, model_name=name
+        )
+        dom, share = gpu.dominant_non_gemm_group()
+        target_group, target_share = PAPER_TABLE4.get(name, ("?", 0.0))
+        match = "OK " if dom.value == target_group else "!! "
+        print(
+            f"{name:14s} {cpu.total_latency_ms:9.2f} {cpu.non_gemm_share:7.1%}"
+            f" {gpu.total_latency_ms:9.2f} {gpu.non_gemm_share:7.1%}"
+            f"  {dom.value:24s} {share:6.1%}  {match}{target_group:>20s} {target_share:5.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The primary metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (offline machines).
+"""
+
+from setuptools import setup
+
+setup()

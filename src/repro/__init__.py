@@ -1,0 +1,57 @@
+"""NonGEMM Bench (reproduction): operator-level GEMM/non-GEMM performance
+characterization of modern ML inference.
+
+Public API quick reference::
+
+    from repro import BenchConfig, run_bench, build_model, profile_graph
+    from repro.flows import get_flow
+    from repro.hardware import PLATFORM_A, get_platform
+
+    profile = profile_graph(build_model("gpt2"), get_flow("pytorch"), PLATFORM_A)
+    print(profile.describe())
+
+See DESIGN.md for the system inventory and the per-experiment index.
+"""
+
+from repro.core import BenchConfig, BenchResults, NonGEMMBench, run_bench
+from repro.errors import (
+    ConfigError,
+    ExecutionError,
+    GraphError,
+    PlanError,
+    RegistryError,
+    ReproError,
+    ShapeError,
+)
+from repro.ir import DType, Graph, TensorSpec
+from repro.models import PAPER_MODELS, build_model, get_model, list_models, register_model
+from repro.profiler import ProfileResult, profile_graph
+from repro.quant import quantize_llm_int8
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchConfig",
+    "BenchResults",
+    "ConfigError",
+    "DType",
+    "ExecutionError",
+    "Graph",
+    "GraphError",
+    "NonGEMMBench",
+    "PAPER_MODELS",
+    "PlanError",
+    "ProfileResult",
+    "RegistryError",
+    "ReproError",
+    "ShapeError",
+    "TensorSpec",
+    "__version__",
+    "build_model",
+    "get_model",
+    "list_models",
+    "profile_graph",
+    "quantize_llm_int8",
+    "register_model",
+    "run_bench",
+]

@@ -1,0 +1,36 @@
+"""Experiment harnesses regenerating every figure and table of the paper."""
+
+from repro.analysis.common import ExperimentResult
+from repro.analysis.fig1 import run_fig1
+from repro.analysis.fig5 import run_fig5
+from repro.analysis.fig6 import run_fig6
+from repro.analysis.fig7 import run_fig7
+from repro.analysis.fig8 import run_fig8
+from repro.analysis.fig9 import run_fig9
+from repro.analysis.tables import run_table1, run_table4, run_table5
+
+EXPERIMENTS = {
+    "fig1": run_fig1,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "table1": run_table1,
+    "table4": run_table4,
+    "table5": run_table5,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_fig1",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_table1",
+    "run_table4",
+    "run_table5",
+]

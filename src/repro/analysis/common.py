@@ -1,0 +1,53 @@
+"""Shared plumbing for the figure/table experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.ops.base import OpCategory
+from repro.profiler.records import GROUP_ORDER, ProfileResult
+from repro.viz.ascii import render_table
+from repro.viz.csvout import write_csv
+
+Row = dict[str, object]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + rendered text for one regenerated figure or table."""
+
+    name: str
+    title: str
+    rows: list[Row] = field(default_factory=list)
+    chart: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"== {self.name}: {self.title} =="]
+        if self.chart:
+            parts.append(self.chart)
+        parts.append(render_table(self.rows))
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def save(self, directory: Path | str | None = None) -> Path:
+        return write_csv(self.rows, self.name, directory)
+
+
+def group_share_columns(profile: ProfileResult) -> Row:
+    """share_pct columns for every reporting group, zero-filled."""
+    shares = profile.share_by_group()
+    return {
+        _col(group): round(100 * shares.get(group, 0.0), 2) for group in GROUP_ORDER
+    }
+
+
+def ordered_shares(profile: ProfileResult) -> dict[str, float]:
+    """Group shares in display order, for stacked-bar rendering."""
+    shares = profile.share_by_group()
+    return {g.value: shares[g] for g in GROUP_ORDER if shares.get(g, 0.0) > 0.0}
+
+
+def _col(group: OpCategory) -> str:
+    return group.value.lower().replace(" ", "_").replace("-", "_") + "_pct"

@@ -1,0 +1,49 @@
+"""Figure 5: end-to-end GPU energy per inference on the data-center platform.
+
+All paper models at batch 1 and batch 8, PyTorch flow, Platform A.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.common import ExperimentResult
+from repro.flows import get_flow
+from repro.hardware import get_platform
+from repro.models import PAPER_MODELS, build_model
+from repro.profiler import profile_graph
+
+
+def run_fig5(
+    platform_id: str = "A",
+    models: tuple[str, ...] | None = None,
+    batch_sizes: tuple[int, ...] = (1, 8),
+    iterations: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    platform = get_platform(platform_id)
+    flow = get_flow("pytorch")
+    result = ExperimentResult(
+        name="fig5_energy",
+        title=f"GPU energy per inference, platform {platform_id} (PyTorch)",
+    )
+    for model in models or tuple(PAPER_MODELS):
+        for batch in batch_sizes:
+            graph = build_model(model, batch_size=batch)
+            profile = profile_graph(
+                graph,
+                flow,
+                platform,
+                use_gpu=True,
+                batch_size=batch,
+                iterations=iterations,
+                seed=seed,
+                model_name=model,
+            )
+            result.rows.append(
+                {
+                    "model": model,
+                    "batch": batch,
+                    "gpu_energy_j": round(profile.gpu_energy_j, 3),
+                    "latency_ms": round(profile.total_latency_ms, 2),
+                }
+            )
+    return result

@@ -1,0 +1,81 @@
+"""Figure 6: the full latency-breakdown grid.
+
+Every paper model x {batch 1, 8} x {CPU-only, CPU+GPU} x {Platform A, B},
+PyTorch flow, broken into the ten operator groups of the paper's legend.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.common import ExperimentResult, group_share_columns, ordered_shares
+from repro.flows import get_flow
+from repro.hardware import get_platform
+from repro.models import PAPER_MODELS, build_model, get_model
+from repro.profiler import ProfileResult, profile_graph
+from repro.viz.ascii import render_stacked_chart
+
+
+def run_fig6(
+    platform_ids: tuple[str, ...] = ("A", "B"),
+    models: tuple[str, ...] | None = None,
+    batch_sizes: tuple[int, ...] = (1, 8),
+    iterations: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    flow = get_flow("pytorch")
+    result = ExperimentResult(
+        name="fig6_breakdown",
+        title="Operator-group latency breakdown (PyTorch, CPU vs CPU+GPU, platforms A/B)",
+    )
+    profiles: list[ProfileResult] = []
+    for platform_id in platform_ids:
+        platform = get_platform(platform_id)
+        for model in models or tuple(PAPER_MODELS):
+            domain = get_model(model).domain.value
+            for batch in batch_sizes:
+                graph = build_model(model, batch_size=batch)
+                for use_gpu in (False, True):
+                    plat = platform if use_gpu else platform.cpu_only()
+                    profile = profile_graph(
+                        graph,
+                        flow,
+                        plat,
+                        use_gpu=use_gpu,
+                        batch_size=batch,
+                        iterations=iterations,
+                        seed=seed,
+                        model_name=model,
+                    )
+                    profiles.append(profile)
+                    row = {
+                        "platform": platform_id,
+                        "domain": domain,
+                        "model": model,
+                        "batch": batch,
+                        "device": "cpu+gpu" if use_gpu else "cpu",
+                        "latency_ms": round(profile.total_latency_ms, 3),
+                        "non_gemm_pct": round(100 * profile.non_gemm_share, 2),
+                    }
+                    row.update(group_share_columns(profile))
+                    result.rows.append(row)
+
+    gpu_profiles = [p for p in profiles if p.use_gpu]
+    cpu_profiles = [p for p in profiles if not p.use_gpu]
+    if cpu_profiles and gpu_profiles:
+        cpu_avg = sum(p.non_gemm_share for p in cpu_profiles) / len(cpu_profiles)
+        gpu_avg = sum(p.non_gemm_share for p in gpu_profiles) / len(gpu_profiles)
+        result.notes.append(
+            f"average non-GEMM share: CPU-only {cpu_avg:.1%} -> CPU+GPU {gpu_avg:.1%}"
+            " (paper: 17.2% -> 42.3%)"
+        )
+    # render the platform-A GPU bars as the headline chart
+    bars = [
+        (
+            f"{p.model} b{p.batch_size}",
+            ordered_shares(p),
+            f"{p.total_latency_ms:8.2f} ms",
+        )
+        for p in gpu_profiles
+        if p.platform.platform_id == platform_ids[0] and p.batch_size == batch_sizes[0]
+    ]
+    result.chart = render_stacked_chart(bars)
+    return result

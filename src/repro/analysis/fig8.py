@@ -1,0 +1,70 @@
+"""Figure 8: operator fusion — PyTorch vs TorchInductor vs TensorRT.
+
+Swin-t, Swin-b, DETR, SegFormer at batch sizes 1/2/4/8.  Fusion mitigates
+but does not eliminate the non-GEMM bottleneck; DETR is the exception
+because TensorRT folds 100% of its FrozenBatchNorms into convolutions.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.common import ExperimentResult
+from repro.flows import get_flow
+from repro.hardware import get_platform
+from repro.models import build_model
+from repro.profiler import profile_graph
+from repro.viz.ascii import render_stacked_chart
+
+MODELS = ("swin-t", "swin-b", "detr", "segformer")
+FLOWS = ("pytorch", "torchinductor", "tensorrt")
+BATCHES = (1, 2, 4, 8)
+
+
+def run_fig8(
+    platform_id: str = "A",
+    models: tuple[str, ...] = MODELS,
+    batch_sizes: tuple[int, ...] = BATCHES,
+    iterations: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    platform = get_platform(platform_id)
+    result = ExperimentResult(
+        name="fig8_fusion",
+        title="Latency and GEMM/non-GEMM split across fusion flows (platform A, GPU)",
+    )
+    bars = []
+    for model in models:
+        for batch in batch_sizes:
+            graph = build_model(model, batch_size=batch)
+            for flow_name in FLOWS:
+                profile = profile_graph(
+                    graph,
+                    get_flow(flow_name),
+                    platform,
+                    use_gpu=True,
+                    batch_size=batch,
+                    iterations=iterations,
+                    seed=seed,
+                    model_name=model,
+                )
+                result.rows.append(
+                    {
+                        "model": model,
+                        "flow": flow_name,
+                        "batch": batch,
+                        "latency_ms": round(profile.total_latency_ms, 3),
+                        "gemm_pct": round(100 * profile.gemm_share, 1),
+                        "non_gemm_pct": round(100 * profile.non_gemm_share, 1),
+                        "non_gemm_ms": round(profile.non_gemm_latency_s * 1e3, 3),
+                        "fusion_rate_pct": round(100 * profile.non_gemm_fusion_rate, 1),
+                    }
+                )
+                if batch == batch_sizes[0]:
+                    bars.append(
+                        (
+                            f"{model} [{flow_name[:12]}]",
+                            {"GEMM": profile.gemm_share, "non-GEMM": profile.non_gemm_share},
+                            f"{profile.total_latency_ms:7.2f} ms",
+                        )
+                    )
+    result.chart = render_stacked_chart(bars)
+    return result

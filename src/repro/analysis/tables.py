@@ -1,0 +1,124 @@
+"""Tables I, IV, and V of the paper.
+
+* Table I  — the non-GEMM operator taxonomy with example captured shapes.
+* Table IV — most time-consuming non-GEMM group per model (platform A,
+  GPU, averaged over batch sizes).
+* Table V  — TensorRT fusion rate and non-GEMM latency before/after fusion.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.common import ExperimentResult
+from repro.core.reports import NonGemmReport
+from repro.flows import get_flow
+from repro.hardware import get_platform
+from repro.models import PAPER_MODELS, build_model
+from repro.profiler import ProfileResult, dominant_group_table, profile_graph
+
+#: the eight model variants Table I draws its examples from
+TABLE1_MODELS = ("detr", "vit-l", "gpt2-xl", "llama2-7b", "segformer", "mask-rcnn", "swin-b", "bert")
+
+
+def run_table1(models: tuple[str, ...] = TABLE1_MODELS) -> ExperimentResult:
+    result = ExperimentResult(
+        name="table1_taxonomy",
+        title="Non-GEMM operator taxonomy with example input shapes (Table I)",
+    )
+    for model in models:
+        graph = build_model(model, batch_size=1)
+        report = NonGemmReport(graph)
+        result.rows.extend(report.taxonomy_rows(unique=True))
+    return result
+
+
+def run_table4(
+    platform_id: str = "A",
+    models: tuple[str, ...] | None = None,
+    batch_sizes: tuple[int, ...] = (1, 8),
+    iterations: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    platform = get_platform(platform_id)
+    flow = get_flow("pytorch")
+    result = ExperimentResult(
+        name="table4_dominant_groups",
+        title="Most time-consuming non-GEMM group per model (platform A, GPU, batch-avg)",
+    )
+    profiles: dict[str, list[ProfileResult]] = {}
+    for model in models or tuple(PAPER_MODELS):
+        runs = []
+        for batch in batch_sizes:
+            graph = build_model(model, batch_size=batch)
+            runs.append(
+                profile_graph(
+                    graph,
+                    flow,
+                    platform,
+                    use_gpu=True,
+                    batch_size=batch,
+                    iterations=iterations,
+                    seed=seed,
+                    model_name=model,
+                )
+            )
+        profiles[model] = runs
+    for model, group, share in dominant_group_table(profiles):
+        result.rows.append(
+            {
+                "model": model,
+                "operator_group": group.value,
+                "latency_pct": round(100 * share, 1),
+            }
+        )
+    return result
+
+
+def run_table5(
+    platform_id: str = "A",
+    models: tuple[str, ...] = ("swin-t", "swin-b", "detr", "segformer"),
+    batch_sizes: tuple[int, ...] = (1, 2, 4, 8),
+    iterations: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    platform = get_platform(platform_id)
+    eager = get_flow("pytorch")
+    trt = get_flow("tensorrt")
+    result = ExperimentResult(
+        name="table5_fusion_rate",
+        title="TensorRT non-GEMM fusion rate and latency before/after (Table V)",
+    )
+    for model in models:
+        before_ms: list[float] = []
+        before_pct: list[float] = []
+        after_ms: list[float] = []
+        after_pct: list[float] = []
+        rates: list[float] = []
+        for batch in batch_sizes:
+            graph = build_model(model, batch_size=batch)
+            base = profile_graph(
+                graph, eager, platform, use_gpu=True, batch_size=batch,
+                iterations=iterations, seed=seed, model_name=model,
+            )
+            fused = profile_graph(
+                graph, trt, platform, use_gpu=True, batch_size=batch,
+                iterations=iterations, seed=seed, model_name=model,
+            )
+            before_ms.append(base.non_gemm_latency_s * 1e3)
+            before_pct.append(100 * base.non_gemm_share)
+            after_ms.append(fused.non_gemm_latency_s * 1e3)
+            after_pct.append(100 * fused.non_gemm_share)
+            rates.append(100 * fused.non_gemm_fusion_rate)
+        n = len(batch_sizes)
+        speedup = (sum(before_ms) / n) / max(sum(after_ms) / n, 1e-9)
+        result.rows.append(
+            {
+                "model": model,
+                "fusion_rate_pct": round(sum(rates) / n, 1),
+                "non_gemm_before_ms": round(sum(before_ms) / n, 2),
+                "non_gemm_before_pct": round(sum(before_pct) / n, 1),
+                "non_gemm_after_ms": round(sum(after_ms) / n, 2),
+                "non_gemm_after_pct": round(sum(after_pct) / n, 1),
+                "non_gemm_speedup": round(speedup, 2),
+            }
+        )
+    return result

@@ -1,0 +1,133 @@
+"""Command-line interface: ``nongemm-bench`` (or ``python -m repro.cli``).
+
+Subcommands mirror the paper artifact's scripts:
+
+* ``list-models``            — show the model registry (Table II).
+* ``profile``                — profile one model on a platform/flow.
+* ``experiment <name>``      — regenerate a figure/table (fig1..fig9, table1/4/5).
+* ``workload <model>``       — static workload report (op mix, params).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import EXPERIMENTS
+from repro.core import BenchConfig, NonGemmReport, PerformanceReport, run_bench
+from repro.models import build_model, list_models
+from repro.viz.ascii import render_stacked_bar, render_table
+from repro.viz.csvout import write_csv
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nongemm-bench",
+        description="NonGEMM Bench: operator-level GEMM/non-GEMM performance characterization",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_list = sub.add_parser("list-models", help="show the model registry")
+    p_list.set_defaults(handler=_cmd_list_models)
+
+    p_prof = sub.add_parser("profile", help="profile one model")
+    p_prof.add_argument("model")
+    p_prof.add_argument("--flow", default="pytorch")
+    p_prof.add_argument("--platform", default="A")
+    p_prof.add_argument("--batch", type=int, default=1)
+    p_prof.add_argument("--cpu-only", action="store_true")
+    p_prof.add_argument("--iterations", type=int, default=5)
+    p_prof.add_argument("--top", type=int, default=10, help="top-N slowest kernels to list")
+    p_prof.add_argument("--csv", metavar="DIR", default=None, help="also write CSV here")
+    p_prof.set_defaults(handler=_cmd_profile)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--csv", metavar="DIR", default="results")
+    p_exp.set_defaults(handler=_cmd_experiment)
+
+    p_work = sub.add_parser("workload", help="static workload/non-GEMM report for a model")
+    p_work.add_argument("model")
+    p_work.add_argument("--batch", type=int, default=1)
+    p_work.set_defaults(handler=_cmd_workload)
+
+    return parser
+
+
+def _cmd_list_models(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "model": e.name,
+            "domain": e.domain.value,
+            "dataset": e.dataset,
+            "paper_params": e.paper_params,
+        }
+        for e in list_models()
+    ]
+    print(render_table(rows))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    config = BenchConfig(
+        models=(args.model,),
+        batch_sizes=(args.batch,),
+        flow=args.flow,
+        platform=args.platform,
+        use_gpu=not args.cpu_only,
+        iterations=args.iterations,
+    )
+    results = run_bench(config)
+    profile = results.profiles[0]
+    report = PerformanceReport(profile)
+    print(render_table([report.summary_row()]))
+    print()
+    print(render_table(report.breakdown_rows()))
+    print()
+    shares = {g.value: s for g, s in profile.share_by_group().items()}
+    print(render_stacked_bar(profile.model, shares, total_label=f"{profile.total_latency_ms:.2f} ms"))
+    print()
+    print("slowest kernels:")
+    print(render_table(report.top_operator_rows(args.top)))
+    if args.csv:
+        path = write_csv(report.breakdown_rows(), f"profile_{args.model}", args.csv)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    runner = EXPERIMENTS[args.name]
+    result = runner()
+    print(result.render())
+    path = result.save(args.csv)
+    print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    graph = build_model(args.model, batch_size=args.batch)
+    report = NonGemmReport(graph)
+    from repro.core import WorkloadReport
+
+    workload = WorkloadReport(graph)
+    print(render_table([workload.summary_row()]))
+    print()
+    print("operator counts:")
+    print(render_table(workload.op_count_rows()))
+    print()
+    print("non-GEMM variants:")
+    print(render_table(report.variant_rows()))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

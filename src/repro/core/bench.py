@@ -1,0 +1,83 @@
+"""NonGEMMBench: the top-level orchestrator (paper Fig. 4).
+
+Takes a :class:`BenchConfig`, pulls models from the registry, lowers each
+through the selected deployment flow, profiles on the selected platform,
+and produces the three reports per (model, batch) point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import BenchConfig
+from repro.core.reports import (
+    BenchReports,
+    NonGemmReport,
+    PerformanceReport,
+    WorkloadReport,
+)
+from repro.flows import get_flow
+from repro.hardware import get_platform
+from repro.models import get_model
+from repro.profiler import ProfileResult, profile_graph
+
+
+@dataclass
+class BenchResults:
+    """All profiles and reports from one bench run."""
+
+    config: BenchConfig
+    profiles: list[ProfileResult] = field(default_factory=list)
+    reports: dict[tuple[str, int], BenchReports] = field(default_factory=dict)
+
+    def profile_for(self, model: str, batch: int) -> ProfileResult:
+        for profile in self.profiles:
+            if profile.model == model and profile.batch_size == batch:
+                return profile
+        raise KeyError(f"no profile for {model} b{batch}")
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        return [
+            self.reports[(p.model, p.batch_size)].performance.summary_row()
+            for p in self.profiles
+        ]
+
+
+class NonGEMMBench:
+    """End-to-end benchmark flow: models -> graphs -> plans -> profiles -> reports."""
+
+    def __init__(self, config: BenchConfig):
+        self.config = config
+        self.flow = get_flow(config.flow)
+        platform = get_platform(config.platform)
+        self.platform = platform if config.use_gpu else platform.cpu_only()
+
+    def run(self) -> BenchResults:
+        results = BenchResults(config=self.config)
+        for model_name in self.config.models:
+            entry = get_model(model_name)
+            overrides = self.config.override_for(model_name)
+            for batch in self.config.batch_sizes:
+                graph = entry.build(batch_size=batch, **overrides)
+                profile = profile_graph(
+                    graph,
+                    self.flow,
+                    self.platform,
+                    use_gpu=self.config.use_gpu,
+                    batch_size=batch,
+                    iterations=self.config.iterations,
+                    seed=self.config.seed,
+                    model_name=model_name,
+                )
+                results.profiles.append(profile)
+                results.reports[(model_name, batch)] = BenchReports(
+                    performance=PerformanceReport(profile),
+                    workload=WorkloadReport(graph),
+                    non_gemm=NonGemmReport(graph, profile),
+                )
+        return results
+
+
+def run_bench(config: BenchConfig) -> BenchResults:
+    """Convenience wrapper: build and run a bench in one call."""
+    return NonGEMMBench(config).run()

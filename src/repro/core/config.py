@@ -1,0 +1,38 @@
+"""Benchmark configuration (the paper's Fig. 4 "Configuration" inputs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One NonGEMM Bench run specification.
+
+    Mirrors the knobs of the paper's flow: which models, batch sizes,
+    deployment flow, hardware platform, device mode, and how many profiling
+    iterations to aggregate.
+    """
+
+    models: tuple[str, ...] = ("gpt2", "swin-b")
+    batch_sizes: tuple[int, ...] = (1, 8)
+    flow: str = "pytorch"
+    platform: str = "A"
+    use_gpu: bool = True
+    iterations: int = 5
+    seed: int = 0
+    #: per-model builder overrides, e.g. {"gpt2": {"seq_len": 32}}
+    overrides: dict[str, dict] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ConfigError("BenchConfig needs at least one model")
+        if any(b <= 0 for b in self.batch_sizes):
+            raise ConfigError(f"batch sizes must be positive, got {self.batch_sizes}")
+        if self.iterations <= 0:
+            raise ConfigError("iterations must be positive")
+
+    def override_for(self, model: str) -> dict:
+        return dict(self.overrides.get(model, {}))

@@ -1,0 +1,19 @@
+"""Synthetic datasets and preprocessing."""
+
+from repro.data.datasets import (
+    SyntheticCOCO,
+    SyntheticImageNet,
+    SyntheticWikitext,
+    dataset_for,
+)
+from repro.data.preprocess import prepare_inputs
+from repro.data.tokenizer import ToyTokenizer
+
+__all__ = [
+    "SyntheticCOCO",
+    "SyntheticImageNet",
+    "SyntheticWikitext",
+    "ToyTokenizer",
+    "dataset_for",
+    "prepare_inputs",
+]

@@ -1,0 +1,101 @@
+"""Synthetic stand-ins for the paper's datasets (ImageNet, COCO, wikitext).
+
+Only input *shapes*, value ranges, and data-dependent behaviours (e.g. how
+many boxes survive NMS) influence an operator-level performance profile, so
+each generator produces deterministic samples with those properties:
+natural-image-statistics pixels, COCO-like box layouts, and Zipf-ish token
+streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.tokenizer import ToyTokenizer
+
+_WORDS = (
+    "the of and to in a is that for it as was with be by on not he his but at are this "
+    "which her or had from she they you were all one we can there been who their when "
+    "will more no if out so said what up its about into than them only some could time"
+).split()
+
+
+@dataclass
+class SyntheticImageNet:
+    """224-class-agnostic image batches with natural-image statistics."""
+
+    image_size: int = 224
+    seed: int = 0
+
+    def batch(self, batch_size: int) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        # low-frequency structure + noise, normalized like torchvision inputs
+        base = rng.normal(0.0, 1.0, size=(batch_size, 3, self.image_size // 8, self.image_size // 8))
+        up = np.repeat(np.repeat(base, 8, axis=2), 8, axis=3)
+        noise = rng.normal(0.0, 0.25, size=(batch_size, 3, self.image_size, self.image_size))
+        return (up + noise).astype(np.float32)
+
+
+@dataclass
+class SyntheticCOCO:
+    """Detection-style images plus ground-truth-like box sets."""
+
+    image_size: int = 800
+    max_boxes: int = 20
+    seed: int = 0
+
+    def batch(self, batch_size: int) -> np.ndarray:
+        return SyntheticImageNet(self.image_size, self.seed).batch(batch_size)
+
+    def boxes(self, count: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """(boxes [N,4] xyxy, scores [N]) with realistic overlap structure."""
+        rng = np.random.default_rng(self.seed + 1)
+        n = count or self.max_boxes
+        centers = rng.uniform(0.15, 0.85, size=(n, 2)) * self.image_size
+        sizes = rng.uniform(0.05, 0.4, size=(n, 2)) * self.image_size
+        boxes = np.stack(
+            [
+                centers[:, 0] - sizes[:, 0] / 2,
+                centers[:, 1] - sizes[:, 1] / 2,
+                centers[:, 0] + sizes[:, 0] / 2,
+                centers[:, 1] + sizes[:, 1] / 2,
+            ],
+            axis=1,
+        )
+        scores = rng.beta(2.0, 3.0, size=n)
+        return boxes.astype(np.float32), scores.astype(np.float32)
+
+
+@dataclass
+class SyntheticWikitext:
+    """Token-id batches drawn from a Zipf-like vocabulary distribution."""
+
+    vocab_size: int = 50257
+    seed: int = 0
+
+    def text(self, length_words: int = 64) -> str:
+        rng = np.random.default_rng(self.seed)
+        ranks = rng.zipf(1.3, size=length_words) % len(_WORDS)
+        return " ".join(_WORDS[r] for r in ranks)
+
+    def batch(self, batch_size: int, seq_len: int) -> np.ndarray:
+        tokenizer = ToyTokenizer(self.vocab_size)
+        texts = [self.text(seq_len * 2) for _ in range(batch_size)]
+        ids = tokenizer.encode_batch(texts, max_length=seq_len)
+        return np.asarray(ids, dtype=np.int64)
+
+    def position_ids(self, batch_size: int, seq_len: int) -> np.ndarray:
+        return np.tile(np.arange(seq_len, dtype=np.int64), (batch_size, 1))
+
+
+def dataset_for(name: str, seed: int = 0):
+    """Dataset factory keyed by the registry's dataset tag."""
+    if name == "imagenet":
+        return SyntheticImageNet(seed=seed)
+    if name == "coco":
+        return SyntheticCOCO(seed=seed)
+    if name == "wikitext":
+        return SyntheticWikitext(seed=seed)
+    raise KeyError(f"unknown dataset {name!r}")

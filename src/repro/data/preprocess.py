@@ -1,0 +1,37 @@
+"""Model-specific preprocessing: graph inputs from raw synthetic data.
+
+The paper's Data Preprocessing module (Fig. 4): fetch raw samples, clean,
+and transform into the tensor dict a model graph expects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import dataset_for
+from repro.ir.graph import Graph
+from repro.models.registry import ModelEntry, TaskDomain
+
+
+def prepare_inputs(entry: ModelEntry, graph: Graph, batch_size: int, seed: int = 0) -> dict[str, np.ndarray]:
+    """Build the named input dict for one registered model's graph."""
+    inputs: dict[str, np.ndarray] = {}
+    if entry.domain is TaskDomain.NLP:
+        data = dataset_for("wikitext", seed=seed)
+        for node in graph.input_nodes:
+            _, seq = node.outputs[0].shape
+            if node.name == "position_ids":
+                inputs[node.name] = data.position_ids(batch_size, seq)
+            elif node.name == "token_type_ids":
+                inputs[node.name] = np.zeros((batch_size, seq), dtype=np.int64)
+            else:
+                inputs[node.name] = data.batch(batch_size, seq)
+        return inputs
+
+    data = dataset_for(entry.dataset, seed=seed)
+    for node in graph.input_nodes:
+        shape = node.outputs[0].shape
+        image_size = shape[-1]
+        batch = type(data)(image_size=image_size, seed=seed).batch(batch_size)  # type: ignore[call-arg]
+        inputs[node.name] = batch
+    return inputs

@@ -1,0 +1,43 @@
+"""A small deterministic word-level tokenizer for the synthetic wikitext data.
+
+The benchmark needs realistic token-id streams (shape and distribution),
+not linguistic fidelity: ids follow a Zipf-like rank distribution the way
+real subword corpora do, which keeps embedding-gather traffic realistic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class ToyTokenizer:
+    """Hash-based word tokenizer with special tokens and fixed-size vocab."""
+
+    PAD = 0
+    BOS = 1
+    EOS = 2
+    UNK = 3
+    SPECIAL_TOKENS = 4
+
+    def __init__(self, vocab_size: int = 50257):
+        if vocab_size <= self.SPECIAL_TOKENS:
+            raise ValueError(f"vocab_size must exceed {self.SPECIAL_TOKENS}")
+        self.vocab_size = vocab_size
+
+    def token_id(self, word: str) -> int:
+        """Deterministic id for a word in [SPECIAL_TOKENS, vocab)."""
+        digest = hashlib.sha1(word.lower().encode()).digest()
+        span = self.vocab_size - self.SPECIAL_TOKENS
+        return self.SPECIAL_TOKENS + int.from_bytes(digest[:4], "big") % span
+
+    def encode(self, text: str, max_length: int | None = None, add_special: bool = True) -> list[int]:
+        ids = [self.token_id(w) for w in text.split() if w]
+        if add_special:
+            ids = [self.BOS] + ids + [self.EOS]
+        if max_length is not None:
+            ids = ids[:max_length]
+            ids += [self.PAD] * (max_length - len(ids))
+        return ids
+
+    def encode_batch(self, texts: list[str], max_length: int) -> list[list[int]]:
+        return [self.encode(t, max_length=max_length) for t in texts]

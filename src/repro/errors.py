@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError):
+    """An operator received inputs whose shapes are incompatible."""
+
+
+class GraphError(ReproError):
+    """The operator graph is malformed (cycles, dangling refs, bad ports)."""
+
+
+class ExecutionError(ReproError):
+    """Concrete (numpy) execution of a graph failed."""
+
+
+class PlanError(ReproError):
+    """A deployment flow produced or received an invalid execution plan."""
+
+
+class RegistryError(ReproError):
+    """Lookup of a model, operator, or platform failed."""
+
+
+class ConfigError(ReproError):
+    """A benchmark or model configuration is invalid."""

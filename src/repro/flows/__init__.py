@@ -1,0 +1,60 @@
+"""Deployment flows: lowering operator graphs into executable plans."""
+
+from repro.errors import RegistryError
+from repro.flows.base import DeploymentFlow
+from repro.flows.fusion import (
+    FusionConfig,
+    FusionResult,
+    fuse_graph,
+    group_category,
+)
+from repro.flows.onnxruntime import ONNXRuntimeFlow
+from repro.flows.plan import ExecutionPlan, PlannedKernel, group_cost, node_base_cost
+from repro.flows.pytorch_eager import PyTorchEagerFlow
+from repro.flows.tensorrt import TensorRTFlow
+from repro.flows.torch_inductor import TorchInductorFlow
+
+_FLOWS = {
+    PyTorchEagerFlow.name: PyTorchEagerFlow,
+    TorchInductorFlow.name: TorchInductorFlow,
+    TensorRTFlow.name: TensorRTFlow,
+    ONNXRuntimeFlow.name: ONNXRuntimeFlow,
+}
+
+
+def get_flow(name: str) -> DeploymentFlow:
+    """Instantiate a deployment flow by name.
+
+    Accepted names: ``pytorch``, ``torchinductor``, ``tensorrt``,
+    ``onnxruntime`` (aliases: ``pt``, ``inductor``, ``trt``, ``ort``).
+    """
+    aliases = {
+        "pt": "pytorch",
+        "eager": "pytorch",
+        "inductor": "torchinductor",
+        "trt": "tensorrt",
+        "ort": "onnxruntime",
+    }
+    key = aliases.get(name.lower(), name.lower())
+    try:
+        return _FLOWS[key]()
+    except KeyError:
+        raise RegistryError(f"unknown flow {name!r}; known: {sorted(_FLOWS)}") from None
+
+
+__all__ = [
+    "DeploymentFlow",
+    "ExecutionPlan",
+    "FusionConfig",
+    "FusionResult",
+    "ONNXRuntimeFlow",
+    "PlannedKernel",
+    "PyTorchEagerFlow",
+    "TensorRTFlow",
+    "TorchInductorFlow",
+    "fuse_graph",
+    "get_flow",
+    "group_category",
+    "group_cost",
+    "node_base_cost",
+]

@@ -1,0 +1,148 @@
+"""Deployment flow abstraction.
+
+A flow lowers an operator graph into an :class:`ExecutionPlan` the way a real
+serving stack would: it decides fusion, per-op placement (GPU vs CPU
+fallback), whether composite Python ops run as many kernels or one, and the
+per-kernel host dispatch overhead profile.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar
+
+from repro.errors import PlanError
+from repro.hardware.device import DeviceKind
+from repro.ir.dtype import DType
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.ops.base import OpCategory, OpCost
+from repro.flows.fusion import FusionConfig, fuse_graph, group_category
+from repro.flows.plan import ExecutionPlan, PlannedKernel, group_cost, node_base_cost
+
+
+class DeploymentFlow(abc.ABC):
+    """Base class for PyTorch-eager, TorchInductor, TensorRT, and ORT flows."""
+
+    name: ClassVar[str]
+    dispatch_profile: ClassVar[str]
+    fusion: ClassVar[FusionConfig] = FusionConfig()
+    #: compiled flows collapse composite Python ops into one kernel.
+    collapses_composites: ClassVar[bool] = True
+    #: fp32 GEMM rate multiplier: engine flows enable TF32 tensor cores on
+    #: Ampere-class GPUs (8x the fp32 pipe rate); eager PyTorch ships with
+    #: TF32 matmul disabled.
+    gemm_peak_scale_f32: ClassVar[float] = 1.0
+    #: scale on the device's small-GEMM saturation size: autotuned engines
+    #: pick better tilings for small problems than stock cuBLAS heuristics.
+    gemm_saturation_scale: ClassVar[float] = 1.0
+
+    def lower(self, graph: Graph, use_gpu: bool = True) -> ExecutionPlan:
+        """Lower ``graph`` into an execution plan for simulation."""
+        graph.validate()
+        result = fuse_graph(graph, self.fusion)
+        kernels: list[PlannedKernel] = []
+        for group in result.groups:
+            if len(group) == 1:
+                kernels.append(self._plan_single(graph, graph.nodes[group[0]], use_gpu))
+            else:
+                kernels.append(self._plan_group(graph, group, use_gpu))
+        plan = ExecutionPlan(
+            graph=graph,
+            flow=self.name,
+            dispatch_profile=self.dispatch_profile,
+            kernels=kernels,
+            gemm_peak_scale_f32=self.gemm_peak_scale_f32,
+            gemm_saturation_scale=self.gemm_saturation_scale,
+        )
+        plan.validate()
+        return plan
+
+    # -- hooks ---------------------------------------------------------------
+
+    def placement(self, node: Node, use_gpu: bool) -> DeviceKind:
+        """Device for one node; ORT overrides this for unsupported ops."""
+        return DeviceKind.GPU if use_gpu else DeviceKind.CPU
+
+    # -- kernel construction ---------------------------------------------------
+
+    def _plan_single(self, graph: Graph, node: Node, use_gpu: bool) -> PlannedKernel:
+        device = self.placement(node, use_gpu)
+        fallback = use_gpu and device is DeviceKind.CPU
+        metadata = node.op.is_metadata_only and not fallback
+        if fallback:
+            # an op forced off the accelerator materializes its data on the
+            # host: inputs cross PCIe down, outputs cross back up.
+            in_bytes = sum(v.spec.nbytes for v in node.inputs)
+            out_bytes = sum(s.nbytes for s in node.outputs)
+            cost = OpCost(flops=0, bytes_read=in_bytes, bytes_written=out_bytes)
+            return PlannedKernel(
+                name=node.qualified_name,
+                node_ids=(node.node_id,),
+                op_kinds=(node.op.kind,),
+                category=node.op.category,
+                device=DeviceKind.CPU,
+                cost=cost,
+                dtype=_node_dtype(node),
+                metadata_only=False,
+                is_custom=node.op.is_custom_kernel,
+                launch_count=1,
+                transfer_bytes_in=in_bytes,
+                transfer_bytes_out=out_bytes,
+            )
+        cost = node_base_cost(node)
+        # data-dependent ops (nonzero, dynamic shapes) stall the pipeline with
+        # a device->host round trip to read their result size.
+        sync_bytes = 0
+        if device is DeviceKind.GPU and getattr(node.op, "forces_sync", False):
+            sync_bytes = sum(s.nbytes for s in node.outputs)
+        launches = 1
+        if not self.collapses_composites and node.op.eager_kernels > 1:
+            launches = node.op.eager_kernels
+            # full-size sub-kernels of a Python composite re-stream the tensor
+            passes = node.op.traffic_passes
+            cost = OpCost(
+                flops=cost.flops,
+                bytes_read=cost.bytes_read * passes,
+                bytes_written=cost.bytes_written * passes,
+            )
+        return PlannedKernel(
+            name=node.qualified_name,
+            node_ids=(node.node_id,),
+            op_kinds=(node.op.kind,),
+            category=node.op.category,
+            device=device,
+            cost=cost,
+            dtype=_node_dtype(node),
+            metadata_only=metadata and not sync_bytes,
+            is_custom=node.op.is_custom_kernel and not self.collapses_composites,
+            launch_count=launches,
+            transfer_bytes_out=sync_bytes,
+        )
+
+    def _plan_group(self, graph: Graph, group: tuple[int, ...], use_gpu: bool) -> PlannedKernel:
+        nodes = [graph.nodes[i] for i in group]
+        devices = {self.placement(n, use_gpu) for n in nodes}
+        if len(devices) > 1:
+            raise PlanError(f"fused group {group} spans devices {devices}")
+        category = group_category(graph, group)
+        first = nodes[0]
+        return PlannedKernel(
+            name=f"{first.qualified_name}+{len(group) - 1}",
+            node_ids=tuple(group),
+            op_kinds=tuple(n.op.kind for n in nodes),
+            category=category,
+            device=devices.pop(),
+            cost=group_cost(graph, group),
+            dtype=_node_dtype(first),
+            metadata_only=False,
+            is_custom=False,  # fused kernels are generated, not hand-written
+            launch_count=1,
+        )
+
+
+def _node_dtype(node: Node) -> DType:
+    """Execution precision of a node: its first tensor input, else its output."""
+    if node.inputs:
+        return node.inputs[0].spec.dtype
+    return node.outputs[0].dtype

@@ -1,0 +1,57 @@
+"""ONNX Runtime deployment flow (CUDA execution provider).
+
+ORT applies solid graph optimizations (fused LayerNorm/GELU, pointwise
+chains, lower session overhead than eager PyTorch) — but its CUDA execution
+provider does not implement every operator.  Unsupported ops are assigned to
+the CPU provider, which forces their operands across PCIe in both
+directions.  The paper's Fig. 7 shows the consequence on GPT2-XL: memory
+operators balloon from 3.2% to ~67% of latency because the model's
+Split/View/Expand-heavy attention code keeps bouncing between devices.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.flows.base import DeploymentFlow
+from repro.flows.fusion import FusionConfig
+from repro.hardware.device import DeviceKind
+from repro.ir.node import Node
+
+
+class ONNXRuntimeFlow(DeploymentFlow):
+    name = "onnxruntime"
+    dispatch_profile = "ort"
+    fusion = FusionConfig(
+        gemm_epilogue=False,
+        pointwise_chains=True,
+        chain_norms=True,  # ORT ships fused LayerNorm/GELU graph rewrites
+        max_chain=4,
+    )
+    collapses_composites = True
+    gemm_saturation_scale = 0.6
+
+    #: op kinds the CUDA execution provider lacks kernels for; these fall
+    #: back to the CPU provider with device<->host copies and stream-drain
+    #: stalls around them.  The list models the paper's observation that
+    #: "many memory operators in the evaluated LLMs are not supported by the
+    #: CUDA execution provider" — GPT-2's exported attention is full of
+    #: Split/Expand/Where nodes, while Llama-2's export is clean, which is
+    #: exactly the asymmetry Fig. 7 shows.
+    gpu_unsupported_kinds: ClassVar[frozenset[str]] = frozenset(
+        {
+            "split",
+            "expand",
+            "tril",
+            "where",
+            "nonzero",
+            "index_add",
+        }
+    )
+
+    def placement(self, node: Node, use_gpu: bool) -> DeviceKind:
+        if not use_gpu:
+            return DeviceKind.CPU
+        if node.op.kind in self.gpu_unsupported_kinds:
+            return DeviceKind.CPU
+        return DeviceKind.GPU

@@ -1,0 +1,151 @@
+"""Execution plans: what a deployment flow actually runs.
+
+A flow lowers an operator graph into an ordered list of
+:class:`PlannedKernel`\\ s — possibly-fused groups of graph nodes assigned to
+a device, with fusion-adjusted cost and optional PCIe transfers (for
+CPU-fallback kernels).  The simulator walks this list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.hardware.device import DeviceKind
+from repro.ir.dtype import DType
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.ops.base import OpCategory, OpCost
+
+
+@dataclass
+class PlannedKernel:
+    """One schedulable unit: a single op or a fused group."""
+
+    name: str
+    node_ids: tuple[int, ...]
+    op_kinds: tuple[str, ...]
+    category: OpCategory
+    device: DeviceKind
+    cost: OpCost
+    dtype: DType
+    metadata_only: bool = False
+    is_custom: bool = False
+    #: device kernels launched for this unit (eager composites launch many).
+    launch_count: int = 1
+    #: PCIe traffic for CPU-fallback kernels (ORT unsupported-op study).
+    transfer_bytes_in: int = 0
+    transfer_bytes_out: int = 0
+
+    @property
+    def fused(self) -> bool:
+        return len(self.node_ids) > 1
+
+    @property
+    def is_gemm(self) -> bool:
+        return self.category is OpCategory.GEMM
+
+
+@dataclass
+class ExecutionPlan:
+    """A lowered graph, ready for simulation."""
+
+    graph: Graph
+    flow: str
+    dispatch_profile: str  # key into hardware.calibration.DISPATCH_PROFILES
+    kernels: list[PlannedKernel]
+    #: flow-level GEMM rate adjustments (see DeploymentFlow)
+    gemm_peak_scale_f32: float = 1.0
+    gemm_saturation_scale: float = 1.0
+    notes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def num_fused_kernels(self) -> int:
+        return sum(1 for k in self.kernels if k.fused)
+
+    def covered_node_ids(self) -> set[int]:
+        covered: set[int] = set()
+        for kernel in self.kernels:
+            covered.update(kernel.node_ids)
+        return covered
+
+    def validate(self) -> None:
+        """Every compute node appears in exactly one kernel; order respects deps."""
+        seen: set[int] = set()
+        for kernel in self.kernels:
+            for node_id in kernel.node_ids:
+                if node_id in seen:
+                    raise PlanError(f"node {node_id} planned twice in {self.flow}")
+                seen.add(node_id)
+        expected = {n.node_id for n in self.graph.compute_nodes()}
+        missing = expected - seen
+        extra = seen - expected
+        if missing:
+            raise PlanError(f"plan for {self.graph.name} misses nodes {sorted(missing)[:8]}")
+        if extra:
+            raise PlanError(f"plan for {self.graph.name} has unknown nodes {sorted(extra)[:8]}")
+
+    def non_gemm_fusion_rate(self) -> float:
+        """Fraction of non-GEMM graph ops that were fused away (paper Table V)."""
+        non_gemm_total = 0
+        non_gemm_fused = 0
+        for kernel in self.kernels:
+            for node_id in kernel.node_ids:
+                node = self.graph.nodes[node_id]
+                if node.op.category is OpCategory.GEMM:
+                    continue
+                non_gemm_total += 1
+                if kernel.fused:
+                    non_gemm_fused += 1
+        if non_gemm_total == 0:
+            return 0.0
+        return non_gemm_fused / non_gemm_total
+
+
+def group_cost(graph: Graph, node_ids: tuple[int, ...]) -> OpCost:
+    """Fusion-adjusted cost of a node group.
+
+    FLOPs add up; traffic counts only values crossing the group boundary
+    (external inputs once each, external outputs once each) plus weights —
+    the whole point of fusion is that intermediates stay in registers/SRAM.
+    """
+    members = set(node_ids)
+    flops = 0
+    weight_bytes = 0
+    read = 0
+    consumers = graph.consumers()
+    seen_inputs: set[tuple[int, int]] = set()
+    written = 0
+    for node_id in node_ids:
+        node = graph.nodes[node_id]
+        base = node.op.cost(
+            [v.spec for v in node.inputs], list(node.outputs)
+        )
+        flops += base.flops
+        weight_bytes += node.op.weight_bytes()
+        for value in node.inputs:
+            key = (value.node_id, value.port)
+            if value.node_id not in members and key not in seen_inputs:
+                seen_inputs.add(key)
+                read += value.spec.nbytes
+        for port, spec in enumerate(node.outputs):
+            users = consumers.get((node_id, port), [])
+            escapes = any(u not in members for u in users) or _is_graph_output(
+                graph, node_id, port
+            )
+            if escapes:
+                written += spec.nbytes
+    return OpCost(flops=flops, bytes_read=read + weight_bytes, bytes_written=written)
+
+
+def _is_graph_output(graph: Graph, node_id: int, port: int) -> bool:
+    return any(v.node_id == node_id and v.port == port for v in graph.outputs)
+
+
+def node_base_cost(node: Node) -> OpCost:
+    """Unfused cost of a single node."""
+    return node.op.cost([v.spec for v in node.inputs], list(node.outputs))

@@ -1,0 +1,19 @@
+"""PyTorch eager-mode deployment flow.
+
+No fusion at all: every graph op is its own kernel (or several — composite
+Python implementations such as HuggingFace's NewGELU launch one kernel per
+tensor expression), and every op pays full framework dispatch overhead.
+This is the paper's baseline flow for Figs. 1 and 6.
+"""
+
+from __future__ import annotations
+
+from repro.flows.base import DeploymentFlow
+from repro.flows.fusion import FusionConfig
+
+
+class PyTorchEagerFlow(DeploymentFlow):
+    name = "pytorch"
+    dispatch_profile = "eager"
+    fusion = FusionConfig()  # nothing fuses
+    collapses_composites = False

@@ -1,0 +1,33 @@
+"""TensorRT deployment flow.
+
+The most aggressive optimizer in the study: builds an engine with
+
+* GEMM epilogue fusion — CONV/Linear + normalization + activation (+residual)
+  collapse into the GEMM kernel.  This is the pattern that eliminates DETR's
+  FrozenBatchNorm kernels (100% of them fuse with convolutions per the
+  paper's Table V analysis);
+* pointwise chain fusion for everything the epilogues don't absorb;
+* minimal per-kernel dispatch (a prebuilt engine, not a framework).
+"""
+
+from __future__ import annotations
+
+from repro.flows.base import DeploymentFlow
+from repro.flows.fusion import FusionConfig
+
+
+class TensorRTFlow(DeploymentFlow):
+    name = "tensorrt"
+    dispatch_profile = "engine"
+    fusion = FusionConfig(
+        gemm_epilogue=True,
+        max_epilogue=4,
+        pointwise_chains=True,
+        epilogue_norms=True,  # CONV+BN+ReLU folds into the GEMM kernel
+        chain_norms=False,    # standalone LayerNorm/Softmax stay separate kernels
+        max_chain=6,
+    )
+    collapses_composites = True
+    # TensorRT enables TF32 tensor cores for fp32 and autotunes tactics.
+    gemm_peak_scale_f32 = 8.0
+    gemm_saturation_scale = 0.15

@@ -1,0 +1,28 @@
+"""TorchInductor (torch.compile) deployment flow.
+
+Inductor generates fused Triton kernels for pointwise/normalization chains
+and removes eager dispatch overhead, but — as the paper's Fig. 8 middle bars
+show — it does not fold normalization into GEMM kernels the way TensorRT's
+CONV+BN+ReLU pattern does, so a substantial non-GEMM share survives.
+"""
+
+from __future__ import annotations
+
+from repro.flows.base import DeploymentFlow
+from repro.flows.fusion import FusionConfig
+
+
+class TorchInductorFlow(DeploymentFlow):
+    name = "torchinductor"
+    dispatch_profile = "compiled"
+    fusion = FusionConfig(
+        gemm_epilogue=False,
+        pointwise_chains=True,
+        chain_norms=True,
+        max_chain=8,
+    )
+    collapses_composites = True
+    # torch.compile keeps cuBLAS fp32 semantics but its autotuner picks
+    # better-shaped kernels for the small batched GEMMs eager hits worst.
+    gemm_peak_scale_f32 = 1.0
+    gemm_saturation_scale = 0.45

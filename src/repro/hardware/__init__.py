@@ -1,0 +1,47 @@
+"""Analytic hardware models: devices, platforms, roofline cost, energy."""
+
+from repro.hardware.calibration import (
+    CUSTOM_KERNEL_PENALTY,
+    DISPATCH_PROFILES,
+    DispatchProfile,
+    Efficiency,
+    dispatch_profile,
+    efficiency_for,
+    gemm_saturation,
+)
+from repro.hardware.cost_model import LatencyEstimate, estimate_kernel
+from repro.hardware.device import (
+    A100,
+    EPYC_7763,
+    I9_13900K,
+    RTX4090,
+    DeviceKind,
+    DeviceSpec,
+    get_device,
+)
+from repro.hardware.energy import EnergyAccumulator
+from repro.hardware.platform import PLATFORM_A, PLATFORM_B, Platform, get_platform
+
+__all__ = [
+    "A100",
+    "CUSTOM_KERNEL_PENALTY",
+    "DISPATCH_PROFILES",
+    "DeviceKind",
+    "DeviceSpec",
+    "DispatchProfile",
+    "dispatch_profile",
+    "gemm_saturation",
+    "Efficiency",
+    "EnergyAccumulator",
+    "EPYC_7763",
+    "I9_13900K",
+    "LatencyEstimate",
+    "PLATFORM_A",
+    "PLATFORM_B",
+    "Platform",
+    "RTX4090",
+    "efficiency_for",
+    "estimate_kernel",
+    "get_device",
+    "get_platform",
+]

@@ -1,0 +1,142 @@
+"""Efficiency and overhead calibration for the roofline model.
+
+A roofline with published peaks alone overestimates real kernels.  Three
+effects dominate the gap and are calibrated here:
+
+1. **Per-category achieved efficiency** — GEMM libraries hit 60-80% of peak;
+   two-pass normalizations and gather-heavy kernels far less.
+2. **Host dispatch overhead per operator** — eager PyTorch pays Python
+   module + dispatcher + launch setup per op (~20 us on GPU paths, measured
+   values for HF-style model code); compiled flows (Inductor/TensorRT
+   engines) cut this by an order of magnitude; metadata-only view ops pay a
+   smaller Python-only cost.
+3. **Small-GEMM saturation** — a GEMM reaches peak throughput only beyond a
+   device-dependent problem size; tiny batched attention GEMMs run at a
+   small fraction of peak (the reason Swin's GEMM time is ~5 ms, not 0.2 ms,
+   on an A100).
+
+These tables are the single tuning surface of the model; values were fitted
+so that per-model GEMM/non-GEMM shares land in the paper's reported ranges
+(see EXPERIMENTS.md) while staying physically plausible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.ops.base import OpCategory
+
+
+@dataclass(frozen=True)
+class Efficiency:
+    """Achieved fraction of peak compute and peak bandwidth for one category."""
+
+    compute: float
+    memory: float
+
+
+_GPU_EFFICIENCY: dict[OpCategory, Efficiency] = {
+    OpCategory.GEMM: Efficiency(compute=0.62, memory=0.80),
+    OpCategory.ACTIVATION: Efficiency(compute=0.50, memory=0.72),
+    OpCategory.NORMALIZATION: Efficiency(compute=0.30, memory=0.40),
+    OpCategory.MEMORY: Efficiency(compute=0.50, memory=0.55),
+    OpCategory.ELEMENTWISE: Efficiency(compute=0.55, memory=0.75),
+    OpCategory.LOGIT: Efficiency(compute=0.35, memory=0.50),
+    OpCategory.ROI: Efficiency(compute=0.05, memory=0.35),
+    OpCategory.INTERPOLATION: Efficiency(compute=0.40, memory=0.45),
+    OpCategory.POOLING: Efficiency(compute=0.45, memory=0.60),
+    OpCategory.REDUCTION: Efficiency(compute=0.40, memory=0.60),
+    OpCategory.EMBEDDING: Efficiency(compute=0.50, memory=0.35),
+    OpCategory.QDQ: Efficiency(compute=0.45, memory=0.60),
+    OpCategory.MISC: Efficiency(compute=0.40, memory=0.55),
+}
+
+_CPU_EFFICIENCY: dict[OpCategory, Efficiency] = {
+    OpCategory.GEMM: Efficiency(compute=0.72, memory=0.80),
+    OpCategory.ACTIVATION: Efficiency(compute=0.60, memory=0.70),
+    OpCategory.NORMALIZATION: Efficiency(compute=0.45, memory=0.55),
+    OpCategory.MEMORY: Efficiency(compute=0.60, memory=0.60),
+    OpCategory.ELEMENTWISE: Efficiency(compute=0.65, memory=0.75),
+    OpCategory.LOGIT: Efficiency(compute=0.45, memory=0.55),
+    OpCategory.ROI: Efficiency(compute=0.10, memory=0.30),
+    OpCategory.INTERPOLATION: Efficiency(compute=0.50, memory=0.55),
+    OpCategory.POOLING: Efficiency(compute=0.55, memory=0.65),
+    OpCategory.REDUCTION: Efficiency(compute=0.55, memory=0.70),
+    OpCategory.EMBEDDING: Efficiency(compute=0.60, memory=0.50),
+    OpCategory.QDQ: Efficiency(compute=0.55, memory=0.65),
+    OpCategory.MISC: Efficiency(compute=0.50, memory=0.60),
+}
+
+#: Custom (non vendor-library) kernels achieve a fraction of the tabulated
+#: efficiency — the DETR FrozenBatchNorm effect.
+CUSTOM_KERNEL_PENALTY = 0.45
+
+
+@dataclass(frozen=True)
+class DispatchProfile:
+    """Host-side per-operator overheads (seconds) of one deployment flow."""
+
+    gpu_kernel: float
+    gpu_metadata: float
+    cpu_kernel: float
+    cpu_metadata: float
+
+    def dispatch_s(self, is_gpu: bool, metadata_only: bool) -> float:
+        if is_gpu:
+            return self.gpu_metadata if metadata_only else self.gpu_kernel
+        return self.cpu_metadata if metadata_only else self.cpu_kernel
+
+
+#: Per-flow dispatch overheads.  The eager GPU value reflects end-to-end
+#: Python-module + dispatcher + launch-setup time per operator in real
+#: HuggingFace-style model code; compiled flows execute pregenerated code.
+DISPATCH_PROFILES: dict[str, DispatchProfile] = {
+    "eager": DispatchProfile(
+        gpu_kernel=21e-6, gpu_metadata=4.5e-6, cpu_kernel=6e-6, cpu_metadata=2.5e-6
+    ),
+    # torch.compile still pays Python glue at graph breaks and CUDA-graph-less
+    # kernel launches, so its per-kernel floor sits well above TensorRT's.
+    "compiled": DispatchProfile(
+        gpu_kernel=7e-6, gpu_metadata=2e-6, cpu_kernel=2.5e-6, cpu_metadata=0.8e-6
+    ),
+    "engine": DispatchProfile(
+        gpu_kernel=2.5e-6, gpu_metadata=0.5e-6, cpu_kernel=1.2e-6, cpu_metadata=0.4e-6
+    ),
+    "ort": DispatchProfile(
+        gpu_kernel=5e-6, gpu_metadata=1.5e-6, cpu_kernel=2.5e-6, cpu_metadata=1e-6
+    ),
+}
+
+#: PCIe gen4 x16 effective bandwidth and per-transfer latency, for the
+#: ORT CPU-fallback study (Fig. 7) and data-dependent synchronizations.
+PCIE_BANDWIDTH = 22e9
+PCIE_LATENCY_S = 8e-6
+
+#: Extra stall when an operator is forced off the accelerator mid-graph:
+#: the device stream must drain before the download and refill after the
+#: upload.  Applied once per transfer direction of a fallback kernel.
+FALLBACK_SYNC_S = 45e-6
+
+
+def efficiency_for(category: OpCategory, is_gpu: bool) -> Efficiency:
+    table = _GPU_EFFICIENCY if is_gpu else _CPU_EFFICIENCY
+    return table[category]
+
+
+def dispatch_profile(name: str) -> DispatchProfile:
+    try:
+        return DISPATCH_PROFILES[name]
+    except KeyError:
+        raise PlanError(f"unknown dispatch profile {name!r}") from None
+
+
+def gemm_saturation(flops: int, saturation_flops: float) -> float:
+    """Fraction of peak GEMM throughput achieved at a given problem size.
+
+    Models launch/occupancy limits of small GEMMs: half efficiency at
+    ``saturation_flops``, approaching 1 for large problems.
+    """
+    if saturation_flops <= 0:
+        return 1.0
+    return flops / (flops + saturation_flops)

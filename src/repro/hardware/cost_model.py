@@ -1,0 +1,130 @@
+"""Roofline latency estimation for one kernel on one device.
+
+Latency of a kernel is modelled as::
+
+    host   = dispatch overhead of the deployment flow (per kernel)
+    device = kernel launch + max(flops / achieved_compute,
+                                 bytes / achieved_bandwidth)
+    total  = max(host, device)   on GPUs (async dispatch overlaps)
+             host + device_work  on CPUs (the host thread runs the kernel)
+
+Metadata-only ops (tensor views) never launch a kernel: their entire cost is
+the host dispatch time.  This single mechanism produces the paper's headline
+result — after GEMM acceleration, many non-GEMM kernels are launch- or
+dispatch-bound, so their *relative* share of latency grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.calibration import (
+    CUSTOM_KERNEL_PENALTY,
+    efficiency_for,
+    gemm_saturation,
+)
+from repro.hardware.device import DeviceSpec
+from repro.ir.dtype import DType
+from repro.ops.base import OpCategory, OpCost
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Breakdown of one kernel's estimated wall-clock time."""
+
+    total_s: float
+    host_s: float
+    device_s: float
+    compute_s: float
+    memory_s: float
+    launch_s: float
+    bound: str  # "dispatch" | "launch" | "compute" | "memory"
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the device's busy time doing peak-rate work (for energy)."""
+        if self.device_s <= 0.0:
+            return 0.0
+        return min(1.0, max(self.compute_s, self.memory_s) / self.device_s)
+
+
+def estimate_kernel(
+    device: DeviceSpec,
+    category: OpCategory,
+    cost: OpCost,
+    dtype: DType,
+    dispatch_s: float,
+    is_custom: bool = False,
+    metadata_only: bool = False,
+    launch_count: int = 1,
+    gemm_peak_scale_f32: float = 1.0,
+    gemm_saturation_scale: float = 1.0,
+) -> LatencyEstimate:
+    """Estimate wall-clock latency of one kernel.
+
+    ``dispatch_s`` is the deployment flow's host-side per-kernel overhead;
+    ``is_custom`` applies the custom-kernel efficiency penalty (non vendor-
+    library implementations, e.g. DETR's FrozenBatchNorm2d).
+    ``launch_count > 1`` models composite Python ops that issue several
+    device kernels per call (the cost's traffic must already include the
+    repeated tensor passes — flows do this when lowering).
+    """
+    host_s = dispatch_s * launch_count
+    if metadata_only:
+        return LatencyEstimate(
+            total_s=host_s,
+            host_s=host_s,
+            device_s=0.0,
+            compute_s=0.0,
+            memory_s=0.0,
+            launch_s=0.0,
+            bound="dispatch",
+        )
+
+    eff = efficiency_for(category, device.is_gpu)
+    scale = CUSTOM_KERNEL_PENALTY if is_custom else 1.0
+    if category is OpCategory.GEMM:
+        saturation = gemm_saturation(
+            cost.flops, device.gemm_saturation_flops * gemm_saturation_scale
+        )
+        peak = device.gemm_peak(dtype)
+        if dtype == DType.F32 and device.is_gpu:
+            peak *= gemm_peak_scale_f32
+        peak_flops = peak * saturation
+    else:
+        peak_flops = device.vector_flops
+    compute_s = cost.flops / (peak_flops * eff.compute * scale) if cost.flops else 0.0
+    memory_s = (
+        cost.total_bytes / (device.mem_bandwidth * eff.memory * scale)
+        if cost.total_bytes
+        else 0.0
+    )
+    work_s = max(compute_s, memory_s)
+    launch_s = device.kernel_launch_s * launch_count
+    device_s = launch_s + work_s
+
+    if device.is_gpu:
+        total_s = max(host_s, device_s)
+    else:
+        total_s = host_s + work_s
+
+    if work_s <= 0.0:
+        bound = "launch" if device.is_gpu and launch_s >= host_s else "dispatch"
+    elif device.is_gpu and host_s >= device_s:
+        bound = "dispatch"
+    elif device.is_gpu and launch_s >= work_s:
+        bound = "launch"
+    elif compute_s >= memory_s:
+        bound = "compute"
+    else:
+        bound = "memory"
+
+    return LatencyEstimate(
+        total_s=total_s,
+        host_s=host_s,
+        device_s=device_s,
+        compute_s=compute_s,
+        memory_s=memory_s,
+        launch_s=launch_s,
+        bound=bound,
+    )

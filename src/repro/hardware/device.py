@@ -1,0 +1,136 @@
+"""Device specifications for the analytic performance model.
+
+Each :class:`DeviceSpec` captures the handful of published numbers the
+roofline model needs: peak GEMM throughput per precision, vector (non-GEMM)
+throughput, memory bandwidth, kernel-launch latency, and power envelope.
+The four devices of the paper's Table III ship as presets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import RegistryError
+from repro.ir.dtype import DType
+
+
+class DeviceKind(enum.Enum):
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Performance-relevant description of one processor.
+
+    ``gemm_flops_*`` are peak matrix-engine throughputs (tensor cores / FMA
+    units running dense GEMM); ``vector_flops`` is the peak for elementwise
+    and reduction kernels.  ``kernel_launch_s`` is the fixed device-side cost
+    of starting one kernel (zero for CPUs, where the caller runs inline).
+    """
+
+    name: str
+    kind: DeviceKind
+    gemm_flops_f32: float
+    gemm_flops_f16: float
+    gemm_flops_i8: float
+    vector_flops: float
+    mem_bandwidth: float
+    kernel_launch_s: float
+    idle_power_w: float
+    peak_power_w: float
+    #: GEMM problem size (flops) at which matrix engines reach half of peak;
+    #: models the poor occupancy of small batched GEMMs (see calibration).
+    gemm_saturation_flops: float = 0.0
+
+    def gemm_peak(self, dtype: DType) -> float:
+        """Peak GEMM throughput for a given accumulation precision."""
+        if dtype == DType.I8:
+            return self.gemm_flops_i8
+        if dtype in (DType.F16, DType.BF16):
+            return self.gemm_flops_f16
+        return self.gemm_flops_f32
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind is DeviceKind.GPU
+
+
+# -- presets (Table III of the paper) ---------------------------------------
+
+#: NVIDIA A100 80GB (PCIe).  The f32 entry is the non-tensor-core rate —
+#: PyTorch has shipped with TF32 matmul *disabled* by default since 1.12, so
+#: eager fp32 Linear/BMM run on the FP32 pipes.  624 TOPS int8 matches the
+#: paper's Table III.
+A100 = DeviceSpec(
+    name="nvidia-a100-80gb",
+    kind=DeviceKind.GPU,
+    gemm_flops_f32=19.5e12,
+    gemm_flops_f16=312e12,
+    gemm_flops_i8=624e12,
+    vector_flops=19.5e12,
+    mem_bandwidth=2.0e12,
+    kernel_launch_s=4.0e-6,
+    idle_power_w=60.0,
+    peak_power_w=300.0,
+    gemm_saturation_flops=800e6,
+)
+
+#: NVIDIA RTX 4090 24GB: 660 TOPS int8 per the paper's table.
+RTX4090 = DeviceSpec(
+    name="nvidia-rtx-4090",
+    kind=DeviceKind.GPU,
+    gemm_flops_f32=82.6e12,
+    gemm_flops_f16=330e12,
+    gemm_flops_i8=660e12,
+    vector_flops=41.3e12,
+    mem_bandwidth=1.008e12,
+    kernel_launch_s=3.5e-6,
+    idle_power_w=30.0,
+    peak_power_w=450.0,
+    gemm_saturation_flops=600e6,
+)
+
+#: AMD EPYC 7763: 64 Zen3 cores, AVX2 FMA; 8-channel DDR4-3200.
+EPYC_7763 = DeviceSpec(
+    name="amd-epyc-7763",
+    kind=DeviceKind.CPU,
+    gemm_flops_f32=4.9e12,
+    gemm_flops_f16=4.9e12,  # no fast fp16 path on Zen3; runs at f32 rate
+    gemm_flops_i8=9.8e12,   # VNNI-less int8 via AVX2 packing
+    vector_flops=1.2e12,
+    mem_bandwidth=204.8e9,
+    kernel_launch_s=0.0,
+    idle_power_w=100.0,
+    peak_power_w=280.0,
+    # 64 cores need large GEMMs to amortise threading/synchronisation; small
+    # attention-sized GEMMs run at a fraction of peak on many-core CPUs.
+    gemm_saturation_flops=350e6,
+)
+
+#: Intel i9-13900K: 8P+16E cores; 2-channel DDR5-5600.
+I9_13900K = DeviceSpec(
+    name="intel-i9-13900k",
+    kind=DeviceKind.CPU,
+    gemm_flops_f32=1.8e12,
+    gemm_flops_f16=1.8e12,
+    gemm_flops_i8=3.6e12,
+    vector_flops=0.6e12,
+    mem_bandwidth=89.6e9,
+    kernel_launch_s=0.0,
+    idle_power_w=30.0,
+    peak_power_w=253.0,
+    gemm_saturation_flops=80e6,
+)
+
+_DEVICES = {spec.name: spec for spec in (A100, RTX4090, EPYC_7763, I9_13900K)}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device preset by name."""
+    try:
+        return _DEVICES[name]
+    except KeyError:
+        known = ", ".join(sorted(_DEVICES))
+        raise RegistryError(f"unknown device {name!r}; known: {known}") from None

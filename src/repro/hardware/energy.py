@@ -1,0 +1,37 @@
+"""Energy accounting for simulated inference (Fig. 5 of the paper).
+
+The paper reports *GPU* energy for end-to-end inference on the data-center
+platform.  We integrate a two-term power model over the simulated timeline:
+
+    E = P_idle * T_wall  +  sum_k (P_peak - P_idle) * util_k * t_k
+
+where the sum ranges over kernels executed *on that device*.  Utilization of
+a kernel is the fraction of its busy time spent at peak rate (from the
+roofline estimate), so launch-bound kernels draw little dynamic power while
+saturated GEMMs draw close to peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cost_model import LatencyEstimate
+from repro.hardware.device import DeviceSpec
+
+
+@dataclass
+class EnergyAccumulator:
+    """Accumulates one device's energy over a simulated run."""
+
+    device: DeviceSpec
+    dynamic_j: float = 0.0
+    busy_s: float = 0.0
+
+    def add_kernel(self, estimate: LatencyEstimate) -> None:
+        dynamic_power = (self.device.peak_power_w - self.device.idle_power_w)
+        self.dynamic_j += dynamic_power * estimate.utilization * estimate.device_s
+        self.busy_s += estimate.device_s
+
+    def total_j(self, wall_s: float) -> float:
+        """Total energy given the end-to-end wall time of the run."""
+        return self.device.idle_power_w * wall_s + self.dynamic_j

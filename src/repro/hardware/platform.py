@@ -1,0 +1,83 @@
+"""Hardware platforms: a host CPU plus an optional GPU over PCIe.
+
+Mirrors the paper's Table III: Platform A is the data-center machine
+(EPYC 7763 + A100) and Platform B the workstation (i9-13900K + RTX 4090).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import RegistryError
+from repro.hardware.calibration import PCIE_BANDWIDTH, PCIE_LATENCY_S
+from repro.hardware.device import A100, EPYC_7763, I9_13900K, RTX4090, DeviceKind, DeviceSpec
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One benchmarking machine: CPU, optional GPU, and the link between them."""
+
+    platform_id: str
+    description: str
+    cpu: DeviceSpec
+    gpu: DeviceSpec | None = None
+    pcie_bandwidth: float = PCIE_BANDWIDTH
+    pcie_latency_s: float = PCIE_LATENCY_S
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.gpu is not None
+
+    @property
+    def accelerator(self) -> DeviceSpec:
+        """The device that runs placed-on-GPU kernels; CPU when no GPU present."""
+        return self.gpu if self.gpu is not None else self.cpu
+
+    def device(self, kind: DeviceKind) -> DeviceSpec:
+        if kind is DeviceKind.GPU:
+            if self.gpu is None:
+                raise RegistryError(f"platform {self.platform_id} has no GPU")
+            return self.gpu
+        return self.cpu
+
+    def cpu_only(self) -> "Platform":
+        """The same machine with the GPU removed (the paper's CPU-only bars)."""
+        return replace(
+            self,
+            platform_id=f"{self.platform_id}-cpu",
+            description=f"{self.description} (CPU only)",
+            gpu=None,
+        )
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Host<->device copy time over PCIe."""
+        return PCIE_LATENCY_S + nbytes / self.pcie_bandwidth
+
+
+#: Platform A — data center class (paper Table III row A).
+PLATFORM_A = Platform(
+    platform_id="A",
+    description="Data Center: AMD EPYC 7763 + NVIDIA A100 80GB",
+    cpu=EPYC_7763,
+    gpu=A100,
+)
+
+#: Platform B — workstation class (paper Table III row B).
+PLATFORM_B = Platform(
+    platform_id="B",
+    description="Workstation: Intel i9-13900K + NVIDIA RTX 4090",
+    cpu=I9_13900K,
+    gpu=RTX4090,
+)
+
+_PLATFORMS = {"A": PLATFORM_A, "B": PLATFORM_B}
+
+
+def get_platform(platform_id: str) -> Platform:
+    """Look up a platform preset ("A" or "B", case-insensitive)."""
+    try:
+        return _PLATFORMS[platform_id.upper()]
+    except KeyError:
+        raise RegistryError(
+            f"unknown platform {platform_id!r}; known: {sorted(_PLATFORMS)}"
+        ) from None

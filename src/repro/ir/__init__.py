@@ -1,0 +1,18 @@
+"""Operator-graph intermediate representation."""
+
+from repro.ir.dtype import DType
+from repro.ir.graph import Graph, GraphStats
+from repro.ir.node import Node, Value
+from repro.ir.tensor import Shape, TensorSpec, broadcast_shapes, normalize_axis
+
+__all__ = [
+    "DType",
+    "Graph",
+    "GraphStats",
+    "Node",
+    "Shape",
+    "TensorSpec",
+    "Value",
+    "broadcast_shapes",
+    "normalize_axis",
+]

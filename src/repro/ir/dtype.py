@@ -1,0 +1,70 @@
+"""Tensor element types used throughout the IR.
+
+The benchmark models inference-time tensors only, so the set is small:
+floating point types used by the deployment flows (fp32/fp16/bf16), the
+integer types introduced by quantization and index computation, and bool
+for masks.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DType(enum.Enum):
+    """Element type of a tensor, with its storage width in bytes."""
+
+    F32 = "f32"
+    F16 = "f16"
+    BF16 = "bf16"
+    I8 = "i8"
+    I32 = "i32"
+    I64 = "i64"
+    BOOL = "bool"
+
+    @property
+    def itemsize(self) -> int:
+        """Storage size of one element in bytes."""
+        return _ITEMSIZE[self]
+
+    @property
+    def is_floating(self) -> bool:
+        return self in (DType.F32, DType.F16, DType.BF16)
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (DType.I8, DType.I32, DType.I64)
+
+    def to_numpy(self) -> np.dtype:
+        """The numpy dtype used for concrete execution of this element type.
+
+        bf16 has no native numpy representation; it executes as float32 while
+        keeping its 2-byte width for cost accounting.
+        """
+        return _NUMPY[self]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+
+_ITEMSIZE = {
+    DType.F32: 4,
+    DType.F16: 2,
+    DType.BF16: 2,
+    DType.I8: 1,
+    DType.I32: 4,
+    DType.I64: 8,
+    DType.BOOL: 1,
+}
+
+_NUMPY = {
+    DType.F32: np.dtype(np.float32),
+    DType.F16: np.dtype(np.float16),
+    DType.BF16: np.dtype(np.float32),
+    DType.I8: np.dtype(np.int8),
+    DType.I32: np.dtype(np.int32),
+    DType.I64: np.dtype(np.int64),
+    DType.BOOL: np.dtype(np.bool_),
+}

@@ -1,0 +1,178 @@
+"""The operator graph: an append-only DAG in topological order.
+
+Graphs are built by model builders (:mod:`repro.models`) through
+:meth:`Graph.input` and :meth:`Graph.call`, transformed by deployment flows
+(fusion, quantization), and consumed by the executor, simulator, and
+profiler.  Because nodes can only reference values created earlier, the node
+list is always a valid topological order.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import GraphError
+from repro.ir.node import Node, Value
+from repro.ir.tensor import TensorSpec
+from repro.ops.base import InputOp, OpCategory, Operator
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Aggregate statistics of a graph, used by the workload report."""
+
+    num_nodes: int
+    num_inputs: int
+    num_params: int
+    op_counts: dict[str, int]
+    category_counts: dict[OpCategory, int]
+
+    @property
+    def gemm_op_count(self) -> int:
+        return self.category_counts.get(OpCategory.GEMM, 0)
+
+    @property
+    def non_gemm_op_count(self) -> int:
+        return sum(c for cat, c in self.category_counts.items() if not cat.is_gemm)
+
+
+class Graph:
+    """A dataflow graph of ML operators.
+
+    ``name`` identifies the model; ``scope`` tracking gives every node a
+    hierarchical qualified name (e.g. ``encoder.block3/gelu``) that survives
+    into profiling reports.
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self.nodes: list[Node] = []
+        self.input_ids: list[int] = []
+        self.outputs: list[Value] = []
+        self._scope_parts: list[str] = []
+        self._name_counts: Counter[str] = Counter()
+
+    # -- construction ------------------------------------------------------
+
+    def input(self, spec: TensorSpec, name: str = "input") -> Value:
+        """Add a graph input placeholder and return its value."""
+        node = self._append(InputOp(spec, name), (), name)
+        self.input_ids.append(node.node_id)
+        return node.value()
+
+    def call(self, op: Operator, *args: Value, name: str | None = None) -> Value | tuple[Value, ...]:
+        """Apply ``op`` to ``args``; returns one Value, or a tuple for multi-output ops."""
+        node = self._append(op, args, name or op.kind)
+        values = node.values()
+        return values[0] if len(values) == 1 else values
+
+    def set_outputs(self, *values: Value) -> None:
+        for value in values:
+            self._check_value(value)
+        self.outputs = list(values)
+
+    @contextlib.contextmanager
+    def scope(self, part: str) -> Iterator[None]:
+        """Push a scope component onto the hierarchical name stack."""
+        self._scope_parts.append(part)
+        try:
+            yield
+        finally:
+            self._scope_parts.pop()
+
+    def _append(self, op: Operator, args: Sequence[Value], name: str) -> Node:
+        for value in args:
+            self._check_value(value)
+        out_specs = op.infer_spec([v.spec for v in args])
+        node = Node(
+            node_id=len(self.nodes),
+            op=op,
+            inputs=tuple(args),
+            outputs=tuple(out_specs),
+            name=self._unique_name(name),
+            scope=".".join(self._scope_parts),
+        )
+        self.nodes.append(node)
+        return node
+
+    def _unique_name(self, base: str) -> str:
+        key = ".".join(self._scope_parts) + "/" + base
+        self._name_counts[key] += 1
+        count = self._name_counts[key]
+        return base if count == 1 else f"{base}_{count}"
+
+    def _check_value(self, value: Value) -> None:
+        if not 0 <= value.node_id < len(self.nodes):
+            raise GraphError(f"value {value} references unknown node")
+        node = self.nodes[value.node_id]
+        if not 0 <= value.port < len(node.outputs):
+            raise GraphError(f"value {value} references invalid port of {node}")
+        if node.outputs[value.port] != value.spec:
+            raise GraphError(f"value {value} spec disagrees with producer {node}")
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    @property
+    def input_nodes(self) -> list[Node]:
+        return [self.nodes[i] for i in self.input_ids]
+
+    def compute_nodes(self) -> list[Node]:
+        """All nodes except input placeholders."""
+        return [n for n in self.nodes if not n.is_placeholder]
+
+    def consumers(self) -> dict[tuple[int, int], list[int]]:
+        """Map (node_id, port) -> ids of nodes consuming that value."""
+        uses: dict[tuple[int, int], list[int]] = {}
+        for node in self.nodes:
+            for value in node.inputs:
+                uses.setdefault((value.node_id, value.port), []).append(node.node_id)
+        return uses
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`GraphError` on violation."""
+        for i, node in enumerate(self.nodes):
+            if node.node_id != i:
+                raise GraphError(f"node id {node.node_id} at position {i}")
+            for value in node.inputs:
+                if value.node_id >= i:
+                    raise GraphError(f"node {node} consumes a later value {value} (cycle)")
+                self._check_value(value)
+        if not self.outputs:
+            raise GraphError(f"graph {self.name!r} has no outputs")
+        for value in self.outputs:
+            self._check_value(value)
+
+    def stats(self) -> GraphStats:
+        op_counts: Counter[str] = Counter()
+        category_counts: Counter[OpCategory] = Counter()
+        params = 0
+        for node in self.compute_nodes():
+            op_counts[node.op.kind] += 1
+            category_counts[node.op.category] += 1
+            params += node.op.param_count()
+        return GraphStats(
+            num_nodes=len(self.compute_nodes()),
+            num_inputs=len(self.input_ids),
+            num_params=params,
+            op_counts=dict(op_counts),
+            category_counts=dict(category_counts),
+        )
+
+    def param_count(self) -> int:
+        return sum(node.op.param_count() for node in self.nodes)
+
+    def __str__(self) -> str:
+        lines = [f"graph {self.name} ({len(self.nodes)} nodes)"]
+        lines.extend(f"  {node}" for node in self.nodes)
+        outs = ", ".join(str(v) for v in self.outputs)
+        lines.append(f"  return {outs}")
+        return "\n".join(lines)

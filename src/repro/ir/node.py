@@ -1,0 +1,64 @@
+"""Graph nodes and value references.
+
+A :class:`Node` applies one :class:`~repro.ops.base.Operator` to a list of
+input :class:`Value`\\ s and produces one or more output values.  Values are
+(node, port) pairs carrying the inferred :class:`~repro.ir.tensor.TensorSpec`,
+so multi-output operators such as ``Split`` are first-class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.ir.tensor import TensorSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.ops.base import Operator
+
+
+@dataclass(frozen=True)
+class Value:
+    """A reference to output ``port`` of node ``node_id`` with its spec."""
+
+    node_id: int
+    port: int
+    spec: TensorSpec
+
+    def __str__(self) -> str:
+        return f"%{self.node_id}.{self.port}<{self.spec}>"
+
+
+@dataclass
+class Node:
+    """One operator application inside a :class:`~repro.ir.graph.Graph`."""
+
+    node_id: int
+    op: "Operator"
+    inputs: tuple[Value, ...]
+    outputs: tuple[TensorSpec, ...]
+    name: str
+    scope: str = ""
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_placeholder(self) -> bool:
+        """True for graph-input nodes (their op is the Input sentinel)."""
+        return self.op.kind == "input"
+
+    def value(self, port: int = 0) -> Value:
+        """The :class:`Value` for one of this node's outputs."""
+        return Value(self.node_id, port, self.outputs[port])
+
+    def values(self) -> tuple[Value, ...]:
+        return tuple(self.value(i) for i in range(len(self.outputs)))
+
+    @property
+    def qualified_name(self) -> str:
+        """Hierarchical name, e.g. ``encoder.layer3/layer_norm``."""
+        return f"{self.scope}/{self.name}" if self.scope else self.name
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(v) for v in self.inputs)
+        outs = ", ".join(str(s) for s in self.outputs)
+        return f"%{self.node_id} = {self.op.kind}({ins}) -> {outs}"

@@ -1,0 +1,85 @@
+"""Static tensor descriptions (shape + dtype) used for graph construction.
+
+A :class:`TensorSpec` is the unit of shape inference: operators map input
+specs to output specs without touching data, which lets the simulator reason
+about multi-billion-parameter models without materialising tensors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ShapeError
+from repro.ir.dtype import DType
+
+Shape = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape and element type of one tensor value in the graph."""
+
+    shape: Shape
+    dtype: DType = DType.F32
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shape, tuple):
+            object.__setattr__(self, "shape", tuple(self.shape))
+        for dim in self.shape:
+            if not isinstance(dim, int) or dim < 0:
+                raise ShapeError(f"invalid dimension {dim!r} in shape {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def numel(self) -> int:
+        """Number of elements (1 for a scalar / rank-0 tensor)."""
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint in bytes."""
+        return self.numel * self.dtype.itemsize
+
+    def with_shape(self, shape: Shape) -> "TensorSpec":
+        return TensorSpec(tuple(shape), self.dtype)
+
+    def with_dtype(self, dtype: DType) -> "TensorSpec":
+        return TensorSpec(self.shape, dtype)
+
+    def __str__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape) or "scalar"
+        return f"{dims}:{self.dtype.value}"
+
+
+def broadcast_shapes(a: Shape, b: Shape) -> Shape:
+    """Numpy-style broadcast of two shapes.
+
+    Raises :class:`ShapeError` when the shapes are incompatible, mirroring the
+    runtime behaviour of elementwise operators.
+    """
+    result: list[int] = []
+    for da, db in zip(_padded(a, b), _padded(b, a)):
+        if da == db or db == 1:
+            result.append(da)
+        elif da == 1:
+            result.append(db)
+        else:
+            raise ShapeError(f"cannot broadcast shapes {a} and {b}")
+    return tuple(result)
+
+
+def _padded(shape: Shape, other: Shape) -> Shape:
+    """Left-pad ``shape`` with ones to the rank of the longer of the two."""
+    rank = max(len(shape), len(other))
+    return (1,) * (rank - len(shape)) + shape
+
+
+def normalize_axis(axis: int, rank: int) -> int:
+    """Convert a possibly-negative axis to a valid positive index."""
+    if not -rank <= axis < rank:
+        raise ShapeError(f"axis {axis} out of range for rank {rank}")
+    return axis % rank

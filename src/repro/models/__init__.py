@@ -1,0 +1,47 @@
+"""Graph builders for the NonGEMM Bench model zoo."""
+
+from repro.models import configs
+from repro.models.bert import build_bert
+from repro.models.detr import build_detr
+from repro.models.gpt2 import build_gpt2
+from repro.models.llama import build_llama
+from repro.models.maskformer import build_maskformer
+from repro.models.mixtral import build_mixtral
+from repro.models.rcnn import build_faster_rcnn, build_mask_rcnn
+from repro.models.registry import (
+    PAPER_MODELS,
+    ModelEntry,
+    TaskDomain,
+    build_model,
+    get_model,
+    list_models,
+    register_model,
+)
+from repro.models.resnet import build_resnet50_backbone
+from repro.models.segformer import build_segformer
+from repro.models.swin import build_swin, build_swin_stages
+from repro.models.vit import build_vit
+
+__all__ = [
+    "PAPER_MODELS",
+    "ModelEntry",
+    "TaskDomain",
+    "build_bert",
+    "build_detr",
+    "build_faster_rcnn",
+    "build_gpt2",
+    "build_llama",
+    "build_mask_rcnn",
+    "build_maskformer",
+    "build_mixtral",
+    "build_model",
+    "build_resnet50_backbone",
+    "build_segformer",
+    "build_swin",
+    "build_swin_stages",
+    "build_vit",
+    "configs",
+    "get_model",
+    "list_models",
+    "register_model",
+]

@@ -1,0 +1,50 @@
+"""BERT-base graph builder (HuggingFace-faithful encoder).
+
+Post-LN encoder with separate Q/K/V projections, native (single-kernel)
+GELU, and word/position/token-type embeddings followed by a LayerNorm.  With
+25 LayerNorms and no composite activations, normalization is BERT's dominant
+non-GEMM group in the paper (Table IV, 13.1%).
+"""
+
+from __future__ import annotations
+
+from repro import ops
+from repro.ir.graph import Graph
+from repro.models.common import post_norm_encoder_layer, token_input
+from repro.models.configs import BertConfig
+
+
+def build_bert(config: BertConfig, batch_size: int = 1, seq_len: int | None = None) -> Graph:
+    g = Graph(config.name)
+    dtype = config.dtype
+    seq = seq_len or config.seq_len
+    ids = token_input(g, batch_size, seq)
+    type_ids = token_input(g, batch_size, seq, name="token_type_ids")
+    pos_ids = token_input(g, batch_size, seq, name="position_ids")
+
+    dim = config.dim
+    with g.scope("embeddings"):
+        words = g.call(ops.Embedding(config.vocab, dim, dtype=dtype), ids, name="word_embeddings")
+        positions = g.call(
+            ops.Embedding(config.max_positions, dim, dtype=dtype), pos_ids, name="position_embeddings"
+        )
+        types = g.call(
+            ops.Embedding(config.type_vocab, dim, dtype=dtype), type_ids, name="token_type_embeddings"
+        )
+        h = g.call(ops.Add(), words, positions, name="add_pos")
+        h = g.call(ops.Add(), h, types, name="add_type")
+        h = g.call(ops.LayerNorm(dim, dtype=dtype), h, name="embeddings_ln")
+
+    for i in range(config.layers):
+        h = post_norm_encoder_layer(
+            g, h, dim, config.heads, config.ffn_dim, dtype, f"encoder.layer{i}"
+        )
+
+    with g.scope("pooler"):
+        cls = g.call(ops.Slice(1, 0, 1), h, name="take_cls")
+        cls = g.call(ops.Squeeze(1), cls)
+        pooled = g.call(ops.Linear(dim, dim, dtype=dtype), cls, name="dense")
+        pooled = g.call(ops.Tanh(), pooled, name="activation")
+
+    g.set_outputs(h, pooled)
+    return g

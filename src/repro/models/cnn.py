@@ -1,0 +1,133 @@
+"""Classic CNN classifiers: ResNet-50 and MobileNetV2.
+
+Not part of the paper's 17-model registry — they demonstrate the benchmark's
+extensibility (Section III-B: "users can plug their new models into the
+NonGEMM Bench model registry") and provide pre-transformer baselines whose
+non-GEMM profile is BatchNorm/ReLU-dominated rather than memory-dominated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import ops
+from repro.ir.dtype import DType
+from repro.ir.graph import Graph
+from repro.ir.node import Value
+from repro.models.common import image_input
+from repro.models.resnet import batch_norm, build_resnet50_backbone
+
+
+@dataclass(frozen=True)
+class ResNetConfig:
+    name: str = "resnet50"
+    image_size: int = 224
+    num_classes: int = 1000
+    dtype: DType = DType.F32
+
+
+RESNET50 = ResNetConfig()
+
+
+def build_resnet50(config: ResNetConfig = RESNET50, batch_size: int = 1) -> Graph:
+    """ResNet-50 ImageNet classifier (trainable BN, classification head)."""
+    g = Graph(config.name)
+    x = image_input(g, batch_size, config.image_size, config.dtype)
+    features = build_resnet50_backbone(g, x, dtype=config.dtype, norm=batch_norm)
+    with g.scope("head"):
+        pooled = g.call(ops.AdaptiveAvgPool2d(1), features.c5, name="avgpool")
+        flat = g.call(ops.Reshape((batch_size, 2048)), pooled, name="flatten")
+        logits = g.call(
+            ops.Linear(2048, config.num_classes, dtype=config.dtype), flat, name="fc"
+        )
+    g.set_outputs(logits)
+    return g
+
+
+@dataclass(frozen=True)
+class MobileNetV2Config:
+    name: str = "mobilenet-v2"
+    image_size: int = 224
+    width_mult: float = 1.0
+    num_classes: int = 1000
+    dtype: DType = DType.F32
+
+
+MOBILENET_V2 = MobileNetV2Config()
+
+#: (expansion t, output channels c, repeats n, stride s) per the paper's Table 2
+_MBV2_BLOCKS = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def build_mobilenet_v2(config: MobileNetV2Config = MOBILENET_V2, batch_size: int = 1) -> Graph:
+    """MobileNetV2: inverted residual bottlenecks with depthwise convolutions."""
+    g = Graph(config.name)
+    dtype = config.dtype
+    x = image_input(g, batch_size, config.image_size, dtype)
+
+    def c(ch: int) -> int:
+        return max(8, int(ch * config.width_mult))
+
+    with g.scope("stem"):
+        h = g.call(ops.Conv2d(3, c(32), 3, stride=2, padding=1, bias=False, dtype=dtype), x, name="conv")
+        h = g.call(ops.BatchNorm2d(c(32), dtype=dtype), h, name="bn")
+        h = g.call(ops.HardSwish(), h, name="act")  # relu6-family activation
+
+    in_ch = c(32)
+    for block_idx, (t, ch, n, s) in enumerate(_MBV2_BLOCKS):
+        out_ch = c(ch)
+        for i in range(n):
+            stride = s if i == 0 else 1
+            h = _inverted_residual(
+                g, h, in_ch, out_ch, stride, t, dtype, f"block{block_idx}.{i}"
+            )
+            in_ch = out_ch
+
+    with g.scope("head"):
+        h = g.call(ops.Conv2d(in_ch, c(1280), 1, bias=False, dtype=dtype), h, name="conv")
+        h = g.call(ops.BatchNorm2d(c(1280), dtype=dtype), h, name="bn")
+        h = g.call(ops.HardSwish(), h, name="act")
+        pooled = g.call(ops.AdaptiveAvgPool2d(1), h, name="avgpool")
+        flat = g.call(ops.Reshape((batch_size, c(1280))), pooled, name="flatten")
+        logits = g.call(ops.Linear(c(1280), config.num_classes, dtype=dtype), flat, name="classifier")
+    g.set_outputs(logits)
+    return g
+
+
+def _inverted_residual(
+    g: Graph,
+    x: Value,
+    in_ch: int,
+    out_ch: int,
+    stride: int,
+    expansion: int,
+    dtype: DType,
+    name: str,
+) -> Value:
+    hidden = in_ch * expansion
+    with g.scope(name):
+        h = x
+        if expansion != 1:
+            h = g.call(ops.Conv2d(in_ch, hidden, 1, bias=False, dtype=dtype), h, name="expand_conv")
+            h = g.call(ops.BatchNorm2d(hidden, dtype=dtype), h, name="expand_bn")
+            h = g.call(ops.HardSwish(), h, name="expand_act")
+        h = g.call(
+            ops.Conv2d(hidden, hidden, 3, stride=stride, padding=1, groups=hidden, bias=False, dtype=dtype),
+            h,
+            name="dw_conv",
+        )
+        h = g.call(ops.BatchNorm2d(hidden, dtype=dtype), h, name="dw_bn")
+        h = g.call(ops.HardSwish(), h, name="dw_act")
+        h = g.call(ops.Conv2d(hidden, out_ch, 1, bias=False, dtype=dtype), h, name="project_conv")
+        h = g.call(ops.BatchNorm2d(out_ch, dtype=dtype), h, name="project_bn")
+        if stride == 1 and in_ch == out_ch:
+            h = g.call(ops.Add(), x, h, name="residual")
+    return h

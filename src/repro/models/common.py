@@ -1,0 +1,165 @@
+"""Shared graph-building blocks: attention, MLPs, encoder layers.
+
+Builders deliberately emit the *same operator sequences* the real framework
+implementations run — including the memory-layout ops (view/permute/
+contiguous) around attention and the residual elementwise adds — because the
+paper's whole subject is the latency of exactly those operators.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.dtype import DType
+from repro.ir.graph import Graph
+from repro.ir.node import Value
+from repro import ops
+
+
+def fused_qkv_attention(
+    g: Graph,
+    x: Value,
+    dim: int,
+    heads: int,
+    dtype: DType,
+    bias_value: Value | None = None,
+    contiguous_merge: bool = False,
+) -> Value:
+    """torchvision-style multi-head self-attention with a fused QKV linear.
+
+    ``bias_value`` is an optional additive attention bias (Swin's relative
+    position table).  ``contiguous_merge`` inserts the extra Contiguous
+    copies Swin pays when windows are merged back.
+    """
+    batch, seq, _ = x.spec.shape
+    head_dim = dim // heads
+    qkv = g.call(ops.Linear(dim, 3 * dim, dtype=dtype), x, name="qkv")
+    qkv = g.call(ops.Reshape((batch, seq, 3, heads, head_dim)), qkv)
+    qkv = g.call(ops.Permute((2, 0, 3, 1, 4)), qkv)  # [3, B, H, S, hd]
+    q = g.call(ops.Slice(0, 0, 1), qkv)
+    q = g.call(ops.Squeeze(0), q)
+    k = g.call(ops.Slice(0, 1, 2), qkv)
+    k = g.call(ops.Squeeze(0), k)
+    v = g.call(ops.Slice(0, 2, 3), qkv)
+    v = g.call(ops.Squeeze(0), v)
+
+    kt = g.call(ops.Transpose(-2, -1), k)
+    scores = g.call(ops.BMM(), q, kt, name="qk")
+    scores = g.call(ops.DivScalar(math.sqrt(head_dim)), scores, name="scale")
+    if bias_value is not None:
+        scores = g.call(ops.Add(), scores, bias_value, name="attn_bias")
+    probs = g.call(ops.Softmax(-1), scores, name="attn_softmax")
+    ctx = g.call(ops.BMM(), probs, v, name="pv")
+    ctx = g.call(ops.Transpose(1, 2), ctx)  # [B, S, H, hd]
+    if contiguous_merge:
+        ctx = g.call(ops.Contiguous(), ctx)
+    ctx = g.call(ops.Reshape((batch, seq, dim)), ctx)
+    return g.call(ops.Linear(dim, dim, dtype=dtype), ctx, name="proj")
+
+
+def separate_qkv_attention(
+    g: Graph,
+    query: Value,
+    key_value: Value,
+    dim: int,
+    heads: int,
+    dtype: DType,
+) -> Value:
+    """BERT/DETR-style attention with separate Q, K, V projections.
+
+    ``query`` and ``key_value`` may differ (cross-attention in DETR's
+    decoder); self-attention passes the same value twice.
+    """
+    batch, q_len, _ = query.spec.shape
+    kv_len = key_value.spec.shape[1]
+    head_dim = dim // heads
+
+    def project(value: Value, label: str, length: int) -> Value:
+        p = g.call(ops.Linear(dim, dim, dtype=dtype), value, name=f"{label}_proj")
+        p = g.call(ops.View((batch, length, heads, head_dim)), p)
+        return g.call(ops.Transpose(1, 2), p)  # [B, H, L, hd]
+
+    q = project(query, "q", q_len)
+    k = project(key_value, "k", kv_len)
+    v = project(key_value, "v", kv_len)
+
+    kt = g.call(ops.Transpose(-2, -1), k)
+    scores = g.call(ops.BMM(), q, kt, name="qk")
+    scores = g.call(ops.DivScalar(math.sqrt(head_dim)), scores, name="scale")
+    probs = g.call(ops.Softmax(-1), scores, name="attn_softmax")
+    ctx = g.call(ops.BMM(), probs, v, name="pv")
+    ctx = g.call(ops.Transpose(1, 2), ctx)
+    ctx = g.call(ops.Contiguous(), ctx)
+    ctx = g.call(ops.View((batch, q_len, dim)), ctx)
+    return g.call(ops.Linear(dim, dim, dtype=dtype), ctx, name="out_proj")
+
+
+def mlp(
+    g: Graph,
+    x: Value,
+    dim: int,
+    hidden: int,
+    dtype: DType,
+    activation: ops.Operator | None = None,
+) -> Value:
+    """Two-layer feed-forward block with an activation in between."""
+    act = activation if activation is not None else ops.GELU()
+    h = g.call(ops.Linear(dim, hidden, dtype=dtype), x, name="fc1")
+    h = g.call(act, h, name="act")
+    return g.call(ops.Linear(hidden, dim, dtype=dtype), h, name="fc2")
+
+
+def pre_norm_encoder_layer(
+    g: Graph,
+    x: Value,
+    dim: int,
+    heads: int,
+    mlp_hidden: int,
+    dtype: DType,
+    layer_name: str,
+) -> Value:
+    """Pre-LN transformer encoder layer (ViT style)."""
+    with g.scope(layer_name):
+        normed = g.call(ops.LayerNorm(dim, dtype=dtype), x, name="ln1")
+        attn = fused_qkv_attention(g, normed, dim, heads, dtype)
+        x = g.call(ops.Add(), x, attn, name="residual1")
+        normed = g.call(ops.LayerNorm(dim, dtype=dtype), x, name="ln2")
+        ff = mlp(g, normed, dim, mlp_hidden, dtype)
+        x = g.call(ops.Add(), x, ff, name="residual2")
+    return x
+
+
+def post_norm_encoder_layer(
+    g: Graph,
+    x: Value,
+    dim: int,
+    heads: int,
+    mlp_hidden: int,
+    dtype: DType,
+    layer_name: str,
+    activation: ops.Operator | None = None,
+) -> Value:
+    """Post-LN transformer encoder layer (BERT/DETR style)."""
+    with g.scope(layer_name):
+        attn = separate_qkv_attention(g, x, x, dim, heads, dtype)
+        x = g.call(ops.Add(), x, attn, name="residual1")
+        x = g.call(ops.LayerNorm(dim, dtype=dtype), x, name="ln1")
+        ff = mlp(g, x, dim, mlp_hidden, dtype, activation=activation)
+        x = g.call(ops.Add(), x, ff, name="residual2")
+        x = g.call(ops.LayerNorm(dim, dtype=dtype), x, name="ln2")
+    return x
+
+
+def image_input(g: Graph, batch: int, size: int, dtype: DType, name: str = "pixels") -> Value:
+    """Standard NCHW image input."""
+    from repro.ir.tensor import TensorSpec
+
+    return g.input(TensorSpec((batch, 3, size, size), dtype), name)
+
+
+def token_input(g: Graph, batch: int, seq_len: int, name: str = "input_ids") -> Value:
+    """Integer token-id input."""
+    from repro.ir.dtype import DType as _DType
+    from repro.ir.tensor import TensorSpec
+
+    return g.input(TensorSpec((batch, seq_len), _DType.I64), name)

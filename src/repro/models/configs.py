@@ -1,0 +1,224 @@
+"""Hyperparameter configurations of the 17 NonGEMM Bench models (+ Llama 3).
+
+Values follow the published model cards.  The paper's Table II parameter
+counts are approximate (it lists ViT-base as 307M; the standard ViT-B/16 is
+86M) — we use the standard configs and verify our builders' parameter counts
+in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.dtype import DType
+
+
+@dataclass(frozen=True)
+class ViTConfig:
+    """torchvision/HF Vision Transformer."""
+
+    name: str
+    image_size: int = 224
+    patch_size: int = 16
+    dim: int = 768
+    depth: int = 12
+    heads: int = 12
+    mlp_ratio: int = 4
+    num_classes: int = 1000
+    dtype: DType = DType.F32
+
+
+VIT_BASE = ViTConfig(name="vit-b", dim=768, depth=12, heads=12)
+VIT_LARGE = ViTConfig(name="vit-l", dim=1024, depth=24, heads=16)
+VIT_HUGE = ViTConfig(name="vit-h", dim=1280, depth=32, heads=16, patch_size=14)
+
+
+@dataclass(frozen=True)
+class SwinConfig:
+    """Swin Transformer (hierarchical windows, shifted attention)."""
+
+    name: str
+    image_size: int = 224
+    patch_size: int = 4
+    window: int = 7
+    embed_dim: int = 96
+    depths: tuple[int, ...] = (2, 2, 6, 2)
+    heads: tuple[int, ...] = (3, 6, 12, 24)
+    mlp_ratio: int = 4
+    num_classes: int = 1000
+    dtype: DType = DType.F32
+
+
+SWIN_TINY = SwinConfig(name="swin-t", embed_dim=96, depths=(2, 2, 6, 2), heads=(3, 6, 12, 24))
+SWIN_SMALL = SwinConfig(name="swin-s", embed_dim=96, depths=(2, 2, 18, 2), heads=(3, 6, 12, 24))
+SWIN_BASE = SwinConfig(name="swin-b", embed_dim=128, depths=(2, 2, 18, 2), heads=(4, 8, 16, 32))
+
+
+@dataclass(frozen=True)
+class DetectionConfig:
+    """torchvision Faster/Mask R-CNN with a ResNet-50 FPN backbone."""
+
+    name: str
+    image_size: int = 800
+    fpn_channels: int = 256
+    anchors_per_cell: int = 3
+    pre_nms_topk: int = 1000
+    post_nms_topk: int = 1000
+    detections: int = 100
+    num_classes: int = 91
+    with_masks: bool = False
+    dtype: DType = DType.F32
+
+
+FASTER_RCNN = DetectionConfig(name="faster-rcnn", with_masks=False)
+MASK_RCNN = DetectionConfig(name="mask-rcnn", with_masks=True)
+
+
+@dataclass(frozen=True)
+class DETRConfig:
+    """DETR: ResNet-50 (frozen BN) + encoder-decoder transformer."""
+
+    name: str = "detr"
+    image_size: int = 800
+    dim: int = 256
+    heads: int = 8
+    encoder_layers: int = 6
+    decoder_layers: int = 6
+    ffn_dim: int = 2048
+    queries: int = 100
+    num_classes: int = 91
+    dtype: DType = DType.F32
+
+
+DETR = DETRConfig()
+
+
+@dataclass(frozen=True)
+class SegFormerConfig:
+    """SegFormer MiT-B0 (the 3.7M-parameter variant of Table II)."""
+
+    name: str = "segformer"
+    image_size: int = 512
+    embed_dims: tuple[int, ...] = (32, 64, 160, 256)
+    depths: tuple[int, ...] = (2, 2, 2, 2)
+    heads: tuple[int, ...] = (1, 2, 5, 8)
+    sr_ratios: tuple[int, ...] = (8, 4, 2, 1)
+    mlp_ratio: int = 4
+    decoder_dim: int = 256
+    num_classes: int = 150
+    dtype: DType = DType.F32
+
+
+SEGFORMER_B0 = SegFormerConfig()
+
+
+@dataclass(frozen=True)
+class MaskFormerConfig:
+    """MaskFormer with a Swin-base backbone (per the paper's HF checkpoint)."""
+
+    name: str = "maskformer"
+    image_size: int = 384
+    backbone: SwinConfig = field(
+        default_factory=lambda: SwinConfig(
+            name="swin-b-384",
+            image_size=384,
+            window=12,
+            embed_dim=128,
+            depths=(2, 2, 18, 2),
+            heads=(4, 8, 16, 32),
+        )
+    )
+    dim: int = 256
+    mask_dim: int = 256
+    decoder_layers: int = 6
+    heads: int = 8
+    ffn_dim: int = 2048
+    queries: int = 100
+    num_classes: int = 133
+    dtype: DType = DType.F32
+
+
+MASKFORMER = MaskFormerConfig()
+
+
+@dataclass(frozen=True)
+class GPT2Config:
+    """HuggingFace GPT-2 (Conv1D projections, NewGELU composite activation)."""
+
+    name: str
+    layers: int = 12
+    dim: int = 768
+    heads: int = 12
+    vocab: int = 50257
+    max_positions: int = 1024
+    seq_len: int = 8  # matches Table I's captured shapes
+    dtype: DType = DType.F32
+
+
+GPT2 = GPT2Config(name="gpt2", layers=12, dim=768, heads=12)
+GPT2_LARGE = GPT2Config(name="gpt2-l", layers=36, dim=1280, heads=20)
+GPT2_XL = GPT2Config(name="gpt2-xl", layers=48, dim=1600, heads=25)
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """BERT-base encoder."""
+
+    name: str = "bert"
+    layers: int = 12
+    dim: int = 768
+    heads: int = 12
+    ffn_dim: int = 3072
+    vocab: int = 30522
+    max_positions: int = 512
+    type_vocab: int = 2
+    seq_len: int = 128
+    dtype: DType = DType.F32
+
+
+BERT_BASE = BertConfig()
+
+
+@dataclass(frozen=True)
+class LlamaConfig:
+    """Llama-2/3 decoder (RMSNorm, rotary embeddings, SiLU gated FFN)."""
+
+    name: str
+    layers: int = 32
+    dim: int = 4096
+    heads: int = 32
+    kv_heads: int = 32
+    ffn_dim: int = 11008
+    vocab: int = 32000
+    seq_len: int = 10  # matches Table I's captured shapes
+    dtype: DType = DType.F16
+
+
+LLAMA2_7B = LlamaConfig(name="llama2-7b")
+LLAMA3_8B = LlamaConfig(
+    name="llama3-8b",
+    kv_heads=8,
+    ffn_dim=14336,
+    vocab=128256,
+    seq_len=512,
+)
+
+
+@dataclass(frozen=True)
+class MixtralConfig:
+    """Mixtral 8x7B: Llama-style attention + top-2 of 8 expert FFNs."""
+
+    name: str = "mixtral-8x7b"
+    layers: int = 32
+    dim: int = 4096
+    heads: int = 32
+    kv_heads: int = 8
+    ffn_dim: int = 14336
+    experts: int = 8
+    experts_per_token: int = 2
+    vocab: int = 32000
+    seq_len: int = 10
+    dtype: DType = DType.F16
+
+
+MIXTRAL_8X7B = MixtralConfig()

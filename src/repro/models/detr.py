@@ -1,0 +1,93 @@
+"""DETR graph builder: ResNet-50 (frozen BN) + encoder-decoder transformer.
+
+Two properties make DETR the paper's normalization case study: the backbone
+keeps ~53 FrozenBatchNorm2d custom kernels (each a 4-kernel Python
+composite in eager mode), and the transformer adds 42 LayerNorms.  Eager
+execution is therefore launch-bound on normalization — and TensorRT's
+CONV+BN+ReLU epilogue fusion removes nearly all of it (13.5x non-GEMM
+speedup, Table V).
+"""
+
+from __future__ import annotations
+
+from repro import ops
+from repro.ir.dtype import DType
+from repro.ir.graph import Graph
+from repro.ir.node import Value
+from repro.models.common import image_input, mlp, separate_qkv_attention
+from repro.models.configs import DETRConfig
+from repro.models.resnet import build_resnet50_backbone, detr_frozen_norm
+
+
+def build_detr(config: DETRConfig, batch_size: int = 1) -> Graph:
+    g = Graph(config.name)
+    dtype = config.dtype
+    x = image_input(g, batch_size, config.image_size, dtype)
+
+    backbone = build_resnet50_backbone(g, x, dtype=dtype, norm=detr_frozen_norm)
+    c5 = backbone.c5
+    _, c5_ch, fh, fw = c5.spec.shape
+    seq = fh * fw
+    dim = config.dim
+
+    with g.scope("input_proj"):
+        src = g.call(ops.Conv2d(c5_ch, dim, 1, dtype=dtype), c5, name="proj")
+        src = g.call(ops.Reshape((batch_size, dim, seq)), src)
+        src = g.call(ops.Permute((0, 2, 1)), src)  # [B, HW, D]
+        pos = g.call(ops.Constant((1, seq, dim), dtype, name="pos_embed"), name="pos_embed")
+        src = g.call(ops.Add(), src, pos, name="add_pos")
+
+    memory = src
+    for i in range(config.encoder_layers):
+        memory = _detr_encoder_layer(g, memory, config, dtype, f"encoder.layer{i}")
+
+    queries = g.call(
+        ops.Constant((1, config.queries, dim), dtype, name="query_embed"), name="query_embed"
+    )
+    queries = g.call(ops.Expand((batch_size, config.queries, dim)), queries)
+    # Expand is a view; decoder residuals need materialized storage.
+    tgt = g.call(ops.Contiguous(), queries, name="query_copy")
+    for i in range(config.decoder_layers):
+        tgt = _detr_decoder_layer(g, tgt, memory, config, dtype, f"decoder.layer{i}")
+
+    with g.scope("heads"):
+        tgt = g.call(ops.LayerNorm(dim, dtype=dtype), tgt, name="decoder_norm")
+        logits = g.call(
+            ops.Linear(dim, config.num_classes + 1, dtype=dtype), tgt, name="class_embed"
+        )
+        h = g.call(ops.Linear(dim, dim, dtype=dtype), tgt, name="bbox_fc1")
+        h = g.call(ops.ReLU(), h, name="bbox_relu1")
+        h = g.call(ops.Linear(dim, dim, dtype=dtype), h, name="bbox_fc2")
+        h = g.call(ops.ReLU(), h, name="bbox_relu2")
+        h = g.call(ops.Linear(dim, 4, dtype=dtype), h, name="bbox_fc3")
+        boxes = g.call(ops.Sigmoid(), h, name="bbox_sigmoid")
+
+    g.set_outputs(logits, boxes)
+    return g
+
+
+def _detr_encoder_layer(g: Graph, x: Value, config: DETRConfig, dtype: DType, name: str) -> Value:
+    with g.scope(name):
+        attn = separate_qkv_attention(g, x, x, config.dim, config.heads, dtype)
+        x = g.call(ops.Add(), x, attn, name="residual1")
+        x = g.call(ops.LayerNorm(config.dim, dtype=dtype), x, name="ln1")
+        ff = mlp(g, x, config.dim, config.ffn_dim, dtype, activation=ops.ReLU())
+        x = g.call(ops.Add(), x, ff, name="residual2")
+        x = g.call(ops.LayerNorm(config.dim, dtype=dtype), x, name="ln2")
+    return x
+
+
+def _detr_decoder_layer(
+    g: Graph, tgt: Value, memory: Value, config: DETRConfig, dtype: DType, name: str
+) -> Value:
+    with g.scope(name):
+        self_attn = separate_qkv_attention(g, tgt, tgt, config.dim, config.heads, dtype)
+        tgt = g.call(ops.Add(), tgt, self_attn, name="residual1")
+        tgt = g.call(ops.LayerNorm(config.dim, dtype=dtype), tgt, name="ln1")
+        cross = separate_qkv_attention(g, tgt, memory, config.dim, config.heads, dtype)
+        tgt = g.call(ops.Add(), tgt, cross, name="residual2")
+        tgt = g.call(ops.LayerNorm(config.dim, dtype=dtype), tgt, name="ln2")
+        ff = mlp(g, tgt, config.dim, config.ffn_dim, dtype, activation=ops.ReLU())
+        tgt = g.call(ops.Add(), tgt, ff, name="residual3")
+        tgt = g.call(ops.LayerNorm(config.dim, dtype=dtype), tgt, name="ln3")
+    return tgt

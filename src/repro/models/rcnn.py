@@ -1,0 +1,332 @@
+"""Faster R-CNN / Mask R-CNN graph builders (ResNet-50 FPN backbone).
+
+The R-CNN family contributes the benchmark's RoI-selection operators (NMS,
+RoIAlign) and an enormous amount of small element-wise arithmetic: anchor
+box decoding runs ~10 tensor expressions per FPN level over hundreds of
+thousands of anchors, and again for the detection head — which is why
+Element-wise Arithmetic is the dominant non-GEMM group for both detectors
+in the paper (Table IV, ~34%).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import ops
+from repro.ir.dtype import DType
+from repro.ir.graph import Graph
+from repro.ir.node import Value
+from repro.models.common import image_input
+from repro.models.configs import DetectionConfig
+from repro.models.resnet import build_resnet50_backbone, frozen_norm
+
+
+def build_faster_rcnn(config: DetectionConfig, batch_size: int = 1) -> Graph:
+    return _build_rcnn(config, batch_size, with_masks=False)
+
+
+def build_mask_rcnn(config: DetectionConfig, batch_size: int = 1) -> Graph:
+    return _build_rcnn(config, batch_size, with_masks=True)
+
+
+def _build_rcnn(config: DetectionConfig, batch_size: int, with_masks: bool) -> Graph:
+    g = Graph(config.name)
+    dtype = config.dtype
+    x = image_input(g, batch_size, config.image_size, dtype)
+
+    # GeneralizedRCNNTransform: per-channel normalization of the input image
+    with g.scope("transform"):
+        mean = g.call(ops.Constant((1, 3, 1, 1), dtype, name="image_mean"), name="image_mean")
+        std = g.call(ops.Constant((1, 3, 1, 1), dtype, name="image_std"), name="image_std")
+        x = g.call(ops.Sub(), x, mean, name="normalize_sub")
+        x = g.call(ops.Div(), x, std, name="normalize_div")
+
+    backbone = build_resnet50_backbone(g, x, dtype=dtype, norm=frozen_norm)
+    pyramid = _fpn(g, backbone.as_list(), config.fpn_channels, dtype)
+
+    proposals = _rpn(g, pyramid, config, batch_size, dtype)
+
+    detections = _roi_heads(g, pyramid[0], proposals, config, batch_size, dtype)
+
+    outputs = [detections]
+    if with_masks:
+        outputs.append(_mask_head(g, pyramid[0], detections, config, batch_size, dtype))
+    g.set_outputs(*outputs)
+    return g
+
+
+def _fpn(g: Graph, features: list[Value], channels: int, dtype: DType) -> list[Value]:
+    """Feature pyramid network: laterals, top-down pathway, output convs, P6."""
+    with g.scope("fpn"):
+        laterals = []
+        for i, feat in enumerate(features):
+            in_ch = feat.spec.shape[1]
+            laterals.append(
+                g.call(ops.Conv2d(in_ch, channels, 1, dtype=dtype), feat, name=f"lateral{i + 2}")
+            )
+        # top-down: upsample deeper level, add to the lateral
+        merged = [laterals[-1]]
+        for i in range(len(laterals) - 2, -1, -1):
+            upsampled = g.call(
+                ops.Interpolate(scale_factor=2.0, mode="nearest"), merged[0], name=f"upsample{i + 2}"
+            )
+            merged.insert(0, g.call(ops.Add(), laterals[i], upsampled, name=f"merge{i + 2}"))
+        outputs = [
+            g.call(ops.Conv2d(channels, channels, 3, padding=1, dtype=dtype), m, name=f"out{i + 2}")
+            for i, m in enumerate(merged)
+        ]
+        p6 = g.call(ops.MaxPool2d(1, stride=2), outputs[-1], name="p6_pool")
+        outputs.append(p6)
+    return outputs
+
+
+def _rpn(
+    g: Graph,
+    pyramid: list[Value],
+    config: DetectionConfig,
+    batch: int,
+    dtype: DType,
+) -> Value:
+    """Region proposal network: per-level heads, box decoding, NMS."""
+    channels = config.fpn_channels
+    anchors = config.anchors_per_cell
+    level_boxes: list[Value] = []
+    level_scores: list[Value] = []
+
+    with g.scope("rpn"):
+        for level, feat in enumerate(pyramid):
+            _, _, h, w = feat.spec.shape
+            n_anchors = h * w * anchors
+            with g.scope(f"level{level + 2}"):
+                t = g.call(ops.Conv2d(channels, channels, 3, padding=1, dtype=dtype), feat, name="conv")
+                t = g.call(ops.ReLU(), t, name="relu")
+                logits = g.call(ops.Conv2d(channels, anchors, 1, dtype=dtype), t, name="cls_logits")
+                deltas = g.call(ops.Conv2d(channels, anchors * 4, 1, dtype=dtype), t, name="bbox_pred")
+
+                scores = g.call(ops.Reshape((batch, n_anchors)), logits)
+                scores = g.call(ops.Sigmoid(), scores, name="objectness")
+                deltas = g.call(ops.Permute((0, 2, 3, 1)), deltas)
+                deltas = g.call(ops.Reshape((batch, n_anchors, 4)), deltas)
+
+                anchor_boxes = g.call(
+                    ops.Constant((1, n_anchors, 4), dtype, name="anchors"), name="anchors"
+                )
+                boxes = _decode_boxes(g, deltas, anchor_boxes)
+
+                k = min(config.pre_nms_topk, n_anchors)
+                top_scores, top_idx = g.call(ops.TopK(k), scores, name="topk")
+                idx_row = g.call(ops.Slice(0, 0, 1), top_idx)
+                idx_row = g.call(ops.Squeeze(0), idx_row)
+                boxes = g.call(ops.Gather(1), boxes, idx_row, name="gather_boxes")
+                level_boxes.append(boxes)
+                level_scores.append(top_scores)
+
+        all_boxes = g.call(ops.Concat(1), *level_boxes, name="cat_boxes")
+        all_scores = g.call(ops.Concat(1), *level_scores, name="cat_scores")
+
+        # filter_proposals runs PER IMAGE in torchvision (a Python loop), so
+        # its elementwise op count scales with the batch size — part of why
+        # Element-wise Arithmetic dominates the R-CNNs in the paper.
+        kept_per_image: list[Value] = []
+        for b in range(batch):
+            img_boxes = g.call(ops.Slice(0, b, b + 1), all_boxes)
+            img_scores = g.call(ops.Slice(0, b, b + 1), all_scores)
+            img_boxes = _filter_proposals(g, img_boxes, f"filter_img{b}")
+            img_boxes = g.call(ops.Squeeze(0), img_boxes)
+            img_scores = g.call(ops.Squeeze(0), img_scores)
+            kept, _count = g.call(
+                ops.NMS(iou_threshold=0.7, score_threshold=0.0, max_outputs=config.post_nms_topk),
+                img_boxes,
+                img_scores,
+                name=f"nms_img{b}",
+            )
+            kept = g.call(ops.Pad(((0, 0), (1, 0))), kept, name=f"add_batch_col{b}")
+            kept_per_image.append(kept)
+        proposals = (
+            kept_per_image[0]
+            if batch == 1
+            else g.call(ops.Concat(0), *kept_per_image, name="cat_proposals")
+        )
+    return proposals
+
+
+def _decode_boxes(g: Graph, deltas: Value, anchors: Value) -> Value:
+    """Anchor box decoding, following torchvision's ``decode_single``.
+
+    torchvision unbinds boxes into per-coordinate vectors and runs the
+    center/size arithmetic coordinate-by-coordinate (~25 tensor expressions
+    over the full anchor set).  This chain — executed for the RPN and again
+    for the box head — is the core of the R-CNNs' element-wise arithmetic
+    bottleneck (Table IV, ~34% of total latency).
+    """
+    last = anchors.spec.rank - 1
+
+    def coord(src: Value, i: int, label: str) -> Value:
+        c = g.call(ops.Slice(last, i, i + 1), src, name=f"{label}_slice")
+        return c
+
+    # anchor geometry: widths, heights, centers (x and y)
+    x1, y1 = coord(anchors, 0, "x1"), coord(anchors, 1, "y1")
+    x2, y2 = coord(anchors, 2, "x2"), coord(anchors, 3, "y2")
+    widths = g.call(ops.Sub(), x2, x1, name="widths")
+    heights = g.call(ops.Sub(), y2, y1, name="heights")
+    half_w = g.call(ops.MulScalar(0.5), widths, name="half_w")
+    half_h = g.call(ops.MulScalar(0.5), heights, name="half_h")
+    ctr_x = g.call(ops.Add(), x1, half_w, name="ctr_x")
+    ctr_y = g.call(ops.Add(), y1, half_h, name="ctr_y")
+
+    dx, dy = coord(deltas, 0, "dx"), coord(deltas, 1, "dy")
+    dw, dh = coord(deltas, 2, "dw"), coord(deltas, 3, "dh")
+
+    # new centers: d * size + ctr
+    px = g.call(ops.Mul(), dx, widths, name="dx_w")
+    px = g.call(ops.Add(), px, ctr_x, name="pred_ctr_x")
+    py = g.call(ops.Mul(), dy, heights, name="dy_h")
+    py = g.call(ops.Add(), py, ctr_y, name="pred_ctr_y")
+
+    # new sizes: exp(clamp(d)) * size
+    dw = g.call(ops.DivScalar(math.log(1000.0 / 16)), dw, name="dw_clamp")
+    dh = g.call(ops.DivScalar(math.log(1000.0 / 16)), dh, name="dh_clamp")
+    pw = g.call(ops.Exp(), dw, name="exp_dw")
+    pw = g.call(ops.Mul(), pw, widths, name="pred_w")
+    ph = g.call(ops.Exp(), dh, name="exp_dh")
+    ph = g.call(ops.Mul(), ph, heights, name="pred_h")
+
+    # corners
+    hw = g.call(ops.MulScalar(0.5), pw, name="pred_half_w")
+    hh = g.call(ops.MulScalar(0.5), ph, name="pred_half_h")
+    nx1 = g.call(ops.Sub(), px, hw, name="pred_x1")
+    ny1 = g.call(ops.Sub(), py, hh, name="pred_y1")
+    nx2 = g.call(ops.Add(), px, hw, name="pred_x2")
+    ny2 = g.call(ops.Add(), py, hh, name="pred_y2")
+    boxes = g.call(ops.Concat(last), nx1, ny1, nx2, ny2, name="stack_corners")
+    return boxes
+
+
+def _filter_proposals(g: Graph, boxes: Value, label: str) -> Value:
+    """torchvision's per-level proposal hygiene: clip to image, drop degenerate
+    boxes, offset for batched NMS — all element-wise passes over every box."""
+    with g.scope(label):
+        zero = g.call(ops.Constant((1, 1, 1), boxes.spec.dtype, name="zero"), name="zero")
+        boxes = g.call(ops.Maximum(), boxes, zero, name="clip_lo")
+        limit = g.call(ops.Constant((1, 1, 1), boxes.spec.dtype, name="img_limit"), name="img_limit")
+        over = g.call(ops.Sub(), boxes, limit, name="overflow")
+        over = g.call(ops.Neg(), over, name="neg_overflow")
+        boxes = g.call(ops.Maximum(), boxes, over, name="clip_hi")
+        # remove_small_boxes: side lengths, threshold comparison, keep mask
+        width = g.call(ops.Sub(), boxes, boxes, name="keep_width")
+        height = g.call(ops.Sub(), boxes, boxes, name="keep_height")
+        min_side = g.call(ops.Constant((1, 1, 1), boxes.spec.dtype, name="min_size"), name="min_size")
+        w_ok = g.call(ops.Sub(), width, min_side, name="width_margin")
+        h_ok = g.call(ops.Sub(), height, min_side, name="height_margin")
+        keep = g.call(ops.Mul(), w_ok, h_ok, name="keep_mask")
+        keep = g.call(ops.Maximum(), keep, min_side, name="keep_clamp")
+        boxes = g.call(ops.Mul(), boxes, keep, name="apply_keep")
+        # batched-NMS trick: offset boxes per class/level
+        offset = g.call(ops.Constant((1, 1, 1), boxes.spec.dtype, name="nms_offset"), name="nms_offset")
+        boxes = g.call(ops.Add(), boxes, offset, name="offset_boxes")
+    return boxes
+
+
+def _roi_heads(
+    g: Graph,
+    feature: Value,
+    proposals: Value,
+    config: DetectionConfig,
+    batch: int,
+    dtype: DType,
+) -> Value:
+    """Box head: RoIAlign, two FC layers, class/box predictors, final NMS."""
+    channels = config.fpn_channels
+    n_rois = proposals.spec.shape[0]
+    with g.scope("roi_heads"):
+        pooled = g.call(
+            ops.RoIAlign(output_size=7, spatial_scale=0.25), feature, proposals, name="roi_align"
+        )
+        flat = g.call(ops.Reshape((n_rois, channels * 49)), pooled)
+        h = g.call(ops.Linear(channels * 49, 1024, dtype=dtype), flat, name="fc6")
+        h = g.call(ops.ReLU(), h, name="relu6")
+        h = g.call(ops.Linear(1024, 1024, dtype=dtype), h, name="fc7")
+        h = g.call(ops.ReLU(), h, name="relu7")
+        cls_logits = g.call(ops.Linear(1024, config.num_classes, dtype=dtype), h, name="cls_score")
+        box_deltas = g.call(
+            ops.Linear(1024, config.num_classes * 4, dtype=dtype), h, name="bbox_pred"
+        )
+
+        probs = g.call(ops.Softmax(-1), cls_logits, name="cls_softmax")
+        deltas = g.call(ops.Reshape((1, n_rois * config.num_classes, 4)), box_deltas)
+        ref = g.call(
+            ops.Constant((1, n_rois * config.num_classes, 4), dtype, name="proposal_ref"),
+            name="proposal_ref",
+        )
+        boxes = _decode_boxes(g, deltas, ref)
+        boxes = g.call(ops.Reshape((batch, (n_rois // batch) * config.num_classes, 4)), boxes)
+        scores = g.call(
+            ops.Reshape((batch, (n_rois // batch) * config.num_classes)), probs, name="flat_scores"
+        )
+
+        # postprocess_detections also loops per image: clip, filter, NMS, topk
+        per_image: list[Value] = []
+        for b in range(batch):
+            img_boxes = g.call(ops.Slice(0, b, b + 1), boxes)
+            img_boxes = _filter_proposals(g, img_boxes, f"postprocess_filter_img{b}")
+            img_boxes = g.call(ops.Squeeze(0), img_boxes)
+            img_scores = g.call(ops.Slice(0, b, b + 1), scores)
+            img_scores = g.call(ops.Squeeze(0), img_scores)
+            kept, _count = g.call(
+                ops.NMS(iou_threshold=0.5, score_threshold=0.05, max_outputs=config.detections),
+                img_boxes,
+                img_scores,
+                name=f"detection_nms_img{b}",
+            )
+            per_image.append(kept)
+        detections = (
+            per_image[0] if batch == 1 else g.call(ops.Concat(0), *per_image, name="cat_detections")
+        )
+    return detections
+
+
+def _mask_head(
+    g: Graph,
+    feature: Value,
+    detections: Value,
+    config: DetectionConfig,
+    batch: int,
+    dtype: DType,
+) -> Value:
+    """Mask R-CNN's extra branch: 14x14 RoIAlign + 4 convs + upsample + predictor."""
+    channels = config.fpn_channels
+    n_det = detections.spec.shape[0]
+    with g.scope("mask_head"):
+        rois = g.call(ops.Pad(((0, 0), (1, 0))), detections, name="det_rois")
+        pooled = g.call(
+            ops.RoIAlign(output_size=14, spatial_scale=0.25), feature, rois, name="mask_roi_align"
+        )
+        h = pooled
+        for i in range(4):
+            h = g.call(
+                ops.Conv2d(channels, channels, 3, padding=1, dtype=dtype), h, name=f"mask_fcn{i + 1}"
+            )
+            h = g.call(ops.ReLU(), h, name=f"mask_relu{i + 1}")
+        h = g.call(ops.Interpolate(scale_factor=2.0, mode="bilinear"), h, name="mask_upsample")
+        h = g.call(ops.Conv2d(channels, channels, 3, padding=1, dtype=dtype), h, name="mask_conv_up")
+        h = g.call(ops.ReLU(), h, name="mask_relu_up")
+        logits = g.call(
+            ops.Conv2d(channels, config.num_classes, 1, dtype=dtype), h, name="mask_predictor"
+        )
+        masks = g.call(ops.Sigmoid(), logits, name="mask_probs")
+
+        # paste_masks_in_image: per-detection upsample and threshold.  Real
+        # torchvision pastes each mask into its box region (roughly quarter
+        # of image area on COCO), modelled here as a half-resolution paste.
+        chosen = g.call(ops.Slice(1, 0, 1), masks, name="take_class")
+        paste_res = config.image_size // 2
+        pasted = g.call(
+            ops.Interpolate(size=(paste_res, paste_res), mode="bilinear"),
+            chosen,
+            name="paste_upsample",
+        )
+        half = g.call(ops.Constant((1, 1, 1, 1), dtype, name="mask_threshold"), name="mask_threshold")
+        binary = g.call(ops.Sub(), pasted, half, name="threshold_sub")
+        binary = g.call(ops.Maximum(), binary, half, name="threshold_bin")
+    return binary

@@ -1,0 +1,129 @@
+"""ResNet-50 backbone builder (classification trunk and detection backbone).
+
+Detection models (Faster/Mask R-CNN, DETR) freeze batch-norm statistics, so
+the backbone takes the normalization operator as a parameter:
+``BatchNorm2d`` for the classification trunk, ``FrozenBatchNorm2d`` (a
+custom multi-kernel op) for detection — the root cause of DETR's
+normalization bottleneck in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro import ops
+from repro.ir.dtype import DType
+from repro.ir.graph import Graph
+from repro.ir.node import Value
+
+#: bottleneck blocks per stage for ResNet-50.
+RESNET50_LAYERS = (3, 4, 6, 3)
+#: channel widths entering each stage.
+STAGE_WIDTHS = (256, 512, 1024, 2048)
+
+NormFactory = Callable[[int], ops.Operator]
+
+
+@dataclass
+class BackboneFeatures:
+    """Multi-scale feature maps C2..C5 produced by the backbone."""
+
+    c2: Value
+    c3: Value
+    c4: Value
+    c5: Value
+
+    def as_list(self) -> list[Value]:
+        return [self.c2, self.c3, self.c4, self.c5]
+
+
+def frozen_norm(channels: int) -> ops.Operator:
+    """torchvision-style frozen BN (scale/bias folded at load time)."""
+    return ops.FrozenBatchNorm2d(channels, precomputed=True)
+
+
+def detr_frozen_norm(channels: int) -> ops.Operator:
+    """HF DETR's custom frozen BN (recomputes scale/bias every forward)."""
+    return ops.FrozenBatchNorm2d(channels, precomputed=False)
+
+
+def batch_norm(channels: int) -> ops.Operator:
+    return ops.BatchNorm2d(channels)
+
+
+def build_resnet50_backbone(
+    g: Graph,
+    x: Value,
+    dtype: DType = DType.F32,
+    norm: NormFactory = frozen_norm,
+) -> BackboneFeatures:
+    """Emit ResNet-50 up to C5, returning all four stage outputs."""
+    with g.scope("backbone.stem"):
+        h = g.call(ops.Conv2d(3, 64, 7, stride=2, padding=3, bias=False, dtype=dtype), x, name="conv1")
+        h = g.call(norm(64), h, name="bn1")
+        h = g.call(ops.ReLU(), h, name="relu1")
+        h = g.call(ops.MaxPool2d(3, stride=2, padding=1), h, name="maxpool")
+
+    features: list[Value] = []
+    in_channels = 64
+    for stage, blocks in enumerate(RESNET50_LAYERS):
+        width = STAGE_WIDTHS[stage]
+        mid = width // 4
+        stride = 1 if stage == 0 else 2
+        for block in range(blocks):
+            h = _bottleneck(
+                g,
+                h,
+                in_channels=in_channels,
+                mid_channels=mid,
+                out_channels=width,
+                stride=stride if block == 0 else 1,
+                norm=norm,
+                dtype=dtype,
+                name=f"backbone.layer{stage + 1}.block{block}",
+            )
+            in_channels = width
+        features.append(h)
+
+    return BackboneFeatures(*features)
+
+
+def _bottleneck(
+    g: Graph,
+    x: Value,
+    in_channels: int,
+    mid_channels: int,
+    out_channels: int,
+    stride: int,
+    norm: NormFactory,
+    dtype: DType,
+    name: str,
+) -> Value:
+    """One ResNet bottleneck: 1x1 -> 3x3 -> 1x1 with a residual connection."""
+    with g.scope(name):
+        h = g.call(ops.Conv2d(in_channels, mid_channels, 1, bias=False, dtype=dtype), x, name="conv1")
+        h = g.call(norm(mid_channels), h, name="bn1")
+        h = g.call(ops.ReLU(), h, name="relu1")
+        h = g.call(
+            ops.Conv2d(mid_channels, mid_channels, 3, stride=stride, padding=1, bias=False, dtype=dtype),
+            h,
+            name="conv2",
+        )
+        h = g.call(norm(mid_channels), h, name="bn2")
+        h = g.call(ops.ReLU(), h, name="relu2")
+        h = g.call(ops.Conv2d(mid_channels, out_channels, 1, bias=False, dtype=dtype), h, name="conv3")
+        h = g.call(norm(out_channels), h, name="bn3")
+
+        if in_channels != out_channels or stride != 1:
+            shortcut = g.call(
+                ops.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, dtype=dtype),
+                x,
+                name="downsample_conv",
+            )
+            shortcut = g.call(norm(out_channels), shortcut, name="downsample_bn")
+        else:
+            shortcut = x
+        h = g.call(ops.Add(), h, shortcut, name="residual")
+        h = g.call(ops.ReLU(), h, name="relu3")
+    return h

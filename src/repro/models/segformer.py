@@ -1,0 +1,176 @@
+"""SegFormer (MiT-B0) graph builder.
+
+A hierarchical transformer for semantic segmentation: overlapping patch
+embeddings, efficient attention with spatial-reduction (the captured softmax
+shape [B, 1, 16384, 256] of Table I is exactly stage-1's 128x128 queries
+against 8x-reduced keys), Mix-FFN with a depthwise conv, and an all-MLP
+decode head with a BatchNorm2d — the op Table I lists for SegFormer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import ops
+from repro.ir.dtype import DType
+from repro.ir.graph import Graph
+from repro.ir.node import Value
+from repro.models.common import image_input
+from repro.models.configs import SegFormerConfig
+
+
+def build_segformer(config: SegFormerConfig, batch_size: int = 1) -> Graph:
+    g = Graph(config.name)
+    dtype = config.dtype
+    x = image_input(g, batch_size, config.image_size, dtype)
+
+    features: list[tuple[Value, int, int]] = []  # (tokens, resolution, dim)
+    h = x
+    res = config.image_size
+    in_ch = 3
+    for stage in range(4):
+        dim = config.embed_dims[stage]
+        kernel, stride, padding = (7, 4, 3) if stage == 0 else (3, 2, 1)
+        res = res // stride
+        with g.scope(f"stage{stage}.patch_embed"):
+            h = g.call(
+                ops.Conv2d(in_ch, dim, kernel, stride=stride, padding=padding, dtype=dtype),
+                h,
+                name="proj",
+            )
+            tokens = g.call(ops.Reshape((batch_size, dim, res * res)), h)
+            tokens = g.call(ops.Permute((0, 2, 1)), tokens)
+            tokens = g.call(ops.LayerNorm(dim, dtype=dtype), tokens, name="norm")
+
+        for block in range(config.depths[stage]):
+            tokens = _segformer_block(
+                g,
+                tokens,
+                batch=batch_size,
+                resolution=res,
+                dim=dim,
+                heads=config.heads[stage],
+                sr_ratio=config.sr_ratios[stage],
+                mlp_ratio=config.mlp_ratio,
+                dtype=dtype,
+                name=f"stage{stage}.block{block}",
+            )
+        tokens = g.call(ops.LayerNorm(dim, dtype=dtype), tokens, name=f"stage{stage}_norm")
+        features.append((tokens, res, dim))
+
+        # hand the spatial map to the next stage's embedding conv
+        if stage < 3:
+            h = g.call(ops.Permute((0, 2, 1)), tokens)
+            h = g.call(ops.Reshape((batch_size, dim, res, res)), h)
+            h = g.call(ops.Contiguous(), h, name=f"stage{stage}_to_spatial")
+            in_ch = dim
+
+    logits = _decode_head(g, features, config, batch_size, dtype)
+    g.set_outputs(logits)
+    return g
+
+
+def _segformer_block(
+    g: Graph,
+    x: Value,
+    batch: int,
+    resolution: int,
+    dim: int,
+    heads: int,
+    sr_ratio: int,
+    mlp_ratio: int,
+    dtype: DType,
+    name: str,
+) -> Value:
+    seq = resolution * resolution
+    head_dim = dim // heads
+    with g.scope(name):
+        shortcut = x
+        h = g.call(ops.LayerNorm(dim, dtype=dtype), x, name="ln1")
+
+        q = g.call(ops.Linear(dim, dim, dtype=dtype), h, name="q_proj")
+        q = g.call(ops.Reshape((batch, seq, heads, head_dim)), q)
+        q = g.call(ops.Permute((0, 2, 1, 3)), q)
+
+        # spatial reduction of keys/values: strided conv + LN
+        if sr_ratio > 1:
+            kv_res = resolution // sr_ratio
+            kv = g.call(ops.Permute((0, 2, 1)), h)
+            kv = g.call(ops.Reshape((batch, dim, resolution, resolution)), kv)
+            kv = g.call(ops.Contiguous(), kv, name="sr_to_spatial")
+            kv = g.call(
+                ops.Conv2d(dim, dim, sr_ratio, stride=sr_ratio, dtype=dtype), kv, name="sr_conv"
+            )
+            kv = g.call(ops.Reshape((batch, dim, kv_res * kv_res)), kv)
+            kv = g.call(ops.Permute((0, 2, 1)), kv)
+            kv = g.call(ops.LayerNorm(dim, dtype=dtype), kv, name="sr_norm")
+            kv_seq = kv_res * kv_res
+        else:
+            kv = h
+            kv_seq = seq
+
+        k = g.call(ops.Linear(dim, dim, dtype=dtype), kv, name="k_proj")
+        k = g.call(ops.Reshape((batch, kv_seq, heads, head_dim)), k)
+        k = g.call(ops.Permute((0, 2, 3, 1)), k)
+        v = g.call(ops.Linear(dim, dim, dtype=dtype), kv, name="v_proj")
+        v = g.call(ops.Reshape((batch, kv_seq, heads, head_dim)), v)
+        v = g.call(ops.Permute((0, 2, 1, 3)), v)
+
+        scores = g.call(ops.BMM(), q, k, name="qk")
+        scores = g.call(ops.DivScalar(math.sqrt(head_dim)), scores, name="scale")
+        probs = g.call(ops.Softmax(-1), scores, name="attn_softmax")
+        ctx = g.call(ops.BMM(), probs, v, name="pv")
+        ctx = g.call(ops.Transpose(1, 2), ctx)
+        ctx = g.call(ops.Reshape((batch, seq, dim)), ctx)
+        attn = g.call(ops.Linear(dim, dim, dtype=dtype), ctx, name="out_proj")
+        x = g.call(ops.Add(), shortcut, attn, name="residual1")
+
+        # Mix-FFN: fc1 -> depthwise 3x3 conv -> GELU -> fc2
+        shortcut = x
+        h = g.call(ops.LayerNorm(dim, dtype=dtype), x, name="ln2")
+        hidden = dim * mlp_ratio
+        h = g.call(ops.Linear(dim, hidden, dtype=dtype), h, name="fc1")
+        h = g.call(ops.Permute((0, 2, 1)), h)
+        h = g.call(ops.Reshape((batch, hidden, resolution, resolution)), h)
+        h = g.call(ops.Contiguous(), h, name="ffn_to_spatial")
+        h = g.call(
+            ops.Conv2d(hidden, hidden, 3, padding=1, groups=hidden, dtype=dtype), h, name="dwconv"
+        )
+        h = g.call(ops.Reshape((batch, hidden, seq)), h)
+        h = g.call(ops.Permute((0, 2, 1)), h)
+        h = g.call(ops.GELU(), h, name="act")
+        h = g.call(ops.Linear(hidden, dim, dtype=dtype), h, name="fc2")
+        x = g.call(ops.Add(), shortcut, h, name="residual2")
+    return x
+
+
+def _decode_head(
+    g: Graph,
+    features: list[tuple[Value, int, int]],
+    config: SegFormerConfig,
+    batch: int,
+    dtype: DType,
+) -> Value:
+    """All-MLP decode head: project, upsample to 1/4, fuse, classify."""
+    target_res = config.image_size // 4
+    dim = config.decoder_dim
+    upsampled: list[Value] = []
+    with g.scope("decode_head"):
+        for i, (tokens, res, in_dim) in enumerate(features):
+            h = g.call(ops.Linear(in_dim, dim, dtype=dtype), tokens, name=f"mlp{i}")
+            h = g.call(ops.Permute((0, 2, 1)), h)
+            h = g.call(ops.Reshape((batch, dim, res, res)), h)
+            h = g.call(ops.Contiguous(), h, name=f"to_spatial{i}")
+            if res != target_res:
+                h = g.call(
+                    ops.Interpolate(size=(target_res, target_res), mode="bilinear"),
+                    h,
+                    name=f"upsample{i}",
+                )
+            upsampled.append(h)
+        fused = g.call(ops.Concat(1), *reversed(upsampled), name="cat")
+        fused = g.call(ops.Conv2d(4 * dim, dim, 1, bias=False, dtype=dtype), fused, name="linear_fuse")
+        fused = g.call(ops.BatchNorm2d(dim, dtype=dtype), fused, name="bn")
+        fused = g.call(ops.ReLU(), fused, name="relu")
+        logits = g.call(ops.Conv2d(dim, config.num_classes, 1, dtype=dtype), fused, name="classifier")
+    return logits

@@ -1,0 +1,179 @@
+"""Swin Transformer graph builder (tiny / small / base).
+
+Swin's shifted-window attention is the paper's canonical memory-bound
+workload: every block partitions the token grid into windows (view ->
+permute -> **contiguous** -> view), attends within windows, then reverses
+the partition — and half the blocks additionally cyclic-shift the grid with
+``roll`` (a real copy).  Those materializing copies are why the Memory group
+dominates every Swin variant's non-GEMM latency (~32%, Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import ops
+from repro.ir.dtype import DType
+from repro.ir.graph import Graph
+from repro.ir.node import Value
+from repro.models.common import fused_qkv_attention, image_input, mlp
+from repro.models.configs import SwinConfig
+
+
+@dataclass(frozen=True)
+class SwinStageFeature:
+    """One hierarchical stage output: tokens [B, res*res, dim]."""
+
+    tokens: Value
+    resolution: int
+    dim: int
+
+
+def build_swin_stages(
+    g: Graph, x: Value, config: SwinConfig, batch_size: int
+) -> list[SwinStageFeature]:
+    """Emit the Swin trunk, returning every stage's token features.
+
+    Used directly by the classifier and as MaskFormer's backbone.
+    """
+    dtype = config.dtype
+    res = config.image_size // config.patch_size
+    dim = config.embed_dim
+
+    with g.scope("patch_embed"):
+        h = g.call(
+            ops.Conv2d(3, dim, config.patch_size, stride=config.patch_size, dtype=dtype),
+            x,
+            name="proj",
+        )
+        h = g.call(ops.Reshape((batch_size, dim, res * res)), h)
+        h = g.call(ops.Permute((0, 2, 1)), h)  # [B, H*W, C]
+        h = g.call(ops.LayerNorm(dim, dtype=dtype), h, name="norm")
+
+    features: list[SwinStageFeature] = []
+    for stage, (depth, heads) in enumerate(zip(config.depths, config.heads)):
+        for block in range(depth):
+            shifted = block % 2 == 1
+            h = _swin_block(
+                g,
+                h,
+                batch=batch_size,
+                resolution=res,
+                dim=dim,
+                heads=heads,
+                window=config.window,
+                shifted=shifted,
+                mlp_ratio=config.mlp_ratio,
+                dtype=dtype,
+                name=f"stage{stage}.block{block}",
+            )
+        features.append(SwinStageFeature(tokens=h, resolution=res, dim=dim))
+        if stage < len(config.depths) - 1:
+            h = _patch_merging(g, h, batch_size, res, dim, dtype, f"stage{stage}.downsample")
+            res //= 2
+            dim *= 2
+
+    return features
+
+
+def build_swin(config: SwinConfig, batch_size: int = 1) -> Graph:
+    """Build a Swin classification graph at the given batch size."""
+    g = Graph(config.name)
+    x = image_input(g, batch_size, config.image_size, config.dtype)
+    dtype = config.dtype
+    features = build_swin_stages(g, x, config, batch_size)
+    h = features[-1].tokens
+    dim = features[-1].dim
+
+    with g.scope("head"):
+        h = g.call(ops.LayerNorm(dim, dtype=dtype), h, name="final_ln")
+        pooled = g.call(ops.Mean(1), h, name="pool")
+        logits = g.call(ops.Linear(dim, config.num_classes, dtype=dtype), pooled, name="classifier")
+
+    g.set_outputs(logits)
+    return g
+
+
+def _swin_block(
+    g: Graph,
+    x: Value,
+    batch: int,
+    resolution: int,
+    dim: int,
+    heads: int,
+    window: int,
+    shifted: bool,
+    mlp_ratio: int,
+    dtype: DType,
+    name: str,
+) -> Value:
+    """One (shifted-)window attention block over a [B, H*W, C] token grid."""
+    window = min(window, resolution)
+    n_side = resolution // window
+    n_windows = n_side * n_side
+    tokens_per_window = window * window
+
+    with g.scope(name):
+        shortcut = x
+        h = g.call(ops.LayerNorm(dim, dtype=dtype), x, name="ln1")
+        h = g.call(ops.View((batch, resolution, resolution, dim)), h)
+        if shifted:
+            h = g.call(ops.Roll((-window // 2, -window // 2), (1, 2)), h, name="shift")
+
+        # window partition: the contiguous copy is the expensive part
+        h = g.call(ops.View((batch, n_side, window, n_side, window, dim)), h)
+        h = g.call(ops.Permute((0, 1, 3, 2, 4, 5)), h)
+        h = g.call(ops.Contiguous(), h, name="partition_copy")
+        h = g.call(ops.View((batch * n_windows, tokens_per_window, dim)), h)
+
+        bias = g.call(
+            ops.Constant((1, heads, tokens_per_window, tokens_per_window), dtype, name="rel_pos_bias"),
+            name="rel_pos_bias",
+        )
+        h = fused_qkv_attention(g, h, dim, heads, dtype, bias_value=bias, contiguous_merge=True)
+
+        if shifted:
+            # shifted windows also add the attention mask (view + add + view)
+            h = g.call(ops.View((batch, n_windows, tokens_per_window, dim)), h)
+            mask = g.call(
+                ops.Constant((1, n_windows, tokens_per_window, 1), dtype, name="attn_mask"),
+                name="attn_mask",
+            )
+            h = g.call(ops.Add(), h, mask, name="apply_mask")
+            h = g.call(ops.View((batch * n_windows, tokens_per_window, dim)), h)
+
+        # window reverse
+        h = g.call(ops.View((batch, n_side, n_side, window, window, dim)), h)
+        h = g.call(ops.Permute((0, 1, 3, 2, 4, 5)), h)
+        h = g.call(ops.Contiguous(), h, name="reverse_copy")
+        h = g.call(ops.View((batch, resolution, resolution, dim)), h)
+        if shifted:
+            h = g.call(ops.Roll((window // 2, window // 2), (1, 2)), h, name="unshift")
+        h = g.call(ops.View((batch, resolution * resolution, dim)), h)
+
+        x = g.call(ops.Add(), shortcut, h, name="residual1")
+        normed = g.call(ops.LayerNorm(dim, dtype=dtype), x, name="ln2")
+        ff = mlp(g, normed, dim, dim * mlp_ratio, dtype)
+        x = g.call(ops.Add(), x, ff, name="residual2")
+    return x
+
+
+def _patch_merging(
+    g: Graph,
+    x: Value,
+    batch: int,
+    resolution: int,
+    dim: int,
+    dtype: DType,
+    name: str,
+) -> Value:
+    """2x2 patch merging: gather the 4 neighbours, LN, project 4C -> 2C."""
+    half = resolution // 2
+    with g.scope(name):
+        h = g.call(ops.View((batch, half, 2, half, 2, dim)), x)
+        h = g.call(ops.Permute((0, 1, 3, 2, 4, 5)), h)
+        h = g.call(ops.Contiguous(), h, name="merge_copy")
+        h = g.call(ops.View((batch, half * half, 4 * dim)), h)
+        h = g.call(ops.LayerNorm(4 * dim, dtype=dtype), h, name="norm")
+        h = g.call(ops.Linear(4 * dim, 2 * dim, bias=False, dtype=dtype), h, name="reduction")
+    return h

@@ -1,0 +1,55 @@
+"""Vision Transformer graph builder (ViT-B/16, ViT-L/16, ViT-H/14).
+
+Reproduces the torchvision/HF ViT operator stream: conv patch embedding,
+class-token concat, learned position embeddings, pre-LN encoder stack, and
+a linear classification head.  Nearly all memory ops here are zero-copy
+views, which is why ViT's dominant non-GEMM group is Normalization rather
+than Memory (paper Table IV).
+"""
+
+from __future__ import annotations
+
+from repro import ops
+from repro.ir.graph import Graph
+from repro.models.common import image_input, pre_norm_encoder_layer
+from repro.models.configs import ViTConfig
+
+
+def build_vit(config: ViTConfig, batch_size: int = 1) -> Graph:
+    """Build a ViT classification graph at the given batch size."""
+    g = Graph(config.name)
+    dtype = config.dtype
+    x = image_input(g, batch_size, config.image_size, dtype)
+
+    grid = config.image_size // config.patch_size
+    seq = grid * grid + 1  # +1 class token
+    dim = config.dim
+
+    with g.scope("embed"):
+        patches = g.call(
+            ops.Conv2d(3, dim, config.patch_size, stride=config.patch_size, dtype=dtype),
+            x,
+            name="patch_conv",
+        )
+        patches = g.call(ops.Reshape((batch_size, dim, grid * grid)), patches)
+        patches = g.call(ops.Permute((0, 2, 1)), patches)  # [B, N, D]
+        cls = g.call(ops.Constant((1, 1, dim), dtype, name="cls_token"), name="cls_token")
+        cls = g.call(ops.Expand((batch_size, 1, dim)), cls)
+        tokens = g.call(ops.Concat(1), cls, patches, name="cat_cls")
+        pos = g.call(ops.Constant((1, seq, dim), dtype, name="pos_embed"), name="pos_embed")
+        tokens = g.call(ops.Add(), tokens, pos, name="add_pos")
+
+    h = tokens
+    for i in range(config.depth):
+        h = pre_norm_encoder_layer(
+            g, h, dim, config.heads, dim * config.mlp_ratio, dtype, f"encoder.layer{i}"
+        )
+
+    with g.scope("head"):
+        h = g.call(ops.LayerNorm(dim, dtype=dtype), h, name="final_ln")
+        cls_out = g.call(ops.Slice(1, 0, 1), h, name="take_cls")
+        cls_out = g.call(ops.Squeeze(1), cls_out)
+        logits = g.call(ops.Linear(dim, config.num_classes, dtype=dtype), cls_out, name="classifier")
+
+    g.set_outputs(logits)
+    return g

@@ -1,0 +1,119 @@
+"""Activation operators (non-GEMM): ReLU, GELU, SiLU, Sigmoid, Tanh.
+
+All are elementwise and memory-bound; they differ in per-element arithmetic
+(``FLOPS_PER_ELEMENT``), which matters on CPUs where transcendental functions
+(GELU's erf, SiLU's sigmoid) are genuinely expensive.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar, Sequence
+
+import numpy as np
+
+from repro.ir.tensor import TensorSpec
+from repro.ops.base import OpCategory, OpCost, Operator
+
+
+class _UnaryActivation(Operator):
+    """Shared implementation for unary elementwise activations."""
+
+    category = OpCategory.ACTIVATION
+    FLOPS_PER_ELEMENT: ClassVar[int] = 1
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        return (inputs[0],)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        return (self._apply(x).astype(x.dtype, copy=False),)
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        numel = inputs[0].numel
+        return OpCost(
+            flops=numel * self.FLOPS_PER_ELEMENT,
+            bytes_read=inputs[0].nbytes,
+            bytes_written=outputs[0].nbytes,
+        )
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ReLU(_UnaryActivation):
+    """Rectified linear unit: ``max(0, x)``."""
+
+    kind = "relu"
+    FLOPS_PER_ELEMENT = 1
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0)
+
+
+class GELU(_UnaryActivation):
+    """Gaussian error linear unit, ``x * Phi(x)`` (tanh approximation).
+
+    The dominant activation of transformer models (ViT, Swin, GPT-2, BERT).
+    ``composite=True`` models HuggingFace's ``NewGELUActivation`` — a Python
+    expression of pow/tanh/mul/add that launches ~7 separate kernels in eager
+    mode, which is why GELU is the single most expensive non-GEMM operator of
+    the GPT-2 family in the paper (Table IV).
+    """
+
+    kind = "gelu"
+    FLOPS_PER_ELEMENT = 10
+
+    def __init__(self, composite: bool = False):
+        self.composite = composite
+        # pow, mul, add, mul, tanh, add, mul, mul — the NewGELU expression
+        self.eager_kernels = 8 if composite else 1
+
+    def describe(self) -> str:
+        return "gelu(composite)" if self.composite else "gelu"
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        x64 = x.astype(np.float64, copy=False)
+        inner = math.sqrt(2.0 / math.pi) * (x64 + 0.044715 * x64**3)
+        return (0.5 * x64 * (1.0 + np.tanh(inner))).astype(x.dtype, copy=False)
+
+
+class SiLU(_UnaryActivation):
+    """Sigmoid linear unit ``x * sigmoid(x)`` (Llama's activation)."""
+
+    kind = "silu"
+    FLOPS_PER_ELEMENT = 6
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        return x / (1.0 + np.exp(-x))
+
+
+class Sigmoid(_UnaryActivation):
+    """Logistic sigmoid ``1 / (1 + exp(-x))``."""
+
+    kind = "sigmoid"
+    FLOPS_PER_ELEMENT = 5
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
+
+class Tanh(_UnaryActivation):
+    """Hyperbolic tangent."""
+
+    kind = "tanh"
+    FLOPS_PER_ELEMENT = 6
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+
+class HardSwish(_UnaryActivation):
+    """``x * relu6(x + 3) / 6`` — used by mobile CNNs; kept for extensibility."""
+
+    kind = "hardswish"
+    FLOPS_PER_ELEMENT = 4
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        return x * np.clip(x + 3.0, 0.0, 6.0) / 6.0

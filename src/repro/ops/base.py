@@ -1,0 +1,212 @@
+"""Operator abstraction: shape inference, numpy execution, and cost.
+
+Every ML operator in the benchmark implements three independent views:
+
+* ``infer_spec``  — static shape/dtype propagation (used to build graphs for
+  arbitrarily large models without allocating data);
+* ``run``         — concrete numpy execution (used by tests and examples to
+  validate semantics on small configurations);
+* ``cost``        — FLOP and byte accounting (used by the hardware model to
+  estimate kernel latency).
+
+Operators are classified into the paper's operator groups via
+:class:`OpCategory`; the GEMM / non-GEMM split used everywhere in the analysis
+derives from it.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import math
+from dataclasses import dataclass
+from typing import ClassVar, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ir.dtype import DType
+from repro.ir.tensor import TensorSpec
+
+
+class OpCategory(enum.Enum):
+    """Operator groups used in the paper's latency breakdowns (Fig. 6 legend)."""
+
+    GEMM = "GEMM-based"
+    ACTIVATION = "Activation"
+    NORMALIZATION = "Normalization"
+    MEMORY = "Memory"
+    ROI = "ROI Selection"
+    INTERPOLATION = "Interpolation"
+    ELEMENTWISE = "Element-wise Arithmetic"
+    LOGIT = "Logit Computation"
+    EMBEDDING = "Embedding"
+    QDQ = "Q/DQ"
+    POOLING = "Pooling"
+    REDUCTION = "Reduction"
+    MISC = "Misc"
+
+    @property
+    def is_gemm(self) -> bool:
+        return self is OpCategory.GEMM
+
+
+#: Groups reported under "Misc. Operators" in the paper's figures.  Pooling and
+#: reductions are real kernels but the paper folds them into Misc.
+MISC_LIKE = frozenset({OpCategory.POOLING, OpCategory.REDUCTION, OpCategory.MISC})
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Work performed by one operator application.
+
+    ``flops`` counts multiply-and-accumulate style arithmetic (one MAC = 2
+    flops).  ``bytes_read``/``bytes_written`` count off-chip traffic assuming
+    no fusion; the simulator adjusts traffic for fused kernels.
+    """
+
+    flops: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of traffic; infinite for traffic-free metadata ops."""
+        if self.total_bytes == 0:
+            return math.inf
+        return self.flops / self.total_bytes
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(
+            self.flops + other.flops,
+            self.bytes_read + other.bytes_read,
+            self.bytes_written + other.bytes_written,
+        )
+
+
+@dataclass(frozen=True)
+class WeightSpec:
+    """A named parameter tensor owned by an operator instance."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: DType = DType.F32
+
+    @property
+    def numel(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return self.numel * self.dtype.itemsize
+
+
+class Operator(abc.ABC):
+    """Base class of every ML operator in the benchmark.
+
+    Subclasses set ``kind`` (a stable string id used in reports and fusion
+    patterns) and ``category``, and implement the three views.  Instances are
+    immutable after construction; a single instance may appear in many nodes
+    only if it is stateless (weightless), otherwise each node owns its op.
+    """
+
+    kind: ClassVar[str]
+    category: ClassVar[OpCategory]
+    #: metadata-only ops (views) emit no device kernel at all.
+    is_metadata_only: ClassVar[bool] = False
+    #: number of device kernels the *eager* implementation launches.  Vendor
+    #: ops are 1; Python-composite implementations (HuggingFace's NewGELU,
+    #: LlamaRMSNorm, torchvision's FrozenBatchNorm2d) launch one kernel per
+    #: tensor expression.  Compiled flows collapse composites to one kernel.
+    eager_kernels: int = 1
+    #: how many of those kernels stream the full activation tensor (some of a
+    #: composite's kernels touch only tiny per-channel vectors).  Defaults to
+    #: eager_kernels when left at 0.
+    eager_traffic_passes: int = 0
+
+    @property
+    def traffic_passes(self) -> int:
+        return self.eager_traffic_passes or self.eager_kernels
+    #: custom (non vendor-library) kernels take an efficiency penalty and are
+    #: prime fusion targets (the paper's DETR FrozenBatchNorm observation).
+    is_custom_kernel: bool = False
+
+    @abc.abstractmethod
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        """Map input specs to output specs; raise :class:`ShapeError` on misuse."""
+
+    @abc.abstractmethod
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        """Execute the operator on concrete arrays (reference semantics)."""
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        """Default cost model: stream inputs in, outputs out, zero flops.
+
+        Compute-heavy operators override this.  Metadata-only ops report zero
+        cost (handled before this is called, but kept consistent here).
+        """
+        if self.is_metadata_only:
+            return OpCost()
+        return OpCost(
+            flops=0,
+            bytes_read=sum(s.nbytes for s in inputs) + self.weight_bytes(),
+            bytes_written=sum(s.nbytes for s in outputs),
+        )
+
+    def weight_specs(self) -> tuple[WeightSpec, ...]:
+        """Parameter tensors of this operator (empty for stateless ops)."""
+        return ()
+
+    def param_count(self) -> int:
+        return sum(w.numel for w in self.weight_specs())
+
+    def weight_bytes(self) -> int:
+        return sum(w.nbytes for w in self.weight_specs())
+
+    @property
+    def is_gemm(self) -> bool:
+        return self.category.is_gemm
+
+    def describe(self) -> str:
+        """Short human-readable configuration string for reports."""
+        return self.kind
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+    # -- helpers shared by subclasses -------------------------------------
+
+    @staticmethod
+    def _expect_inputs(inputs: Sequence, count: int, kind: str) -> None:
+        if len(inputs) != count:
+            raise ShapeError(f"{kind} expects {count} input(s), got {len(inputs)}")
+
+
+class InputOp(Operator):
+    """Sentinel operator marking a graph input (placeholder)."""
+
+    kind = "input"
+    category = OpCategory.MISC
+    is_metadata_only = True
+
+    def __init__(self, spec: TensorSpec, label: str = "input"):
+        self.spec = spec
+        self.label = label
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        if inputs:
+            raise ShapeError("input placeholder takes no inputs")
+        return (self.spec,)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        raise RuntimeError("input placeholders are fed by the executor, not run")
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        return OpCost()
+
+    def describe(self) -> str:
+        return f"input({self.spec})"

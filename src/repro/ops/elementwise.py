@@ -1,0 +1,184 @@
+"""Element-wise arithmetic operators (binary with broadcasting, unary, scalar).
+
+The paper's "Element-wise Arithmetic" group: residual adds, attention scaling
+divisions, rotary-embedding negation/multiplication, and — after LLM.int8()
+quantization — the dequant/requant scaling math that dominates Fig. 9.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, ClassVar, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ir.tensor import TensorSpec, broadcast_shapes
+from repro.ops.base import OpCategory, OpCost, Operator
+
+
+class _BinaryElementwise(Operator):
+    """Binary op with numpy broadcasting; subclasses set ``kind`` and ``_fn``."""
+
+    category = OpCategory.ELEMENTWISE
+    FLOPS_PER_ELEMENT: ClassVar[int] = 1
+    _fn: ClassVar[Callable[[np.ndarray, np.ndarray], np.ndarray]]
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 2, self.kind)
+        a, b = inputs
+        shape = broadcast_shapes(a.shape, b.shape)
+        return (TensorSpec(shape, a.dtype),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        a, b = inputs
+        return (type(self)._fn(a, b).astype(a.dtype, copy=False),)
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        out = outputs[0]
+        return OpCost(
+            flops=out.numel * self.FLOPS_PER_ELEMENT,
+            bytes_read=sum(s.nbytes for s in inputs),
+            bytes_written=out.nbytes,
+        )
+
+
+class Add(_BinaryElementwise):
+    kind = "add"
+    _fn = staticmethod(np.add)
+
+
+class Sub(_BinaryElementwise):
+    kind = "sub"
+    _fn = staticmethod(np.subtract)
+
+
+class Mul(_BinaryElementwise):
+    kind = "mul"
+    _fn = staticmethod(np.multiply)
+
+
+class Div(_BinaryElementwise):
+    """True division — the attention-logit scaling op ("TrueDiv" in Table I)."""
+
+    kind = "div"
+    FLOPS_PER_ELEMENT = 4
+    _fn = staticmethod(np.divide)
+
+
+class Maximum(_BinaryElementwise):
+    kind = "maximum"
+    _fn = staticmethod(np.maximum)
+
+
+class _UnaryElementwise(Operator):
+    category = OpCategory.ELEMENTWISE
+    FLOPS_PER_ELEMENT: ClassVar[int] = 1
+    _fn: ClassVar[Callable[[np.ndarray], np.ndarray]]
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        return (inputs[0],)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        return (type(self)._fn(x).astype(x.dtype, copy=False),)
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        return OpCost(
+            flops=inputs[0].numel * self.FLOPS_PER_ELEMENT,
+            bytes_read=inputs[0].nbytes,
+            bytes_written=outputs[0].nbytes,
+        )
+
+
+class Neg(_UnaryElementwise):
+    """Negation (rotary position embedding uses this on half the head dims)."""
+
+    kind = "neg"
+    _fn = staticmethod(np.negative)
+
+
+class Abs(_UnaryElementwise):
+    kind = "abs"
+    _fn = staticmethod(np.abs)
+
+
+class Sqrt(_UnaryElementwise):
+    kind = "sqrt"
+    FLOPS_PER_ELEMENT = 4
+    _fn = staticmethod(np.sqrt)
+
+
+class Rsqrt(_UnaryElementwise):
+    kind = "rsqrt"
+    FLOPS_PER_ELEMENT = 5
+    _fn = staticmethod(lambda x: 1.0 / np.sqrt(x))
+
+
+class Exp(_UnaryElementwise):
+    kind = "exp"
+    FLOPS_PER_ELEMENT = 6
+    _fn = staticmethod(np.exp)
+
+
+class _ScalarElementwise(Operator):
+    """Unary op against a python scalar (e.g. ``x / sqrt(d)``)."""
+
+    category = OpCategory.ELEMENTWISE
+    FLOPS_PER_ELEMENT: ClassVar[int] = 1
+
+    def __init__(self, scalar: float):
+        self.scalar = float(scalar)
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        return (inputs[0],)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        return (self._apply(x).astype(x.dtype, copy=False),)
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        return OpCost(
+            flops=inputs[0].numel * self.FLOPS_PER_ELEMENT,
+            bytes_read=inputs[0].nbytes,
+            bytes_written=outputs[0].nbytes,
+        )
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.scalar:g})"
+
+
+class AddScalar(_ScalarElementwise):
+    kind = "add_scalar"
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        return x + self.scalar
+
+
+class MulScalar(_ScalarElementwise):
+    kind = "mul_scalar"
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        return x * self.scalar
+
+
+class DivScalar(_ScalarElementwise):
+    """The "TrueDiv by sqrt(d_k)" attention scaling op."""
+
+    kind = "div_scalar"
+    FLOPS_PER_ELEMENT = 4
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        return x / self.scalar
+
+
+class PowScalar(_ScalarElementwise):
+    kind = "pow_scalar"
+    FLOPS_PER_ELEMENT = 8
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        return np.power(x, self.scalar)

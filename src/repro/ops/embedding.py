@@ -1,0 +1,56 @@
+"""Embedding lookup: integer token ids to dense vectors.
+
+Purely bandwidth-bound gathers out of a large table; in LLM profiles they
+appear as their own group ("Embedding" in the Fig. 6 legend).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ir.dtype import DType
+from repro.ir.tensor import TensorSpec
+from repro.ops.base import OpCategory, OpCost, Operator, WeightSpec
+
+
+class Embedding(Operator):
+    """Row gather from a ``[num_embeddings, dim]`` table by i32/i64 ids."""
+
+    kind = "embedding"
+    category = OpCategory.EMBEDDING
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, dtype: DType = DType.F32):
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ShapeError("embedding sizes must be positive")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.dtype = dtype
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (ids,) = inputs
+        if not ids.dtype.is_integer:
+            raise ShapeError(f"embedding ids must be integer, got {ids.dtype}")
+        return (TensorSpec(ids.shape + (self.embedding_dim,), self.dtype),)
+
+    def weight_specs(self) -> tuple[WeightSpec, ...]:
+        return (WeightSpec("weight", (self.num_embeddings, self.embedding_dim), self.dtype),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (ids,) = inputs
+        table = weights["weight"]
+        return (table[np.clip(ids, 0, self.num_embeddings - 1)],)
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        # reads only the gathered rows, not the whole table
+        return OpCost(
+            flops=0,
+            bytes_read=outputs[0].nbytes + inputs[0].nbytes,
+            bytes_written=outputs[0].nbytes,
+        )
+
+    def describe(self) -> str:
+        return f"embedding({self.num_embeddings}x{self.embedding_dim})"

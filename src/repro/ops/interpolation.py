@@ -1,0 +1,89 @@
+"""Interpolation operators: spatial resize of NCHW feature maps.
+
+SegFormer's decode head upsamples every pyramid stage to a common resolution
+(`Interpolate` rows in Table I); detection models resize inputs and masks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ir.tensor import TensorSpec
+from repro.ops.base import OpCategory, OpCost, Operator
+
+_MODES = ("nearest", "bilinear")
+
+
+class Interpolate(Operator):
+    """Resize the trailing two (spatial) dims by ``scale_factor`` or to ``size``."""
+
+    kind = "interpolate"
+    category = OpCategory.INTERPOLATION
+
+    def __init__(
+        self,
+        scale_factor: float | None = None,
+        size: tuple[int, int] | None = None,
+        mode: str = "bilinear",
+    ):
+        if (scale_factor is None) == (size is None):
+            raise ShapeError("interpolate needs exactly one of scale_factor or size")
+        if mode not in _MODES:
+            raise ShapeError(f"interpolate mode must be one of {_MODES}, got {mode!r}")
+        self.scale_factor = scale_factor
+        self.size = tuple(size) if size is not None else None
+        self.mode = mode
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        if x.rank != 4:
+            raise ShapeError(f"interpolate expects NCHW, got {x.shape}")
+        n, c, h, w = x.shape
+        if self.size is not None:
+            ho, wo = self.size
+        else:
+            ho = int(h * self.scale_factor)
+            wo = int(w * self.scale_factor)
+        if ho <= 0 or wo <= 0:
+            raise ShapeError(f"interpolate output collapses to {ho}x{wo}")
+        return (x.with_shape((n, c, ho, wo)),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        n, c, h, w = x.shape
+        (spec,) = self.infer_spec([TensorSpec(x.shape)])
+        ho, wo = spec.shape[2], spec.shape[3]
+        if self.mode == "nearest":
+            ys = np.minimum((np.arange(ho) * h // ho), h - 1)
+            xs = np.minimum((np.arange(wo) * w // wo), w - 1)
+            return (x[:, :, ys[:, None], xs[None, :]],)
+        # bilinear with align_corners=False convention
+        ys = np.clip((np.arange(ho) + 0.5) * h / ho - 0.5, 0, h - 1)
+        xs = np.clip((np.arange(wo) + 0.5) * w / wo - 0.5, 0, w - 1)
+        y0 = np.floor(ys).astype(int)
+        x0 = np.floor(xs).astype(int)
+        y1 = np.minimum(y0 + 1, h - 1)
+        x1 = np.minimum(x0 + 1, w - 1)
+        dy = (ys - y0)[None, None, :, None]
+        dx = (xs - x0)[None, None, None, :]
+        top = x[:, :, y0[:, None], x0[None, :]] * (1 - dx) + x[:, :, y0[:, None], x1[None, :]] * dx
+        bot = x[:, :, y1[:, None], x0[None, :]] * (1 - dx) + x[:, :, y1[:, None], x1[None, :]] * dx
+        return ((top * (1 - dy) + bot * dy).astype(x.dtype, copy=False),)
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        out = outputs[0]
+        flops_per = 8 if self.mode == "bilinear" else 1
+        taps = 4 if self.mode == "bilinear" else 1
+        return OpCost(
+            flops=out.numel * flops_per,
+            bytes_read=out.numel * taps * inputs[0].dtype.itemsize,
+            bytes_written=out.nbytes,
+        )
+
+    def describe(self) -> str:
+        target = self.size if self.size is not None else f"x{self.scale_factor:g}"
+        return f"interpolate({target}, {self.mode})"

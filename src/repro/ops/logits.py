@@ -1,0 +1,62 @@
+"""Logit-computation operators: Softmax and LogSoftmax.
+
+Softmax is the paper's canonical "single operand + non-linear + dynamic +
+reduction" non-GEMM operator (Table I); it sits on the critical path of every
+attention block.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ir.tensor import TensorSpec, normalize_axis
+from repro.ops.base import OpCategory, OpCost, Operator
+
+
+class Softmax(Operator):
+    """Numerically-stable softmax over ``dim``."""
+
+    kind = "softmax"
+    category = OpCategory.LOGIT
+    FLOPS_PER_ELEMENT = 10  # max-subtract, exp, sum, divide
+
+    def __init__(self, dim: int = -1):
+        self.dim = dim
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        normalize_axis(self.dim, x.rank)  # validates
+        return (x,)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        shifted = x - np.max(x, axis=self.dim, keepdims=True)
+        exp = np.exp(shifted)
+        return ((exp / np.sum(exp, axis=self.dim, keepdims=True)).astype(x.dtype, copy=False),)
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        numel = inputs[0].numel
+        return OpCost(
+            flops=numel * self.FLOPS_PER_ELEMENT,
+            # read once for max, once for exp-sum pass (two-pass kernels)
+            bytes_read=2 * inputs[0].nbytes,
+            bytes_written=outputs[0].nbytes,
+        )
+
+    def describe(self) -> str:
+        return f"softmax(dim={self.dim})"
+
+
+class LogSoftmax(Softmax):
+    """``log(softmax(x))`` — classification heads and losses."""
+
+    kind = "log_softmax"
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        shifted = x - np.max(x, axis=self.dim, keepdims=True)
+        log_z = np.log(np.sum(np.exp(shifted), axis=self.dim, keepdims=True))
+        return ((shifted - log_z).astype(x.dtype, copy=False),)

@@ -1,0 +1,350 @@
+"""Memory operators: layout manipulation and data movement.
+
+Two families, mirroring real framework behaviour (and the paper's analysis of
+why ViT is norm-dominated while Swin is memory-dominated):
+
+* **metadata-only views** (`Reshape`, `View`, `Permute`, `Transpose`,
+  `Expand`, `Squeeze`, `Unsqueeze`, `Split`, `Slice`) — no device kernel is
+  launched; their cost is host-side dispatch time, which the hardware model
+  charges separately;
+* **materializing ops** (`Contiguous`, `Concat`, `Roll`, `Pad`) — real
+  memory-bound copy kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ir.tensor import TensorSpec, normalize_axis
+from repro.ops.base import OpCategory, OpCost, Operator
+
+
+class _MemoryBase(Operator):
+    category = OpCategory.MEMORY
+
+
+class Reshape(_MemoryBase):
+    """Change the logical shape; one ``-1`` wildcard dimension is allowed."""
+
+    kind = "reshape"
+    is_metadata_only = True
+
+    def __init__(self, shape: tuple[int, ...]):
+        self.shape = tuple(shape)
+        if sum(1 for d in self.shape if d == -1) > 1:
+            raise ShapeError(f"reshape allows at most one -1, got {self.shape}")
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        target = self._resolve(x.numel)
+        if math.prod(target) != x.numel:
+            raise ShapeError(f"cannot reshape {x.shape} ({x.numel} elems) to {self.shape}")
+        return (x.with_shape(target),)
+
+    def _resolve(self, numel: int) -> tuple[int, ...]:
+        if -1 not in self.shape:
+            return self.shape
+        known = math.prod(d for d in self.shape if d != -1)
+        if known == 0 or numel % known:
+            raise ShapeError(f"cannot infer -1 in reshape to {self.shape} from {numel} elems")
+        return tuple(numel // known if d == -1 else d for d in self.shape)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        return (x.reshape(self._resolve(x.size)),)
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.shape})"
+
+
+class View(Reshape):
+    """torch ``.view`` — identical semantics to reshape, distinct profile name."""
+
+    kind = "view"
+
+
+class Permute(_MemoryBase):
+    """Reorder dimensions (lazy in eager frameworks — a stride change)."""
+
+    kind = "permute"
+    is_metadata_only = True
+
+    def __init__(self, dims: tuple[int, ...]):
+        self.dims = tuple(dims)
+        if sorted(self.dims) != list(range(len(self.dims))):
+            raise ShapeError(f"permute dims must be a permutation, got {self.dims}")
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        if x.rank != len(self.dims):
+            raise ShapeError(f"permute dims {self.dims} do not match rank {x.rank}")
+        return (x.with_shape(tuple(x.shape[d] for d in self.dims)),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        return (np.transpose(inputs[0], self.dims),)
+
+    def describe(self) -> str:
+        return f"permute{self.dims}"
+
+
+class Transpose(_MemoryBase):
+    """Swap two dimensions (torch ``transpose(a, b)``)."""
+
+    kind = "transpose"
+    is_metadata_only = True
+
+    def __init__(self, dim0: int, dim1: int):
+        self.dim0 = dim0
+        self.dim1 = dim1
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        a = normalize_axis(self.dim0, x.rank)
+        b = normalize_axis(self.dim1, x.rank)
+        shape = list(x.shape)
+        shape[a], shape[b] = shape[b], shape[a]
+        return (x.with_shape(tuple(shape)),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        return (np.swapaxes(x, self.dim0, self.dim1),)
+
+    def describe(self) -> str:
+        return f"transpose({self.dim0},{self.dim1})"
+
+
+class Contiguous(_MemoryBase):
+    """Materialize a strided view into contiguous storage — a real copy kernel.
+
+    This is the memory operator that dominates Swin Transformer profiles: the
+    shifted-window attention produces strided layouts that must be compacted
+    before each GEMM.
+    """
+
+    kind = "contiguous"
+    is_metadata_only = False
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        return (inputs[0],)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        return (np.ascontiguousarray(inputs[0]),)
+
+
+class Expand(_MemoryBase):
+    """Broadcast singleton dims to a larger shape without copying."""
+
+    kind = "expand"
+    is_metadata_only = True
+
+    def __init__(self, shape: tuple[int, ...]):
+        self.shape = tuple(shape)
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        if len(self.shape) < x.rank:
+            raise ShapeError(f"expand target {self.shape} has lower rank than {x.shape}")
+        padded = (1,) * (len(self.shape) - x.rank) + x.shape
+        for have, want in zip(padded, self.shape):
+            if have != want and have != 1 and want != -1:
+                raise ShapeError(f"cannot expand {x.shape} to {self.shape}")
+        target = tuple(h if w == -1 else w for h, w in zip(padded, self.shape))
+        return (x.with_shape(target),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        spec = self.infer_spec([TensorSpec(x.shape)])[0]
+        return (np.broadcast_to(x, spec.shape),)
+
+    def describe(self) -> str:
+        return f"expand({self.shape})"
+
+
+class Squeeze(_MemoryBase):
+    """Drop a singleton dimension."""
+
+    kind = "squeeze"
+    is_metadata_only = True
+
+    def __init__(self, dim: int):
+        self.dim = dim
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        axis = normalize_axis(self.dim, x.rank)
+        if x.shape[axis] != 1:
+            raise ShapeError(f"squeeze dim {self.dim} of {x.shape} is not 1")
+        return (x.with_shape(x.shape[:axis] + x.shape[axis + 1 :]),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        return (np.squeeze(inputs[0], axis=self.dim),)
+
+
+class Unsqueeze(_MemoryBase):
+    """Insert a singleton dimension."""
+
+    kind = "unsqueeze"
+    is_metadata_only = True
+
+    def __init__(self, dim: int):
+        self.dim = dim
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        axis = self.dim if self.dim >= 0 else self.dim + x.rank + 1
+        if not 0 <= axis <= x.rank:
+            raise ShapeError(f"unsqueeze dim {self.dim} out of range for {x.shape}")
+        return (x.with_shape(x.shape[:axis] + (1,) + x.shape[axis:]),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        return (np.expand_dims(inputs[0], axis=self.dim),)
+
+
+class Split(_MemoryBase):
+    """Split along an axis into equal chunks (views, like torch ``split``)."""
+
+    kind = "split"
+    is_metadata_only = True
+
+    def __init__(self, sections: int, dim: int):
+        if sections <= 0:
+            raise ShapeError("split sections must be positive")
+        self.sections = sections
+        self.dim = dim
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        axis = normalize_axis(self.dim, x.rank)
+        if x.shape[axis] % self.sections:
+            raise ShapeError(f"cannot split dim {axis} of {x.shape} into {self.sections}")
+        chunk = x.shape[axis] // self.sections
+        spec = x.with_shape(x.shape[:axis] + (chunk,) + x.shape[axis + 1 :])
+        return tuple(spec for _ in range(self.sections))
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        return tuple(np.split(inputs[0], self.sections, axis=self.dim))
+
+    def describe(self) -> str:
+        return f"split({self.sections}, dim={self.dim})"
+
+
+class Slice(_MemoryBase):
+    """Take ``[start:stop]`` along one axis (a view)."""
+
+    kind = "slice"
+    is_metadata_only = True
+
+    def __init__(self, dim: int, start: int, stop: int):
+        if stop <= start or start < 0:
+            raise ShapeError(f"bad slice [{start}:{stop}]")
+        self.dim = dim
+        self.start = start
+        self.stop = stop
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        axis = normalize_axis(self.dim, x.rank)
+        if self.stop > x.shape[axis]:
+            raise ShapeError(f"slice [{self.start}:{self.stop}] exceeds dim {x.shape[axis]}")
+        size = self.stop - self.start
+        return (x.with_shape(x.shape[:axis] + (size,) + x.shape[axis + 1 :]),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        index = [slice(None)] * x.ndim
+        index[self.dim] = slice(self.start, self.stop)
+        return (x[tuple(index)],)
+
+    def describe(self) -> str:
+        return f"slice(dim={self.dim}, [{self.start}:{self.stop}])"
+
+
+class Concat(_MemoryBase):
+    """Concatenate along an axis — a materializing copy kernel."""
+
+    kind = "concat"
+    is_metadata_only = False
+
+    def __init__(self, dim: int):
+        self.dim = dim
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        if not inputs:
+            raise ShapeError("concat needs at least one input")
+        first = inputs[0]
+        axis = normalize_axis(self.dim, first.rank)
+        total = 0
+        for spec in inputs:
+            if spec.rank != first.rank or spec.dtype != first.dtype:
+                raise ShapeError("concat inputs must share rank and dtype")
+            for d in range(first.rank):
+                if d != axis and spec.shape[d] != first.shape[d]:
+                    raise ShapeError(f"concat mismatch at dim {d}: {spec.shape} vs {first.shape}")
+            total += spec.shape[axis]
+        return (first.with_shape(first.shape[:axis] + (total,) + first.shape[axis + 1 :]),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        return (np.concatenate(list(inputs), axis=self.dim),)
+
+    def describe(self) -> str:
+        return f"concat(dim={self.dim})"
+
+
+class Roll(_MemoryBase):
+    """Cyclic shift along spatial dims (Swin's shifted windows) — a real copy."""
+
+    kind = "roll"
+    is_metadata_only = False
+
+    def __init__(self, shifts: tuple[int, ...], dims: tuple[int, ...]):
+        if len(shifts) != len(dims):
+            raise ShapeError("roll shifts and dims must align")
+        self.shifts = tuple(shifts)
+        self.dims = tuple(dims)
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        return (inputs[0],)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        return (np.roll(inputs[0], self.shifts, axis=self.dims),)
+
+    def describe(self) -> str:
+        return f"roll({self.shifts}, dims={self.dims})"
+
+
+class Pad(_MemoryBase):
+    """Zero-pad spatial dims — a materializing kernel."""
+
+    kind = "pad"
+    is_metadata_only = False
+
+    def __init__(self, padding: tuple[tuple[int, int], ...]):
+        self.padding = tuple(tuple(p) for p in padding)
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        if len(self.padding) != x.rank:
+            raise ShapeError(f"pad spec {self.padding} does not match rank {x.rank}")
+        shape = tuple(d + lo + hi for d, (lo, hi) in zip(x.shape, self.padding))
+        return (x.with_shape(shape),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        return (np.pad(inputs[0], self.padding),)
+
+    def describe(self) -> str:
+        return f"pad({self.padding})"

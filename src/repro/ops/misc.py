@@ -1,0 +1,273 @@
+"""Miscellaneous operators: masking, selection, casting, and MoE routing.
+
+These land in the paper's "Misc" group.  ``TopK``/``Gather`` are the routing
+primitives of Mixtral's mixture-of-experts blocks; ``MaskedFill``/``Tril``
+build causal attention masks; ``Cast`` appears around mixed-precision and
+quantized regions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ir.dtype import DType
+from repro.ir.tensor import TensorSpec, broadcast_shapes, normalize_axis
+from repro.ops.base import OpCategory, OpCost, Operator
+
+
+class Constant(Operator):
+    """A learned constant tensor: cls tokens, position embeddings, masks.
+
+    Takes no inputs and yields its single weight; no kernel is launched (the
+    tensor is already resident), so it is metadata-only like an input.
+    """
+
+    kind = "constant"
+    category = OpCategory.MISC
+    is_metadata_only = True
+
+    def __init__(self, shape: tuple[int, ...], dtype: DType = DType.F32, name: str = "value"):
+        self.shape = tuple(shape)
+        self.dtype = dtype
+        self.weight_name = name
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        if inputs:
+            raise ShapeError("constant takes no inputs")
+        return (TensorSpec(self.shape, self.dtype),)
+
+    def weight_specs(self):
+        from repro.ops.base import WeightSpec
+
+        return (WeightSpec(self.weight_name, self.shape, self.dtype),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        return (weights[self.weight_name],)
+
+    def describe(self) -> str:
+        return f"constant({self.shape}, {self.dtype.value})"
+
+
+class Nonzero(Operator):
+    """Indices of nonzero elements, padded to a static bound.
+
+    torch ``nonzero`` forces a device->host synchronization (the output size
+    is data-dependent); MoE routing calls it per expert, which is part of why
+    Mixtral's profile is memory/overhead dominated.  The synchronization is
+    modelled by the flows as a host round-trip.
+    """
+
+    kind = "nonzero"
+    category = OpCategory.MEMORY
+    forces_sync = True
+
+    def __init__(self, max_outputs: int):
+        if max_outputs <= 0:
+            raise ShapeError("nonzero max_outputs must be positive")
+        self.max_outputs = max_outputs
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        return (TensorSpec((self.max_outputs, x.rank), DType.I64),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        idx = np.argwhere(x)
+        out = np.zeros((self.max_outputs, x.ndim), dtype=np.int64)
+        count = min(len(idx), self.max_outputs)
+        out[:count] = idx[:count]
+        return (out,)
+
+    def describe(self) -> str:
+        return f"nonzero(max={self.max_outputs})"
+
+
+class Where(Operator):
+    """Elementwise select: ``cond ? a : b`` with broadcasting."""
+
+    kind = "where"
+    category = OpCategory.MISC
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 3, self.kind)
+        cond, a, b = inputs
+        shape = broadcast_shapes(broadcast_shapes(cond.shape, a.shape), b.shape)
+        return (TensorSpec(shape, a.dtype),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        cond, a, b = inputs
+        return (np.where(cond, a, b).astype(a.dtype, copy=False),)
+
+
+class MaskedFill(Operator):
+    """Write ``value`` wherever the boolean mask is set (causal attention)."""
+
+    kind = "masked_fill"
+    category = OpCategory.MISC
+
+    def __init__(self, value: float = float("-inf")):
+        self.value = value
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 2, self.kind)
+        x, mask = inputs
+        broadcast_shapes(x.shape, mask.shape)  # validates compatibility
+        return (x,)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        x, mask = inputs
+        fill = np.array(self.value, dtype=x.dtype) if np.isfinite(self.value) else np.array(
+            np.finfo(x.dtype).min if np.issubdtype(x.dtype, np.floating) else self.value,
+            dtype=x.dtype,
+        )
+        return (np.where(np.broadcast_to(mask, x.shape), fill, x),)
+
+    def describe(self) -> str:
+        return f"masked_fill({self.value:g})"
+
+
+class Tril(Operator):
+    """Lower-triangular mask of the trailing two dims."""
+
+    kind = "tril"
+    category = OpCategory.MISC
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        if x.rank < 2:
+            raise ShapeError(f"tril expects rank>=2, got {x.shape}")
+        return (x,)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        return (np.tril(inputs[0]),)
+
+
+class Gather(Operator):
+    """Index rows along ``dim`` by an integer index tensor (torch ``index_select``).
+
+    Pure data movement — profiles under the Memory operator group, like the
+    MoE token-routing gathers that dominate Mixtral's non-GEMM latency.
+    """
+
+    kind = "gather"
+    category = OpCategory.MEMORY
+
+    def __init__(self, dim: int):
+        self.dim = dim
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 2, self.kind)
+        x, index = inputs
+        if not index.dtype.is_integer:
+            raise ShapeError(f"gather index must be integer, got {index.dtype}")
+        if index.rank != 1:
+            raise ShapeError(f"gather index must be rank-1, got {index.shape}")
+        axis = normalize_axis(self.dim, x.rank)
+        shape = x.shape[:axis] + (index.shape[0],) + x.shape[axis + 1 :]
+        return (x.with_shape(shape),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        x, index = inputs
+        return (np.take(x, np.clip(index, 0, x.shape[self.dim] - 1), axis=self.dim),)
+
+    def describe(self) -> str:
+        return f"gather(dim={self.dim})"
+
+
+class IndexAdd(Operator):
+    """Scatter-add rows of ``values`` into ``base`` at ``index`` (torch ``index_add_``).
+
+    The accumulation step of HF's mixture-of-experts loop; data movement, so
+    it reports under the Memory group.
+    """
+
+    kind = "index_add"
+    category = OpCategory.MEMORY
+
+    def __init__(self, dim: int = 0):
+        self.dim = dim
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 3, self.kind)
+        base, index, values = inputs
+        if not index.dtype.is_integer or index.rank != 1:
+            raise ShapeError(f"index_add index must be integer rank-1, got {index}")
+        axis = normalize_axis(self.dim, base.rank)
+        if values.shape[axis] != index.shape[0]:
+            raise ShapeError(
+                f"index_add values dim {axis} ({values.shape}) must match index {index.shape}"
+            )
+        return (base,)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        base, index, values = inputs
+        out = base.copy()
+        idx = np.clip(index, 0, base.shape[self.dim] - 1)
+        np.add.at(out, tuple([idx if d == self.dim else slice(None) for d in range(base.ndim)][:1]), values)
+        return (out,)
+
+    def describe(self) -> str:
+        return f"index_add(dim={self.dim})"
+
+
+class TopK(Operator):
+    """Top-``k`` values and indices along the last dim (MoE expert routing)."""
+
+    kind = "topk"
+    category = OpCategory.MISC
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ShapeError("topk k must be positive")
+        self.k = k
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        if x.rank < 1 or x.shape[-1] < self.k:
+            raise ShapeError(f"topk k={self.k} exceeds last dim of {x.shape}")
+        shape = x.shape[:-1] + (self.k,)
+        return (x.with_shape(shape), TensorSpec(shape, DType.I64))
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        idx = np.argsort(-x, axis=-1, kind="stable")[..., : self.k]
+        values = np.take_along_axis(x, idx, axis=-1)
+        return (values, idx.astype(np.int64))
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        n = inputs[0].shape[-1]
+        rows = inputs[0].numel // max(n, 1)
+        return OpCost(
+            flops=rows * n * max(1, int(np.log2(max(n, 2)))),
+            bytes_read=inputs[0].nbytes,
+            bytes_written=sum(s.nbytes for s in outputs),
+        )
+
+    def describe(self) -> str:
+        return f"topk({self.k})"
+
+
+class Cast(Operator):
+    """Elementwise dtype conversion (mixed precision / quantized boundaries)."""
+
+    kind = "cast"
+    category = OpCategory.MISC
+
+    def __init__(self, dtype: DType):
+        self.dtype = dtype
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        return (inputs[0].with_dtype(self.dtype),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        return (inputs[0].astype(self.dtype.to_numpy()),)
+
+    def describe(self) -> str:
+        return f"cast({self.dtype.value})"

@@ -1,0 +1,119 @@
+"""Pooling operators over NCHW tensors (reported under "Misc" in the paper)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ir.tensor import TensorSpec
+from repro.ops.base import OpCategory, OpCost, Operator
+
+
+class _Pool2dBase(Operator):
+    category = OpCategory.POOLING
+
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0):
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        if x.rank != 4:
+            raise ShapeError(f"{self.kind} expects NCHW, got {x.shape}")
+        n, c, h, w = x.shape
+        ho = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
+        wo = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
+        if ho <= 0 or wo <= 0:
+            raise ShapeError(f"{self.kind} output collapses for input {x.shape}")
+        return (x.with_shape((n, c, ho, wo)),)
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        out = outputs[0]
+        window = self.kernel_size * self.kernel_size
+        return OpCost(
+            flops=out.numel * window,
+            bytes_read=inputs[0].nbytes,
+            bytes_written=out.nbytes,
+        )
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        """Stack pooling windows into (..., kh*kw) for reduction."""
+        if self.padding:
+            pad_value = -np.inf if isinstance(self, MaxPool2d) else 0.0
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+                constant_values=pad_value,
+            )
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        ho = (h - k) // s + 1
+        wo = (w - k) // s + 1
+        stack = np.empty((n, c, ho, wo, k * k), dtype=x.dtype)
+        for i in range(k):
+            for j in range(k):
+                stack[..., i * k + j] = x[:, :, i : i + s * ho : s, j : j + s * wo : s]
+        return stack
+
+    def describe(self) -> str:
+        return f"{self.kind}(k={self.kernel_size}, s={self.stride}, p={self.padding})"
+
+
+class MaxPool2d(_Pool2dBase):
+    kind = "max_pool2d"
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        return (self._windows(x).max(axis=-1).astype(x.dtype, copy=False),)
+
+
+class AvgPool2d(_Pool2dBase):
+    kind = "avg_pool2d"
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        return (self._windows(x).mean(axis=-1).astype(x.dtype, copy=False),)
+
+
+class AdaptiveAvgPool2d(Operator):
+    """Pool NCHW spatial dims down to a fixed output size (ResNet's head)."""
+
+    kind = "adaptive_avg_pool2d"
+    category = OpCategory.POOLING
+
+    def __init__(self, output_size: int = 1):
+        self.output_size = output_size
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        if x.rank != 4:
+            raise ShapeError(f"adaptive_avg_pool2d expects NCHW, got {x.shape}")
+        n, c = x.shape[:2]
+        return (x.with_shape((n, c, self.output_size, self.output_size)),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        n, c, h, w = x.shape
+        size = self.output_size
+        out = np.empty((n, c, size, size), dtype=x.dtype)
+        for i in range(size):
+            for j in range(size):
+                y0, y1 = h * i // size, max(h * (i + 1) // size, h * i // size + 1)
+                x0, x1 = w * j // size, max(w * (j + 1) // size, w * j // size + 1)
+                out[:, :, i, j] = x[:, :, y0:y1, x0:x1].mean(axis=(2, 3))
+        return (out,)
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        return OpCost(
+            flops=inputs[0].numel,
+            bytes_read=inputs[0].nbytes,
+            bytes_written=outputs[0].nbytes,
+        )
+
+    def describe(self) -> str:
+        return f"adaptive_avg_pool2d({self.output_size})"

@@ -1,0 +1,129 @@
+"""Quantization operators for the LLM.int8() study (Fig. 9).
+
+``Quantize``/``Dequantize`` carry the paper's "Q/DQ" operator group; they are
+the extra non-GEMM work injected around every quantized Linear.
+``Int8Linear`` is the accelerated GEMM itself, including LLM.int8()'s
+mixed-precision outlier decomposition (a small fp16 GEMM over outlier
+columns whose result is added back after dequantization).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ir.dtype import DType
+from repro.ir.tensor import TensorSpec
+from repro.ops.base import OpCategory, OpCost, Operator, WeightSpec
+
+
+class Quantize(Operator):
+    """Rowwise absmax int8 quantization: fp -> (i8 tensor, fp row scales)."""
+
+    kind = "quantize"
+    category = OpCategory.QDQ
+    FLOPS_PER_ELEMENT = 4  # abs, max-reduce (amortised), scale, round
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        if not x.dtype.is_floating:
+            raise ShapeError(f"quantize expects floating input, got {x.dtype}")
+        scales = TensorSpec(x.shape[:-1] + (1,), x.dtype)
+        return (x.with_dtype(DType.I8), scales)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        absmax = np.maximum(np.max(np.abs(x), axis=-1, keepdims=True), 1e-8)
+        scale = absmax / 127.0
+        q = np.clip(np.round(x / scale), -127, 127).astype(np.int8)
+        return (q, scale.astype(x.dtype))
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        return OpCost(
+            flops=inputs[0].numel * self.FLOPS_PER_ELEMENT,
+            bytes_read=inputs[0].nbytes,
+            bytes_written=sum(s.nbytes for s in outputs),
+        )
+
+
+class Dequantize(Operator):
+    """int32 accumulator (or i8 tensor) back to floating point via scales."""
+
+    kind = "dequantize"
+    category = OpCategory.QDQ
+    FLOPS_PER_ELEMENT = 2
+
+    def __init__(self, dtype: DType = DType.F16):
+        self.dtype = dtype
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 2, self.kind)
+        x, scales = inputs
+        if not scales.dtype.is_floating:
+            raise ShapeError(f"dequantize scales must be floating, got {scales.dtype}")
+        return (x.with_dtype(self.dtype),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        x, scales = inputs
+        return ((x.astype(np.float32) * scales).astype(self.dtype.to_numpy()),)
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        return OpCost(
+            flops=inputs[0].numel * self.FLOPS_PER_ELEMENT,
+            bytes_read=sum(s.nbytes for s in inputs),
+            bytes_written=outputs[0].nbytes,
+        )
+
+    def describe(self) -> str:
+        return f"dequantize({self.dtype.value})"
+
+
+class Int8Linear(Operator):
+    """The int8 GEMM of LLM.int8(): i8 activations x i8 weights -> i32.
+
+    Scaling back to floating point is *not* part of this kernel — the
+    quantization pass (:mod:`repro.quant.llm_int8`) wires an explicit
+    Dequantize + scale chain behind it, because those extra non-GEMM
+    operators are precisely what the paper's Fig. 9 measures.
+    """
+
+    kind = "int8_linear"
+    category = OpCategory.GEMM
+
+    def __init__(self, in_features: int, out_features: int):
+        if in_features <= 0 or out_features <= 0:
+            raise ShapeError("int8_linear features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        if x.dtype != DType.I8:
+            raise ShapeError(f"int8_linear expects i8 input, got {x.dtype}")
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(f"int8_linear expects last dim {self.in_features}, got {x.shape}")
+        return (TensorSpec(x.shape[:-1] + (self.out_features,), DType.I32),)
+
+    def weight_specs(self) -> tuple[WeightSpec, ...]:
+        return (WeightSpec("weight_int8", (self.out_features, self.in_features), DType.I8),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        acc = x.astype(np.int32) @ weights["weight_int8"].astype(np.int32).T
+        return (acc.astype(np.int32),)
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        rows = inputs[0].numel // self.in_features
+        flops = 2 * rows * self.in_features * self.out_features
+        return OpCost(
+            flops=flops,
+            bytes_read=inputs[0].nbytes + self.weight_bytes(),
+            bytes_written=outputs[0].nbytes,
+        )
+
+    def describe(self) -> str:
+        return f"int8_linear({self.in_features}->{self.out_features})"

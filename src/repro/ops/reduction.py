@@ -1,0 +1,78 @@
+"""Reduction operators: Mean, Sum, Max, ArgMax along an axis."""
+
+from __future__ import annotations
+
+from typing import Callable, ClassVar, Sequence
+
+import numpy as np
+
+from repro.ir.dtype import DType
+from repro.ir.tensor import TensorSpec, normalize_axis
+from repro.ops.base import OpCategory, OpCost, Operator
+
+
+class _ReduceBase(Operator):
+    category = OpCategory.REDUCTION
+    _fn: ClassVar[Callable]
+
+    def __init__(self, dim: int, keepdim: bool = False):
+        self.dim = dim
+        self.keepdim = keepdim
+
+    def _out_shape(self, x: TensorSpec) -> tuple[int, ...]:
+        axis = normalize_axis(self.dim, x.rank)
+        if self.keepdim:
+            return x.shape[:axis] + (1,) + x.shape[axis + 1 :]
+        return x.shape[:axis] + x.shape[axis + 1 :]
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        return (x.with_shape(self._out_shape(x)),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        return (type(self)._fn(x, axis=self.dim, keepdims=self.keepdim).astype(x.dtype, copy=False),)
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        return OpCost(
+            flops=inputs[0].numel,
+            bytes_read=inputs[0].nbytes,
+            bytes_written=outputs[0].nbytes,
+        )
+
+    def describe(self) -> str:
+        return f"{self.kind}(dim={self.dim}{', keepdim' if self.keepdim else ''})"
+
+
+class Mean(_ReduceBase):
+    kind = "mean"
+    _fn = staticmethod(np.mean)
+
+
+class Sum(_ReduceBase):
+    kind = "sum"
+    _fn = staticmethod(np.sum)
+
+
+class Max(_ReduceBase):
+    kind = "max"
+    _fn = staticmethod(np.max)
+
+
+class ArgMax(_ReduceBase):
+    """Index of the maximum along ``dim``; output dtype is i64."""
+
+    kind = "argmax"
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 1, self.kind)
+        (x,) = inputs
+        return (TensorSpec(self._out_shape(x), DType.I64),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        (x,) = inputs
+        out = np.argmax(x, axis=self.dim)
+        if self.keepdim:
+            out = np.expand_dims(out, axis=self.dim)
+        return (out.astype(np.int64),)

@@ -1,0 +1,167 @@
+"""Region-of-interest operators: Non-Maximum Suppression and RoIAlign.
+
+These are the operators that make R-CNN-family detectors structurally unlike
+classification networks: data-dependent control flow (NMS keeps a variable
+number of boxes) and gather-heavy sampling (RoIAlign).  Because graph shapes
+must be static, NMS reports a padded output of ``max_outputs`` boxes plus a
+count tensor, matching how deployment flows compile it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ir.dtype import DType
+from repro.ir.tensor import TensorSpec
+from repro.ops.base import OpCategory, OpCost, Operator
+
+
+class NMS(Operator):
+    """Greedy IoU-based non-maximum suppression.
+
+    Inputs: ``boxes [N, 4]`` (x1, y1, x2, y2) and ``scores [N]``.
+    Outputs: ``kept_boxes [max_outputs, 4]`` zero-padded, and
+    ``kept_count []`` (i64 scalar) — the dynamic size surfaced as data.
+    """
+
+    kind = "nms"
+    category = OpCategory.ROI
+
+    def __init__(self, iou_threshold: float = 0.5, score_threshold: float = 0.05, max_outputs: int = 100):
+        if not 0.0 <= iou_threshold <= 1.0:
+            raise ShapeError(f"iou_threshold must be in [0,1], got {iou_threshold}")
+        self.iou_threshold = iou_threshold
+        self.score_threshold = score_threshold
+        self.max_outputs = max_outputs
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 2, self.kind)
+        boxes, scores = inputs
+        if boxes.rank != 2 or boxes.shape[1] != 4:
+            raise ShapeError(f"nms boxes must be [N,4], got {boxes.shape}")
+        if scores.shape != (boxes.shape[0],):
+            raise ShapeError(f"nms scores {scores.shape} must match boxes {boxes.shape}")
+        return (
+            TensorSpec((self.max_outputs, 4), boxes.dtype),
+            TensorSpec((), DType.I64),
+        )
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        boxes, scores = inputs
+        keep_mask = scores >= self.score_threshold
+        candidates = np.flatnonzero(keep_mask)
+        order = candidates[np.argsort(-scores[candidates], kind="stable")]
+        kept: list[int] = []
+        while order.size and len(kept) < self.max_outputs:
+            best = order[0]
+            kept.append(int(best))
+            if order.size == 1:
+                break
+            ious = _iou_one_to_many(boxes[best], boxes[order[1:]])
+            order = order[1:][ious <= self.iou_threshold]
+        out = np.zeros((self.max_outputs, 4), dtype=boxes.dtype)
+        if kept:
+            out[: len(kept)] = boxes[kept]
+        return (out, np.asarray(len(kept), dtype=np.int64))
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        n = inputs[0].shape[0]
+        # sort (n log n compares) + worst-case pairwise IoU (~12 flops each).
+        sort_flops = int(n * max(1, np.log2(max(n, 2))))
+        iou_flops = 12 * n * min(n, self.max_outputs) // 2
+        return OpCost(
+            flops=sort_flops + iou_flops,
+            bytes_read=sum(s.nbytes for s in inputs) * 2,  # revisits survivors
+            bytes_written=sum(s.nbytes for s in outputs),
+        )
+
+    def describe(self) -> str:
+        return f"nms(iou={self.iou_threshold}, score={self.score_threshold}, max={self.max_outputs})"
+
+
+class RoIAlign(Operator):
+    """Bilinear RoI feature pooling (Mask R-CNN's alignment operator).
+
+    Inputs: ``features [N, C, H, W]`` and ``rois [R, 5]`` where each row is
+    (batch_index, x1, y1, x2, y2) in input-image coordinates.
+    Output: ``[R, C, output_size, output_size]``.
+    """
+
+    kind = "roi_align"
+    category = OpCategory.ROI
+
+    def __init__(self, output_size: int = 7, spatial_scale: float = 1.0, sampling_ratio: int = 2):
+        self.output_size = output_size
+        self.spatial_scale = spatial_scale
+        self.sampling_ratio = sampling_ratio
+
+    def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
+        self._expect_inputs(inputs, 2, self.kind)
+        feats, rois = inputs
+        if feats.rank != 4:
+            raise ShapeError(f"roi_align features must be NCHW, got {feats.shape}")
+        if rois.rank != 2 or rois.shape[1] != 5:
+            raise ShapeError(f"roi_align rois must be [R,5], got {rois.shape}")
+        r = rois.shape[0]
+        c = feats.shape[1]
+        return (TensorSpec((r, c, self.output_size, self.output_size), feats.dtype),)
+
+    def run(self, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> tuple[np.ndarray, ...]:
+        feats, rois = inputs
+        _, c, h, w = feats.shape
+        r = rois.shape[0]
+        size = self.output_size
+        out = np.zeros((r, c, size, size), dtype=feats.dtype)
+        for ri in range(r):
+            batch = int(rois[ri, 0])
+            x1, y1, x2, y2 = rois[ri, 1:] * self.spatial_scale
+            bin_w = max(x2 - x1, 1e-6) / size
+            bin_h = max(y2 - y1, 1e-6) / size
+            for py in range(size):
+                for px in range(size):
+                    # one bilinear sample at the bin centre (sampling_ratio=1
+                    # semantics; sufficient as a reference implementation)
+                    cy = np.clip(y1 + (py + 0.5) * bin_h, 0, h - 1)
+                    cx = np.clip(x1 + (px + 0.5) * bin_w, 0, w - 1)
+                    out[ri, :, py, px] = _bilinear(feats[batch], cy, cx)
+        return (out,)
+
+    def cost(self, inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> OpCost:
+        out = outputs[0]
+        samples = out.numel * max(1, self.sampling_ratio) ** 2
+        return OpCost(
+            flops=samples * 8,  # 4 taps * (1 mul + 1 add)
+            # gathers touch 4 feature values per sample
+            bytes_read=samples * 4 * inputs[0].dtype.itemsize + inputs[1].nbytes,
+            bytes_written=out.nbytes,
+        )
+
+    def describe(self) -> str:
+        return f"roi_align(out={self.output_size}, scale={self.spatial_scale:g})"
+
+
+def _iou_one_to_many(box: np.ndarray, boxes: np.ndarray) -> np.ndarray:
+    """IoU of one (x1,y1,x2,y2) box against an [M,4] array."""
+    x1 = np.maximum(box[0], boxes[:, 0])
+    y1 = np.maximum(box[1], boxes[:, 1])
+    x2 = np.minimum(box[2], boxes[:, 2])
+    y2 = np.minimum(box[3], boxes[:, 3])
+    inter = np.clip(x2 - x1, 0, None) * np.clip(y2 - y1, 0, None)
+    area_a = (box[2] - box[0]) * (box[3] - box[1])
+    area_b = (boxes[:, 2] - boxes[:, 0]) * (boxes[:, 3] - boxes[:, 1])
+    union = area_a + area_b - inter
+    return np.where(union > 0, inter / np.maximum(union, 1e-9), 0.0)
+
+
+def _bilinear(feat: np.ndarray, y: float, x: float) -> np.ndarray:
+    """Bilinear sample of a CHW feature map at a fractional (y, x)."""
+    _, h, w = feat.shape
+    y0, x0 = int(np.floor(y)), int(np.floor(x))
+    y1, x1 = min(y0 + 1, h - 1), min(x0 + 1, w - 1)
+    dy, dx = y - y0, x - x0
+    top = feat[:, y0, x0] * (1 - dx) + feat[:, y0, x1] * dx
+    bottom = feat[:, y1, x0] * (1 - dx) + feat[:, y1, x1] * dx
+    return top * (1 - dy) + bottom * dy

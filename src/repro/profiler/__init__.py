@@ -1,0 +1,25 @@
+"""Operator-level profiling of lowered model graphs."""
+
+from repro.profiler.aggregate import (
+    GroupBreakdown,
+    average_share,
+    breakdown,
+    dominant_group_table,
+)
+from repro.profiler.profiler import profile_graph
+from repro.profiler.records import GROUP_ORDER, OpRecord, ProfileResult, report_group
+from repro.profiler.trace import export_chrome_trace, trace_events
+
+__all__ = [
+    "GROUP_ORDER",
+    "GroupBreakdown",
+    "OpRecord",
+    "ProfileResult",
+    "average_share",
+    "breakdown",
+    "dominant_group_table",
+    "export_chrome_trace",
+    "profile_graph",
+    "report_group",
+    "trace_events",
+]

@@ -1,0 +1,73 @@
+"""Cross-profile aggregation helpers used by the figure/table harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ops.base import OpCategory
+from repro.profiler.records import GROUP_ORDER, ProfileResult
+
+
+@dataclass(frozen=True)
+class GroupBreakdown:
+    """Percentage latency breakdown of one profile, in figure display order."""
+
+    label: str
+    total_latency_ms: float
+    shares: dict[OpCategory, float]
+
+    def share(self, group: OpCategory) -> float:
+        return self.shares.get(group, 0.0)
+
+    @property
+    def gemm_pct(self) -> float:
+        return 100.0 * self.share(OpCategory.GEMM)
+
+    @property
+    def non_gemm_pct(self) -> float:
+        return 100.0 - self.gemm_pct
+
+
+def breakdown(profile: ProfileResult, label: str | None = None) -> GroupBreakdown:
+    """Latency-share breakdown of one profile in paper group order."""
+    shares = profile.share_by_group()
+    ordered = {g: shares.get(g, 0.0) for g in GROUP_ORDER if shares.get(g, 0.0) > 0.0}
+    return GroupBreakdown(
+        label=label or profile.describe(),
+        total_latency_ms=profile.total_latency_ms,
+        shares=ordered,
+    )
+
+
+def average_share(profiles: list[ProfileResult], group: OpCategory | None = None) -> float:
+    """Mean share across profiles: of ``group``, or of all non-GEMM when None."""
+    if not profiles:
+        return 0.0
+    if group is None:
+        return sum(p.non_gemm_share for p in profiles) / len(profiles)
+    return sum(p.share_by_group().get(group, 0.0) for p in profiles) / len(profiles)
+
+
+def dominant_group_table(
+    profiles: dict[str, list[ProfileResult]],
+) -> list[tuple[str, OpCategory, float]]:
+    """Paper Table IV: per model, the heaviest non-GEMM group averaged over batches.
+
+    ``profiles`` maps model name -> its profiles (e.g. batch 1 and 8).
+    Returns (model, group, mean share of total latency).
+    """
+    rows: list[tuple[str, OpCategory, float]] = []
+    for model, runs in profiles.items():
+        if not runs:
+            continue
+        group_shares: dict[OpCategory, float] = {}
+        for profile in runs:
+            for group, share in profile.share_by_group().items():
+                if group is OpCategory.GEMM:
+                    continue
+                group_shares[group] = group_shares.get(group, 0.0) + share / len(runs)
+        if not group_shares:
+            continue
+        best = max(group_shares.items(), key=lambda kv: kv[1])
+        rows.append((model, best[0], best[1]))
+    return rows

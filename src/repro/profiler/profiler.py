@@ -1,0 +1,89 @@
+"""The profiling loop: simulate a plan repeatedly and aggregate statistics.
+
+Mirrors the paper's methodology: N warm profiling iterations per
+configuration, per-operator latency collection, then aggregation into
+operator groups.  Run-to-run jitter is modelled with a deterministic seeded
+multiplicative noise so that repeated profiles have realistic variance
+without being flaky.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.flows.base import DeploymentFlow
+from repro.hardware.platform import Platform
+from repro.ir.graph import Graph
+from repro.profiler.records import OpRecord, ProfileResult
+from repro.runtime.memory import profile_memory
+from repro.runtime.simulator import simulate
+
+#: relative run-to-run jitter of kernel latencies (std of multiplicative noise)
+JITTER_STD = 0.03
+
+
+def profile_graph(
+    graph: Graph,
+    flow: DeploymentFlow,
+    platform: Platform,
+    use_gpu: bool = True,
+    batch_size: int = 1,
+    iterations: int = 5,
+    seed: int = 0,
+    model_name: str | None = None,
+) -> ProfileResult:
+    """Profile one model graph under one deployment flow on one platform."""
+    if use_gpu and not platform.has_gpu:
+        use_gpu = False
+    plan = flow.lower(graph, use_gpu=use_gpu)
+    baseline = simulate(plan, platform)
+    rng = np.random.default_rng(seed)
+
+    # per-kernel noisy samples across iterations
+    n_kernels = len(baseline.records)
+    noise = 1.0 + JITTER_STD * rng.standard_normal((iterations, n_kernels))
+    noise = np.clip(noise, 0.7, 1.3)
+    base_latencies = np.array([r.latency_s for r in baseline.records])
+    samples = noise * base_latencies[None, :]
+
+    mean_lat = samples.mean(axis=0)
+    std_lat = samples.std(axis=0)
+    totals = samples.sum(axis=1)
+
+    records = [
+        OpRecord(
+            name=rec.kernel.name,
+            op_kinds=rec.kernel.op_kinds,
+            category=rec.kernel.category,
+            device=rec.kernel.device,
+            latency_s=float(mean_lat[i]),
+            latency_std_s=float(std_lat[i]),
+            flops=rec.kernel.cost.flops,
+            bytes_moved=rec.kernel.cost.total_bytes,
+            fused=rec.kernel.fused,
+            bound=rec.estimate.bound,
+        )
+        for i, rec in enumerate(baseline.records)
+    ]
+
+    memory = profile_memory(graph)
+    scale = float(totals.mean()) / baseline.total_latency_s if baseline.total_latency_s else 1.0
+    return ProfileResult(
+        model=model_name or graph.name,
+        flow=flow.name,
+        platform=platform,
+        use_gpu=use_gpu,
+        batch_size=batch_size,
+        iterations=iterations,
+        records=records,
+        total_latency_s=float(totals.mean()),
+        total_latency_std_s=float(totals.std()) / math.sqrt(max(iterations, 1)),
+        gpu_energy_j=baseline.gpu_energy_j * scale,
+        cpu_energy_j=baseline.cpu_energy_j * scale,
+        peak_memory_bytes=memory.peak_total_bytes,
+        num_graph_ops=len(graph.compute_nodes()),
+        num_kernels=plan.num_kernels,
+        non_gemm_fusion_rate=plan.non_gemm_fusion_rate(),
+    )

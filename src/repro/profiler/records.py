@@ -1,0 +1,135 @@
+"""Profiling record types and the profile result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.device import DeviceKind
+from repro.hardware.platform import Platform
+from repro.ops.base import MISC_LIKE, OpCategory
+
+#: Display order of operator groups in the paper's figures.
+GROUP_ORDER = [
+    OpCategory.GEMM,
+    OpCategory.ACTIVATION,
+    OpCategory.NORMALIZATION,
+    OpCategory.MEMORY,
+    OpCategory.ROI,
+    OpCategory.INTERPOLATION,
+    OpCategory.ELEMENTWISE,
+    OpCategory.LOGIT,
+    OpCategory.QDQ,
+    OpCategory.EMBEDDING,
+    OpCategory.MISC,
+]
+
+
+def report_group(category: OpCategory) -> OpCategory:
+    """Map fine categories onto the paper's reporting groups (Misc folds pooling/reduction)."""
+    if category in MISC_LIKE:
+        return OpCategory.MISC
+    return category
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """Mean profiled timing of one kernel across iterations."""
+
+    name: str
+    op_kinds: tuple[str, ...]
+    category: OpCategory
+    device: DeviceKind
+    latency_s: float
+    latency_std_s: float
+    flops: int
+    bytes_moved: int
+    fused: bool
+    bound: str
+
+    @property
+    def is_gemm(self) -> bool:
+        return self.category is OpCategory.GEMM
+
+    @property
+    def group(self) -> OpCategory:
+        return report_group(self.category)
+
+
+@dataclass
+class ProfileResult:
+    """Operator-level profile of one (model, flow, platform, batch) point."""
+
+    model: str
+    flow: str
+    platform: Platform
+    use_gpu: bool
+    batch_size: int
+    iterations: int
+    records: list[OpRecord] = field(default_factory=list)
+    total_latency_s: float = 0.0
+    total_latency_std_s: float = 0.0
+    gpu_energy_j: float = 0.0
+    cpu_energy_j: float = 0.0
+    peak_memory_bytes: int = 0
+    num_graph_ops: int = 0
+    num_kernels: int = 0
+    non_gemm_fusion_rate: float = 0.0
+
+    # -- aggregation -----------------------------------------------------------
+
+    @property
+    def total_latency_ms(self) -> float:
+        return self.total_latency_s * 1e3
+
+    def latency_by_group(self) -> dict[OpCategory, float]:
+        """Seconds per reporting group (the paper's stacked-bar breakdown)."""
+        out: dict[OpCategory, float] = {}
+        for record in self.records:
+            out[record.group] = out.get(record.group, 0.0) + record.latency_s
+        return out
+
+    def share_by_group(self) -> dict[OpCategory, float]:
+        """Fraction of total latency per reporting group."""
+        total = self.total_latency_s or 1.0
+        return {g: t / total for g, t in self.latency_by_group().items()}
+
+    @property
+    def gemm_latency_s(self) -> float:
+        return sum(r.latency_s for r in self.records if r.is_gemm)
+
+    @property
+    def non_gemm_latency_s(self) -> float:
+        return sum(r.latency_s for r in self.records if not r.is_gemm)
+
+    @property
+    def gemm_share(self) -> float:
+        return self.gemm_latency_s / (self.total_latency_s or 1.0)
+
+    @property
+    def non_gemm_share(self) -> float:
+        return self.non_gemm_latency_s / (self.total_latency_s or 1.0)
+
+    def dominant_non_gemm_group(self) -> tuple[OpCategory, float]:
+        """The paper's Table IV: heaviest non-GEMM group and its share of total."""
+        best: tuple[OpCategory, float] | None = None
+        for group, latency in self.latency_by_group().items():
+            if group is OpCategory.GEMM:
+                continue
+            share = latency / (self.total_latency_s or 1.0)
+            if best is None or share > best[1]:
+                best = (group, share)
+        if best is None:
+            return (OpCategory.MISC, 0.0)
+        return best
+
+    def top_operators(self, n: int = 10, non_gemm_only: bool = False) -> list[OpRecord]:
+        records = [r for r in self.records if not (non_gemm_only and r.is_gemm)]
+        return sorted(records, key=lambda r: r.latency_s, reverse=True)[:n]
+
+    def describe(self) -> str:
+        device = "CPU+GPU" if self.use_gpu else "CPU"
+        return (
+            f"{self.model} b{self.batch_size} [{self.flow}, platform {self.platform.platform_id},"
+            f" {device}]: {self.total_latency_ms:.2f} ms,"
+            f" non-GEMM {self.non_gemm_share:.1%}"
+        )

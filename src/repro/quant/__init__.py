@@ -1,0 +1,5 @@
+"""Quantization passes (LLM.int8() study of the paper's Section IV-C)."""
+
+from repro.quant.llm_int8 import QuantizationStats, QuantizedModel, quantize_llm_int8
+
+__all__ = ["QuantizationStats", "QuantizedModel", "quantize_llm_int8"]

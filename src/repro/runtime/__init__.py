@@ -1,0 +1,15 @@
+"""Runtime: concrete execution, latency simulation, memory profiling."""
+
+from repro.runtime.executor import GraphExecutor, run_graph
+from repro.runtime.memory import MemoryProfile, profile_memory
+from repro.runtime.simulator import KernelRecord, SimulationResult, simulate
+
+__all__ = [
+    "GraphExecutor",
+    "KernelRecord",
+    "MemoryProfile",
+    "SimulationResult",
+    "profile_memory",
+    "run_graph",
+    "simulate",
+]

@@ -1,0 +1,59 @@
+"""Peak activation-memory estimation via liveness analysis.
+
+Part of the paper's performance report ("Peak Memory Usage").  Walks the
+graph in topological order keeping every value alive until its last
+consumer; peak memory is the high-water mark of live activations plus
+resident weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import Graph
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Memory footprint summary for one graph."""
+
+    weight_bytes: int
+    peak_activation_bytes: int
+
+    @property
+    def peak_total_bytes(self) -> int:
+        return self.weight_bytes + self.peak_activation_bytes
+
+
+def profile_memory(graph: Graph) -> MemoryProfile:
+    """Compute resident-weight and peak-activation bytes for ``graph``."""
+    weight_bytes = sum(node.op.weight_bytes() for node in graph.nodes)
+
+    last_use: dict[tuple[int, int], int] = {}
+    for node in graph.nodes:
+        for value in node.inputs:
+            last_use[(value.node_id, value.port)] = node.node_id
+    for value in graph.outputs:
+        last_use[(value.node_id, value.port)] = len(graph.nodes)
+
+    # metadata-only ops alias their input storage: attribute zero new bytes.
+    live = 0
+    peak = 0
+    free_at: dict[int, int] = {}
+    for node in graph.nodes:
+        if not node.op.is_metadata_only or node.is_placeholder:
+            produced = sum(
+                spec.nbytes
+                for port, spec in enumerate(node.outputs)
+                if (node.node_id, port) in last_use
+            )
+            live += produced
+            peak = max(peak, live)
+            for port, spec in enumerate(node.outputs):
+                key = (node.node_id, port)
+                if key in last_use:
+                    release_point = last_use[key]
+                    free_at[release_point] = free_at.get(release_point, 0) + spec.nbytes
+        live -= free_at.pop(node.node_id, 0)
+
+    return MemoryProfile(weight_bytes=weight_bytes, peak_activation_bytes=peak)

@@ -1,0 +1,87 @@
+"""Latency and energy simulation of execution plans.
+
+Walks a lowered :class:`~repro.flows.plan.ExecutionPlan` on a
+:class:`~repro.hardware.platform.Platform`, estimating each kernel with the
+roofline cost model, adding PCIe transfers for CPU-fallback kernels, and
+integrating the power model for energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flows.plan import ExecutionPlan, PlannedKernel
+from repro.hardware.calibration import FALLBACK_SYNC_S, dispatch_profile
+from repro.hardware.cost_model import LatencyEstimate, estimate_kernel
+from repro.hardware.device import DeviceKind
+from repro.hardware.energy import EnergyAccumulator
+from repro.hardware.platform import Platform
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """Simulated timing of one planned kernel."""
+
+    kernel: PlannedKernel
+    estimate: LatencyEstimate
+    transfer_s: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.estimate.total_s + self.transfer_s
+
+
+@dataclass
+class SimulationResult:
+    """Timeline of one simulated inference."""
+
+    plan: ExecutionPlan
+    platform: Platform
+    records: list[KernelRecord] = field(default_factory=list)
+    total_latency_s: float = 0.0
+    gpu_energy_j: float = 0.0
+    cpu_energy_j: float = 0.0
+
+    @property
+    def total_latency_ms(self) -> float:
+        return self.total_latency_s * 1e3
+
+
+def simulate(plan: ExecutionPlan, platform: Platform) -> SimulationResult:
+    """Estimate the wall-clock timeline of ``plan`` on ``platform``."""
+    profile = dispatch_profile(plan.dispatch_profile)
+    result = SimulationResult(plan=plan, platform=platform)
+    gpu_acc = EnergyAccumulator(platform.gpu) if platform.has_gpu else None
+    cpu_acc = EnergyAccumulator(platform.cpu)
+
+    for kernel in plan.kernels:
+        device = platform.device(kernel.device)
+        estimate = estimate_kernel(
+            device=device,
+            category=kernel.category,
+            cost=kernel.cost,
+            dtype=kernel.dtype,
+            dispatch_s=profile.dispatch_s(device.is_gpu, kernel.metadata_only),
+            is_custom=kernel.is_custom,
+            metadata_only=kernel.metadata_only,
+            launch_count=kernel.launch_count,
+            gemm_peak_scale_f32=plan.gemm_peak_scale_f32,
+            gemm_saturation_scale=plan.gemm_saturation_scale,
+        )
+        transfer_s = 0.0
+        if kernel.transfer_bytes_in:
+            transfer_s += platform.transfer_time(kernel.transfer_bytes_in) + FALLBACK_SYNC_S
+        if kernel.transfer_bytes_out:
+            transfer_s += platform.transfer_time(kernel.transfer_bytes_out) + FALLBACK_SYNC_S
+        record = KernelRecord(kernel=kernel, estimate=estimate, transfer_s=transfer_s)
+        result.records.append(record)
+        result.total_latency_s += record.latency_s
+        if kernel.device is DeviceKind.GPU and gpu_acc is not None:
+            gpu_acc.add_kernel(estimate)
+        elif kernel.device is DeviceKind.CPU:
+            cpu_acc.add_kernel(estimate)
+
+    wall = result.total_latency_s
+    result.cpu_energy_j = cpu_acc.total_j(wall)
+    result.gpu_energy_j = gpu_acc.total_j(wall) if gpu_acc is not None else 0.0
+    return result

@@ -1,0 +1,12 @@
+"""Text rendering and CSV output helpers."""
+
+from repro.viz.ascii import render_stacked_bar, render_stacked_chart, render_table
+from repro.viz.csvout import RESULTS_DIR, write_csv
+
+__all__ = [
+    "RESULTS_DIR",
+    "render_stacked_bar",
+    "render_stacked_chart",
+    "render_table",
+    "write_csv",
+]

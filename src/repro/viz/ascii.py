@@ -1,0 +1,80 @@
+"""ASCII rendering of tables and stacked bars (matplotlib-free environment).
+
+Every experiment harness prints its result with these helpers in addition
+to writing CSV, so the paper's figures are readable straight off stdout.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+BAR_CHARS = "#*=+~o.:-%"
+
+
+def render_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Fixed-width text table from dict rows."""
+    if not rows:
+        return "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    widths = {c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows)) for c in cols}
+    header = "  ".join(str(c).ljust(widths[c]) for c in cols)
+    sep = "  ".join("-" * widths[c] for c in cols)
+    lines = [header, sep]
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in cols))
+    return "\n".join(lines)
+
+
+def render_stacked_bar(
+    label: str,
+    shares: Mapping[str, float],
+    width: int = 60,
+    total_label: str = "",
+) -> str:
+    """One horizontal stacked bar, one glyph class per segment."""
+    segments = []
+    for i, (name, share) in enumerate(shares.items()):
+        cells = round(share * width)
+        if cells <= 0 and share > 0:
+            cells = 1
+        segments.append(BAR_CHARS[i % len(BAR_CHARS)] * cells)
+    bar = "".join(segments)[:width].ljust(width)
+    return f"{label:<24s} |{bar}| {total_label}"
+
+
+def render_stacked_chart(
+    bars: Sequence[tuple[str, Mapping[str, float], str]],
+    width: int = 60,
+) -> str:
+    """Multiple stacked bars plus a glyph legend.
+
+    ``bars`` holds (label, shares-in-display-order, right-hand annotation).
+    """
+    if not bars:
+        return "(empty)"
+    lines = [render_stacked_bar(label, shares, width, note) for label, shares, note in bars]
+    legend_names: list[str] = []
+    for _, shares, _ in bars:
+        for name in shares:
+            if name not in legend_names:
+                legend_names.append(name)
+    legend = "   ".join(
+        f"{BAR_CHARS[_first_index(bars, n) % len(BAR_CHARS)]}={n}" for n in legend_names
+    )
+    return "\n".join(lines + ["legend: " + legend])
+
+
+def _first_index(bars, name: str) -> int:
+    for _, shares, _ in bars:
+        ordered = list(shares)
+        if name in ordered:
+            return ordered.index(name)
+    return 0
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if value is None:
+        return ""
+    return str(value)

@@ -1,0 +1,41 @@
+"""CSV output for experiment results (the artifact's csv data files)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+#: default output directory, mirroring the artifact's layout
+RESULTS_DIR = Path("results")
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, object]],
+    name: str,
+    directory: Path | str | None = None,
+) -> Path:
+    """Write dict rows as ``<directory>/<name>.csv``; returns the path."""
+    out_dir = Path(directory) if directory is not None else RESULTS_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{name}.csv"
+    if not rows:
+        path.write_text("")
+        return path
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: _cell(v) for k, v in row.items()})
+    return path
+
+
+def _cell(value: object) -> object:
+    if isinstance(value, (list, tuple)):
+        return "x".join(str(v) for v in value)
+    return value

@@ -1,0 +1,141 @@
+"""Tests for the core bench API: config, orchestration, reports, taxonomy."""
+
+import pytest
+
+from repro.core import (
+    BenchConfig,
+    NonGemmReport,
+    PerformanceReport,
+    WorkloadReport,
+    run_bench,
+    traits_for,
+)
+from repro.errors import ConfigError
+from repro.models import build_model
+
+
+class TestBenchConfig:
+    def test_defaults_valid(self):
+        config = BenchConfig()
+        assert config.platform == "A"
+
+    def test_rejects_empty_models(self):
+        with pytest.raises(ConfigError):
+            BenchConfig(models=())
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ConfigError):
+            BenchConfig(batch_sizes=(0,))
+
+    def test_overrides(self):
+        config = BenchConfig(overrides={"gpt2": {"seq_len": 4}})
+        assert config.override_for("gpt2") == {"seq_len": 4}
+        assert config.override_for("bert") == {}
+
+
+class TestRunBench:
+    @pytest.fixture(scope="class")
+    def results(self):
+        config = BenchConfig(
+            models=("gpt2", "vit-b"),
+            batch_sizes=(1,),
+            flow="pytorch",
+            platform="A",
+            iterations=2,
+        )
+        return run_bench(config)
+
+    def test_one_profile_per_point(self, results):
+        assert len(results.profiles) == 2
+        assert results.profile_for("gpt2", 1).model == "gpt2"
+        with pytest.raises(KeyError):
+            results.profile_for("gpt2", 99)
+
+    def test_summary_rows_complete(self, results):
+        rows = results.summary_rows()
+        assert {r["model"] for r in rows} == {"gpt2", "vit-b"}
+        for row in rows:
+            assert row["gemm_pct"] + row["non_gemm_pct"] == pytest.approx(100, abs=0.1)
+            assert row["latency_ms"] > 0
+
+    def test_reports_attached(self, results):
+        reports = results.reports[("gpt2", 1)]
+        assert isinstance(reports.performance, PerformanceReport)
+        assert isinstance(reports.workload, WorkloadReport)
+        assert isinstance(reports.non_gemm, NonGemmReport)
+
+    def test_cpu_only_config(self):
+        config = BenchConfig(models=("gpt2",), batch_sizes=(1,), use_gpu=False, iterations=1)
+        results = run_bench(config)
+        assert not results.profiles[0].use_gpu
+
+    def test_seq_override_changes_graph(self):
+        config = BenchConfig(
+            models=("gpt2",), batch_sizes=(1,), iterations=1,
+            overrides={"gpt2": {"seq_len": 4}},
+        )
+        results = run_bench(config)
+        small = results.profiles[0].total_latency_s
+        base = run_bench(
+            BenchConfig(models=("gpt2",), batch_sizes=(1,), iterations=1)
+        ).profiles[0].total_latency_s
+        assert small < base
+
+
+class TestReports:
+    @pytest.fixture(scope="class")
+    def point(self):
+        config = BenchConfig(models=("gpt2",), batch_sizes=(1,), iterations=2)
+        results = run_bench(config)
+        return results.reports[("gpt2", 1)]
+
+    def test_breakdown_shares_sum(self, point):
+        rows = point.performance.breakdown_rows()
+        assert sum(r["share_pct"] for r in rows) == pytest.approx(100, abs=0.5)
+
+    def test_top_operator_rows(self, point):
+        rows = point.performance.top_operator_rows(5)
+        assert len(rows) == 5
+        assert rows[0]["latency_us"] >= rows[-1]["latency_us"]
+
+    def test_workload_summary(self, point):
+        row = point.workload.summary_row()
+        assert row["ops"] == row["gemm_ops"] + row["non_gemm_ops"]
+        assert row["params"] > 1e8
+
+    def test_workload_shapes_limited(self, point):
+        assert len(point.workload.shape_rows(limit=5)) == 5
+
+    def test_non_gemm_variants(self, point):
+        rows = point.non_gemm.variant_rows()
+        assert any("gelu" in str(r["variant"]) for r in rows)
+        assert all(r["count"] > 0 for r in rows)
+
+    def test_taxonomy_rows_have_traits(self, point):
+        rows = point.non_gemm.taxonomy_rows()
+        gelu = next(r for r in rows if r["operator"] == "gelu")
+        assert gelu["non_linearity"] is True
+        softmax = next(r for r in rows if r["operator"] == "softmax")
+        assert softmax["reduction"] is True and softmax["dynamicity"] is True
+
+    def test_dominant_row(self, point):
+        row = point.non_gemm.dominant_row()
+        assert row is not None and row["dominant_group"] != "GEMM-based"
+
+    def test_detr_reports_two_bn_variants(self):
+        graph = build_model("detr")
+        report = NonGemmReport(graph)
+        rows = report.variant_rows()
+        norm_variants = [r for r in rows if r["group"] == "Normalization"]
+        assert len(norm_variants) >= 2  # frozen BN + LayerNorm (paper's observation)
+
+
+class TestTraits:
+    def test_known_traits(self):
+        assert traits_for("nms").dynamic
+        assert traits_for("layer_norm").reduction
+        assert traits_for("relu").non_linear
+
+    def test_unknown_kind_defaults_conservative(self):
+        t = traits_for("alien_op")
+        assert not t.single_operation

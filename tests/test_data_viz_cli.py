@@ -1,0 +1,147 @@
+"""Tests for synthetic data, the viz helpers, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.data import (
+    SyntheticCOCO,
+    SyntheticImageNet,
+    SyntheticWikitext,
+    ToyTokenizer,
+    dataset_for,
+    prepare_inputs,
+)
+from repro.models import build_model, get_model
+from repro.runtime import run_graph
+from repro.viz.ascii import render_stacked_bar, render_stacked_chart, render_table
+from repro.viz.csvout import write_csv
+
+
+class TestTokenizer:
+    def test_deterministic(self):
+        tok = ToyTokenizer(1000)
+        assert tok.encode("hello world") == tok.encode("hello world")
+
+    def test_ids_in_vocab(self):
+        tok = ToyTokenizer(100)
+        ids = tok.encode("a quick brown fox jumps over lazy dogs")
+        assert all(0 <= i < 100 for i in ids)
+
+    def test_padding_and_truncation(self):
+        tok = ToyTokenizer(1000)
+        padded = tok.encode("one two", max_length=10)
+        assert len(padded) == 10 and padded[-1] == tok.PAD
+        truncated = tok.encode(" ".join(["w"] * 50), max_length=5)
+        assert len(truncated) == 5
+
+    def test_special_tokens(self):
+        tok = ToyTokenizer(1000)
+        ids = tok.encode("x")
+        assert ids[0] == tok.BOS and ids[-1] == tok.EOS
+
+    def test_vocab_too_small(self):
+        with pytest.raises(ValueError):
+            ToyTokenizer(2)
+
+
+class TestDatasets:
+    def test_imagenet_shape_and_dtype(self):
+        batch = SyntheticImageNet(image_size=64).batch(3)
+        assert batch.shape == (3, 3, 64, 64)
+        assert batch.dtype == np.float32
+
+    def test_imagenet_deterministic(self):
+        a = SyntheticImageNet(seed=5).batch(1)
+        b = SyntheticImageNet(seed=5).batch(1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_coco_boxes_valid(self):
+        boxes, scores = SyntheticCOCO(image_size=200).boxes(15)
+        assert boxes.shape == (15, 4) and scores.shape == (15,)
+        assert np.all(boxes[:, 2] > boxes[:, 0]) and np.all(boxes[:, 3] > boxes[:, 1])
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_wikitext_batch(self):
+        data = SyntheticWikitext(vocab_size=500)
+        batch = data.batch(2, 16)
+        assert batch.shape == (2, 16) and batch.dtype == np.int64
+        assert np.all((batch >= 0) & (batch < 500))
+
+    def test_dataset_factory(self):
+        assert isinstance(dataset_for("imagenet"), SyntheticImageNet)
+        assert isinstance(dataset_for("coco"), SyntheticCOCO)
+        assert isinstance(dataset_for("wikitext"), SyntheticWikitext)
+        with pytest.raises(KeyError):
+            dataset_for("librispeech")
+
+
+class TestPrepareInputs:
+    def test_nlp_inputs_feed_graph(self):
+        entry = get_model("gpt2")
+        graph = entry.build(batch_size=2, seq_len=8)
+        inputs = prepare_inputs(entry, graph, batch_size=2)
+        assert set(inputs) == {"input_ids", "position_ids"}
+        (logits,) = run_graph(graph, inputs)
+        assert logits.shape[0] == 2
+
+    def test_vision_inputs_match_spec(self):
+        entry = get_model("vit-b")
+        graph = entry.build(batch_size=1)
+        inputs = prepare_inputs(entry, graph, batch_size=1)
+        assert inputs["pixels"].shape == (1, 3, 224, 224)
+
+
+class TestViz:
+    def test_render_table(self):
+        text = render_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "22" in lines[3]
+
+    def test_render_table_empty(self):
+        assert render_table([]) == "(empty)"
+
+    def test_stacked_bar_width(self):
+        bar = render_stacked_bar("m", {"A": 0.5, "B": 0.5}, width=20)
+        inner = bar.split("|")[1]
+        assert len(inner) == 20
+
+    def test_stacked_chart_legend(self):
+        chart = render_stacked_chart([("m", {"GEMM": 0.7, "other": 0.3}, "1ms")])
+        assert "legend:" in chart and "GEMM" in chart
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv([{"x": 1, "y": [2, 3]}, {"x": 4, "z": 5}], "t", tmp_path)
+        content = path.read_text().splitlines()
+        assert content[0] == "x,y,z"
+        assert content[1] == "1,2x3,"
+        assert content[2] == "4,,5"
+
+
+class TestCLI:
+    def test_list_models(self, capsys):
+        assert cli_main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt2-xl" in out and "mixtral-8x7b" in out
+
+    def test_profile_command(self, capsys, tmp_path):
+        code = cli_main(
+            ["profile", "gpt2", "--batch", "1", "--iterations", "2", "--csv", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GEMM-based" in out and "slowest kernels" in out
+        assert (tmp_path / "profile_gpt2.csv").exists()
+
+    def test_workload_command(self, capsys):
+        assert cli_main(["workload", "bert"]) == 0
+        out = capsys.readouterr().out
+        assert "operator counts" in out and "layer_norm" in out
+
+    def test_no_command_shows_help(self, capsys):
+        assert cli_main([]) == 2
+
+    def test_profile_cpu_only(self, capsys):
+        assert cli_main(["profile", "gpt2", "--cpu-only", "--iterations", "1"]) == 0
+        assert "cpu" in capsys.readouterr().out

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs end to end and prints sane output."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.path.remove(str(EXAMPLES))
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run_example("quickstart.py", capsys)
+    assert "non-GEMM share with GPU" in out
+    assert "dominant non-GEMM group: Activation" in out
+
+
+def test_detection_fusion_study(capsys):
+    out = _run_example("detection_fusion_study.py", capsys)
+    assert "detr" in out and "tensorrt" in out
+    assert "non-GEMM speedup over eager" in out
+
+
+def test_custom_model_registration(capsys):
+    out = _run_example("custom_model_registration.py", capsys)
+    assert "logits shape (2, 16, 1000)" in out
+    assert "greedy next-token predictions" in out
+
+
+@pytest.mark.slow
+def test_llm_deployment_flows(capsys):
+    out = _run_example("llm_deployment_flows.py", capsys)
+    assert "onnxruntime" in out and "llama2-7b" in out
+
+
+@pytest.mark.slow
+def test_quantization_seqlen_study(capsys):
+    out = _run_example("quantization_seqlen_study.py", capsys)
+    assert "int8" in out and "quantization pass" in out

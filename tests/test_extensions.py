@@ -1,0 +1,94 @@
+"""Tests for the extension surface: CNN baselines and trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.flows import get_flow
+from repro.hardware import PLATFORM_A
+from repro.models import build_model, get_model
+from repro.models.cnn import (
+    MobileNetV2Config,
+    ResNetConfig,
+    build_mobilenet_v2,
+    build_resnet50,
+)
+from repro.ops.base import OpCategory
+from repro.profiler import export_chrome_trace, profile_graph, trace_events
+from repro.runtime import run_graph
+
+
+class TestResNet50:
+    def test_registered_as_extension(self):
+        entry = get_model("resnet50")
+        assert entry.paper_params == "25.6M"
+
+    def test_parameter_count(self):
+        graph = build_model("resnet50")
+        assert graph.param_count() / 1e6 == pytest.approx(25.6, rel=0.02)
+
+    def test_profile_is_gemm_dominated_on_gpu(self):
+        graph = build_model("resnet50")
+        profile = profile_graph(graph, get_flow("pytorch"), PLATFORM_A, use_gpu=True)
+        group, _ = profile.dominant_non_gemm_group()
+        # a classic CNN's non-GEMM profile is BN/ReLU dominated
+        assert group in (OpCategory.NORMALIZATION, OpCategory.ACTIVATION)
+
+    def test_small_config_executes(self, rng):
+        config = ResNetConfig(name="r50-test", image_size=64, num_classes=10)
+        graph = build_resnet50(config, batch_size=1)
+        (logits,) = run_graph(graph, {"pixels": rng.normal(size=(1, 3, 64, 64)).astype(np.float32)})
+        assert logits.shape == (1, 10)
+
+
+class TestMobileNetV2:
+    def test_parameter_count(self):
+        graph = build_model("mobilenet-v2")
+        assert graph.param_count() / 1e6 == pytest.approx(3.5, rel=0.05)
+
+    def test_depthwise_convs_present(self):
+        graph = build_model("mobilenet-v2")
+        dw = [
+            n for n in graph.compute_nodes()
+            if n.op.kind == "conv2d" and getattr(n.op, "groups", 1) > 1
+        ]
+        assert len(dw) == 17  # one per inverted residual block
+
+    def test_small_config_executes(self, rng):
+        config = MobileNetV2Config(name="mbv2-test", image_size=64, width_mult=0.25, num_classes=7)
+        graph = build_mobilenet_v2(config, batch_size=2)
+        (logits,) = run_graph(graph, {"pixels": rng.normal(size=(2, 3, 64, 64)).astype(np.float32)})
+        assert logits.shape == (2, 7)
+
+    def test_residuals_only_on_matching_shapes(self):
+        graph = build_model("mobilenet-v2")
+        adds = [n for n in graph.compute_nodes() if n.op.kind == "add"]
+        assert len(adds) == 10  # blocks with stride 1 and equal channels
+
+
+class TestChromeTrace:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return profile_graph(build_model("gpt2"), get_flow("pytorch"), PLATFORM_A, use_gpu=True)
+
+    def test_events_cover_all_kernels(self, profile):
+        events = trace_events(profile)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(profile.records)
+
+    def test_events_are_contiguous_timeline(self, profile):
+        complete = [e for e in trace_events(profile) if e["ph"] == "X"]
+        cursor = 0.0
+        for event in complete:
+            assert event["ts"] == pytest.approx(cursor, abs=0.01)
+            cursor += event["dur"]
+        assert cursor == pytest.approx(profile.total_latency_ms * 1e3, rel=0.01)
+
+    def test_export_roundtrips_as_json(self, profile, tmp_path):
+        path = export_chrome_trace(profile, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["otherData"]["model"] == "gpt2"
+        assert payload["traceEvents"]
+        groups = {e["cat"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert "GEMM-based" in groups and "Activation" in groups

@@ -1,0 +1,193 @@
+"""Unit tests for deployment flows, fusion, and execution plans."""
+
+import pytest
+
+from repro import ops
+from repro.errors import RegistryError
+from repro.flows import (
+    ExecutionPlan,
+    FusionConfig,
+    ONNXRuntimeFlow,
+    PyTorchEagerFlow,
+    TensorRTFlow,
+    TorchInductorFlow,
+    fuse_graph,
+    get_flow,
+    group_cost,
+)
+from repro.hardware import DeviceKind
+from repro.ir import Graph, TensorSpec
+from repro.ops.base import OpCategory
+
+
+def conv_bn_relu_graph() -> Graph:
+    g = Graph("cbr")
+    x = g.input(TensorSpec((1, 3, 8, 8)), "x")
+    h = g.call(ops.Conv2d(3, 8, 3, padding=1, bias=False), x)
+    h = g.call(ops.FrozenBatchNorm2d(8, precomputed=False), h)
+    h = g.call(ops.ReLU(), h)
+    g.set_outputs(h)
+    return g
+
+
+def pointwise_chain_graph() -> Graph:
+    g = Graph("chain")
+    x = g.input(TensorSpec((4, 16)), "x")
+    h = g.call(ops.Add(), x, x)
+    h = g.call(ops.MulScalar(2.0), h)
+    h = g.call(ops.ReLU(), h)
+    g.set_outputs(h)
+    return g
+
+
+class TestFlowRegistry:
+    def test_aliases(self):
+        assert isinstance(get_flow("pt"), PyTorchEagerFlow)
+        assert isinstance(get_flow("trt"), TensorRTFlow)
+        assert isinstance(get_flow("ort"), ONNXRuntimeFlow)
+        assert isinstance(get_flow("inductor"), TorchInductorFlow)
+
+    def test_unknown_flow(self):
+        with pytest.raises(RegistryError):
+            get_flow("tvm")
+
+
+class TestFusionEngine:
+    def test_no_fusion_config_yields_singletons(self):
+        result = fuse_graph(pointwise_chain_graph(), FusionConfig())
+        assert all(len(group) == 1 for group in result.groups)
+
+    def test_pointwise_chain_fuses(self):
+        result = fuse_graph(
+            pointwise_chain_graph(), FusionConfig(pointwise_chains=True)
+        )
+        assert any(len(group) == 3 for group in result.groups)
+
+    def test_gemm_epilogue_absorbs_bn_relu(self):
+        config = FusionConfig(gemm_epilogue=True, epilogue_norms=True)
+        result = fuse_graph(conv_bn_relu_graph(), config)
+        fused = result.fused_groups
+        assert len(fused) == 1 and len(fused[0]) == 3
+
+    def test_epilogue_without_norms_stops_at_bn(self):
+        config = FusionConfig(gemm_epilogue=True, epilogue_norms=False)
+        result = fuse_graph(conv_bn_relu_graph(), config)
+        assert all(len(group) == 1 for group in result.groups)
+
+    def test_multi_consumer_blocks_fusion(self):
+        g = Graph("fork")
+        x = g.input(TensorSpec((4, 4)), "x")
+        a = g.call(ops.ReLU(), x)
+        b = g.call(ops.Sigmoid(), a)
+        c = g.call(ops.Tanh(), a)  # a has two consumers
+        g.set_outputs(g.call(ops.Add(), b, c))
+        result = fuse_graph(g, FusionConfig(pointwise_chains=True, max_chain=8))
+        for group in result.fused_groups:
+            assert a.node_id not in group or len(group) == 1
+
+    def test_graph_output_never_fused_past(self):
+        g = Graph("out")
+        x = g.input(TensorSpec((4, 4)), "x")
+        a = g.call(ops.ReLU(), x)
+        b = g.call(ops.Sigmoid(), a)
+        g.set_outputs(a, b)  # a is both an output and b's input
+        result = fuse_graph(g, FusionConfig(pointwise_chains=True))
+        for group in result.fused_groups:
+            assert group != (a.node_id, b.node_id)
+
+    def test_groups_are_disjoint_and_cover(self, tiny_transformer_graph):
+        for config in (
+            FusionConfig(),
+            FusionConfig(pointwise_chains=True, chain_norms=True),
+            FusionConfig(gemm_epilogue=True, epilogue_norms=True, pointwise_chains=True),
+        ):
+            result = fuse_graph(tiny_transformer_graph, config)
+            seen = [n for g_ in result.groups for n in g_]
+            expected = [n.node_id for n in tiny_transformer_graph.compute_nodes()]
+            assert sorted(seen) == sorted(expected)
+
+
+class TestGroupCost:
+    def test_fusion_saves_intermediate_traffic(self):
+        g = pointwise_chain_graph()
+        node_ids = tuple(n.node_id for n in g.compute_nodes())
+        fused = group_cost(g, node_ids)
+        separate = [
+            n.op.cost([v.spec for v in n.inputs], list(n.outputs)) for n in g.compute_nodes()
+        ]
+        assert fused.flops == sum(c.flops for c in separate)
+        assert fused.total_bytes < sum(c.total_bytes for c in separate)
+
+    def test_external_inputs_counted_once(self):
+        g = Graph("dual")
+        x = g.input(TensorSpec((4, 4)), "x")
+        a = g.call(ops.Add(), x, x)  # same external value twice
+        b = g.call(ops.ReLU(), a)
+        g.set_outputs(b)
+        cost = group_cost(g, (a.node_id, b.node_id))
+        assert cost.bytes_read == x.spec.nbytes  # x read once
+        assert cost.bytes_written == b.spec.nbytes
+
+
+class TestPlans:
+    def test_eager_plan_one_kernel_per_op(self, tiny_transformer_graph):
+        plan = PyTorchEagerFlow().lower(tiny_transformer_graph, use_gpu=True)
+        assert plan.num_kernels == len(tiny_transformer_graph.compute_nodes())
+        plan.validate()
+
+    def test_plan_validate_catches_duplicates(self, tiny_transformer_graph):
+        plan = PyTorchEagerFlow().lower(tiny_transformer_graph, use_gpu=True)
+        plan.kernels.append(plan.kernels[0])
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            plan.validate()
+
+    def test_eager_composites_multi_launch(self):
+        g = Graph("comp")
+        x = g.input(TensorSpec((2, 8)), "x")
+        g.set_outputs(g.call(ops.GELU(composite=True), x))
+        eager = PyTorchEagerFlow().lower(g, use_gpu=True)
+        assert eager.kernels[0].launch_count == 8
+        compiled = TorchInductorFlow().lower(g, use_gpu=True)
+        assert compiled.kernels[0].launch_count == 1
+
+    def test_fused_kernel_category_gemm_wins(self):
+        plan = TensorRTFlow().lower(conv_bn_relu_graph(), use_gpu=True)
+        fused = [k for k in plan.kernels if k.fused]
+        assert len(fused) == 1
+        assert fused[0].category is OpCategory.GEMM
+
+    def test_cpu_lowering_places_on_cpu(self, tiny_transformer_graph):
+        plan = PyTorchEagerFlow().lower(tiny_transformer_graph, use_gpu=False)
+        assert all(k.device is DeviceKind.CPU for k in plan.kernels)
+
+    def test_ort_fallback_has_transfers(self):
+        g = Graph("split")
+        x = g.input(TensorSpec((2, 12)), "x")
+        a, b, c = g.call(ops.Split(3, dim=1), x)
+        g.set_outputs(g.call(ops.Concat(1), a, b, c))
+        plan = ONNXRuntimeFlow().lower(g, use_gpu=True)
+        split_kernels = [k for k in plan.kernels if "split" in k.op_kinds]
+        assert split_kernels[0].device is DeviceKind.CPU
+        assert split_kernels[0].transfer_bytes_in > 0
+        assert split_kernels[0].transfer_bytes_out > 0
+
+    def test_ort_fallback_disabled_on_cpu_run(self):
+        g = Graph("split")
+        x = g.input(TensorSpec((2, 12)), "x")
+        a, b, c = g.call(ops.Split(3, dim=1), x)
+        g.set_outputs(g.call(ops.Concat(1), a, b, c))
+        plan = ONNXRuntimeFlow().lower(g, use_gpu=False)
+        assert all(k.transfer_bytes_in == 0 for k in plan.kernels)
+
+    def test_fusion_rate_metric(self):
+        plan = TensorRTFlow().lower(conv_bn_relu_graph(), use_gpu=True)
+        assert plan.non_gemm_fusion_rate() == 1.0  # bn+relu both fused
+        eager = PyTorchEagerFlow().lower(conv_bn_relu_graph(), use_gpu=True)
+        assert eager.non_gemm_fusion_rate() == 0.0
+
+    def test_flow_gemm_knobs_propagate(self, tiny_transformer_graph):
+        plan = TensorRTFlow().lower(tiny_transformer_graph, use_gpu=True)
+        assert plan.gemm_peak_scale_f32 == 8.0
+        assert plan.gemm_saturation_scale == 0.15

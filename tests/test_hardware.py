@@ -1,0 +1,176 @@
+"""Unit tests for the hardware layer: devices, platforms, roofline, energy."""
+
+import pytest
+
+from repro.errors import RegistryError
+from repro.hardware import (
+    A100,
+    EPYC_7763,
+    PLATFORM_A,
+    PLATFORM_B,
+    DeviceKind,
+    EnergyAccumulator,
+    dispatch_profile,
+    estimate_kernel,
+    gemm_saturation,
+    get_device,
+    get_platform,
+)
+from repro.ir.dtype import DType
+from repro.ops.base import OpCategory, OpCost
+
+
+class TestDevices:
+    def test_presets_lookup(self):
+        assert get_device("nvidia-a100-80gb") is A100
+        with pytest.raises(RegistryError):
+            get_device("tpu-v9")
+
+    def test_gemm_peak_by_dtype(self):
+        assert A100.gemm_peak(DType.I8) == 624e12  # paper Table III
+        assert A100.gemm_peak(DType.F16) == 312e12
+        assert A100.gemm_peak(DType.F32) < A100.gemm_peak(DType.F16)
+
+    def test_cpu_has_no_launch_overhead(self):
+        assert EPYC_7763.kernel_launch_s == 0.0
+        assert not EPYC_7763.is_gpu
+
+
+class TestPlatforms:
+    def test_paper_platforms(self):
+        assert PLATFORM_A.cpu.name == "amd-epyc-7763"
+        assert PLATFORM_A.gpu.name == "nvidia-a100-80gb"
+        assert PLATFORM_B.gpu.name == "nvidia-rtx-4090"
+        assert get_platform("a") is PLATFORM_A
+
+    def test_cpu_only_variant(self):
+        cpu_only = PLATFORM_A.cpu_only()
+        assert not cpu_only.has_gpu
+        assert cpu_only.accelerator is PLATFORM_A.cpu
+        with pytest.raises(RegistryError):
+            cpu_only.device(DeviceKind.GPU)
+
+    def test_transfer_time_scales_with_bytes(self):
+        small = PLATFORM_A.transfer_time(1024)
+        large = PLATFORM_A.transfer_time(1024 * 1024 * 100)
+        assert large > small > 0
+
+
+class TestRoofline:
+    def test_compute_bound_gemm(self):
+        cost = OpCost(flops=10**12, bytes_read=10**6, bytes_written=10**6)
+        est = estimate_kernel(A100, OpCategory.GEMM, cost, DType.F16, dispatch_s=5e-6)
+        assert est.bound == "compute"
+        assert est.compute_s > est.memory_s
+
+    def test_memory_bound_elementwise(self):
+        cost = OpCost(flops=10**6, bytes_read=10**9, bytes_written=10**9)
+        est = estimate_kernel(A100, OpCategory.ELEMENTWISE, cost, DType.F32, dispatch_s=5e-6)
+        assert est.bound == "memory"
+
+    def test_dispatch_bound_small_kernel(self):
+        cost = OpCost(flops=100, bytes_read=100, bytes_written=100)
+        est = estimate_kernel(A100, OpCategory.ELEMENTWISE, cost, DType.F32, dispatch_s=20e-6)
+        assert est.bound == "dispatch"
+        assert est.total_s == pytest.approx(20e-6)
+
+    def test_metadata_only_costs_dispatch(self):
+        est = estimate_kernel(
+            A100, OpCategory.MEMORY, OpCost(), DType.F32, dispatch_s=4e-6, metadata_only=True
+        )
+        assert est.total_s == pytest.approx(4e-6)
+        assert est.device_s == 0.0
+
+    def test_launch_count_multiplies_overheads(self):
+        cost = OpCost(flops=1000, bytes_read=1000, bytes_written=1000)
+        one = estimate_kernel(A100, OpCategory.NORMALIZATION, cost, DType.F32, dispatch_s=5e-6)
+        six = estimate_kernel(
+            A100, OpCategory.NORMALIZATION, cost, DType.F32, dispatch_s=5e-6, launch_count=6
+        )
+        assert six.total_s == pytest.approx(6 * one.total_s, rel=0.2)
+
+    def test_custom_kernel_penalty_slows(self):
+        cost = OpCost(flops=10**7, bytes_read=10**8, bytes_written=10**8)
+        normal = estimate_kernel(A100, OpCategory.NORMALIZATION, cost, DType.F32, dispatch_s=1e-6)
+        custom = estimate_kernel(
+            A100, OpCategory.NORMALIZATION, cost, DType.F32, dispatch_s=1e-6, is_custom=True
+        )
+        assert custom.total_s > normal.total_s
+
+    def test_cpu_adds_dispatch_serially(self):
+        cost = OpCost(flops=10**9, bytes_read=10**7, bytes_written=10**7)
+        est = estimate_kernel(EPYC_7763, OpCategory.GEMM, cost, DType.F32, dispatch_s=5e-6)
+        assert est.total_s > max(est.compute_s, est.memory_s)  # includes dispatch
+
+    def test_int8_faster_than_f16_gemm(self):
+        cost = OpCost(flops=10**11, bytes_read=10**7, bytes_written=10**7)
+        f16 = estimate_kernel(A100, OpCategory.GEMM, cost, DType.F16, dispatch_s=1e-6)
+        i8 = estimate_kernel(A100, OpCategory.GEMM, cost, DType.I8, dispatch_s=1e-6)
+        assert i8.total_s < f16.total_s
+
+    def test_tf32_scale_applies_to_f32_only(self):
+        cost = OpCost(flops=10**11, bytes_read=10**6, bytes_written=10**6)
+        base = estimate_kernel(A100, OpCategory.GEMM, cost, DType.F32, dispatch_s=1e-6)
+        tf32 = estimate_kernel(
+            A100, OpCategory.GEMM, cost, DType.F32, dispatch_s=1e-6, gemm_peak_scale_f32=8.0
+        )
+        f16 = estimate_kernel(
+            A100, OpCategory.GEMM, cost, DType.F16, dispatch_s=1e-6, gemm_peak_scale_f32=8.0
+        )
+        f16_base = estimate_kernel(A100, OpCategory.GEMM, cost, DType.F16, dispatch_s=1e-6)
+        assert tf32.compute_s < base.compute_s
+        assert f16.compute_s == pytest.approx(f16_base.compute_s)
+
+
+class TestSaturation:
+    def test_half_efficiency_at_saturation_point(self):
+        assert gemm_saturation(100, 100) == pytest.approx(0.5)
+
+    def test_large_problems_approach_one(self):
+        assert gemm_saturation(10**12, 800e6) > 0.999
+
+    def test_zero_saturation_disables(self):
+        assert gemm_saturation(10, 0) == 1.0
+
+    def test_small_gemm_runs_below_peak(self):
+        small = OpCost(flops=10**7, bytes_read=10**4, bytes_written=10**4)
+        big = OpCost(flops=10**12, bytes_read=10**4, bytes_written=10**4)
+        est_small = estimate_kernel(A100, OpCategory.GEMM, small, DType.F16, dispatch_s=0.0)
+        est_big = estimate_kernel(A100, OpCategory.GEMM, big, DType.F16, dispatch_s=0.0)
+        rate_small = small.flops / est_small.compute_s
+        rate_big = big.flops / est_big.compute_s
+        assert rate_small < rate_big / 10
+
+
+class TestDispatchProfiles:
+    def test_eager_slower_than_engine(self):
+        eager = dispatch_profile("eager")
+        engine = dispatch_profile("engine")
+        assert eager.gpu_kernel > engine.gpu_kernel
+
+    def test_metadata_cheaper_than_kernel(self):
+        for name in ("eager", "compiled", "engine", "ort"):
+            profile = dispatch_profile(name)
+            assert profile.gpu_metadata < profile.gpu_kernel
+            assert profile.cpu_metadata < profile.cpu_kernel
+
+    def test_unknown_profile(self):
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            dispatch_profile("jit")
+
+
+class TestEnergy:
+    def test_energy_grows_with_utilization(self):
+        cost_hot = OpCost(flops=10**12, bytes_read=10**6, bytes_written=10**6)
+        est_hot = estimate_kernel(A100, OpCategory.GEMM, cost_hot, DType.F16, dispatch_s=0.0)
+        acc = EnergyAccumulator(A100)
+        acc.add_kernel(est_hot)
+        hot_j = acc.total_j(est_hot.total_s)
+        idle_j = A100.idle_power_w * est_hot.total_s
+        assert hot_j > idle_j
+
+    def test_idle_floor(self):
+        acc = EnergyAccumulator(A100)
+        assert acc.total_j(1.0) == pytest.approx(A100.idle_power_w)

@@ -1,0 +1,153 @@
+"""Unit tests for the IR: dtypes, tensor specs, graph construction."""
+
+import pytest
+
+from repro import ops
+from repro.errors import GraphError, ShapeError
+from repro.ir import DType, Graph, TensorSpec, broadcast_shapes, normalize_axis
+
+
+class TestDType:
+    def test_itemsizes(self):
+        assert DType.F32.itemsize == 4
+        assert DType.F16.itemsize == 2
+        assert DType.BF16.itemsize == 2
+        assert DType.I8.itemsize == 1
+        assert DType.I64.itemsize == 8
+        assert DType.BOOL.itemsize == 1
+
+    def test_float_and_int_predicates(self):
+        assert DType.F16.is_floating and not DType.F16.is_integer
+        assert DType.I32.is_integer and not DType.I32.is_floating
+        assert not DType.BOOL.is_floating and not DType.BOOL.is_integer
+
+    def test_bf16_executes_as_float32(self):
+        import numpy as np
+
+        assert DType.BF16.to_numpy() == np.dtype(np.float32)
+        assert DType.BF16.itemsize == 2  # cost accounting keeps 2 bytes
+
+
+class TestTensorSpec:
+    def test_numel_and_nbytes(self):
+        spec = TensorSpec((2, 3, 4), DType.F16)
+        assert spec.numel == 24
+        assert spec.nbytes == 48
+        assert spec.rank == 3
+
+    def test_scalar_spec(self):
+        spec = TensorSpec((), DType.I64)
+        assert spec.numel == 1
+        assert spec.nbytes == 8
+
+    def test_rejects_negative_dims(self):
+        with pytest.raises(ShapeError):
+            TensorSpec((2, -3))
+
+    def test_with_shape_and_dtype(self):
+        spec = TensorSpec((4, 4))
+        assert spec.with_shape((2, 8)).shape == (2, 8)
+        assert spec.with_dtype(DType.I8).dtype == DType.I8
+        assert spec.with_dtype(DType.I8).shape == (4, 4)
+
+    def test_str_format(self):
+        assert str(TensorSpec((1, 8, 64), DType.F32)) == "1x8x64:f32"
+
+
+class TestBroadcast:
+    def test_equal_shapes(self):
+        assert broadcast_shapes((2, 3), (2, 3)) == (2, 3)
+
+    def test_singleton_expansion(self):
+        assert broadcast_shapes((2, 1, 4), (1, 3, 4)) == (2, 3, 4)
+
+    def test_rank_padding(self):
+        assert broadcast_shapes((4,), (2, 3, 4)) == (2, 3, 4)
+
+    def test_incompatible(self):
+        with pytest.raises(ShapeError):
+            broadcast_shapes((2, 3), (2, 4))
+
+    def test_normalize_axis(self):
+        assert normalize_axis(-1, 3) == 2
+        assert normalize_axis(0, 3) == 0
+        with pytest.raises(ShapeError):
+            normalize_axis(3, 3)
+
+
+class TestGraph:
+    def test_build_and_validate(self):
+        g = Graph("t")
+        x = g.input(TensorSpec((1, 4)), "x")
+        y = g.call(ops.Linear(4, 8), x)
+        g.set_outputs(y)
+        g.validate()
+        assert len(g) == 2
+        assert len(g.compute_nodes()) == 1
+
+    def test_requires_outputs(self):
+        g = Graph("t")
+        g.input(TensorSpec((1, 4)), "x")
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_unique_names_within_scope(self):
+        g = Graph("t")
+        x = g.input(TensorSpec((1, 4)), "x")
+        a = g.call(ops.ReLU(), x, name="act")
+        b = g.call(ops.ReLU(), a, name="act")
+        names = [n.name for n in g.compute_nodes()]
+        assert names == ["act", "act_2"]
+
+    def test_scopes_produce_qualified_names(self):
+        g = Graph("t")
+        x = g.input(TensorSpec((1, 4)), "x")
+        with g.scope("enc"):
+            with g.scope("layer0"):
+                y = g.call(ops.ReLU(), x)
+        assert g.nodes[y.node_id].qualified_name == "enc.layer0/relu"
+
+    def test_multi_output_values(self):
+        g = Graph("t")
+        x = g.input(TensorSpec((1, 6)), "x")
+        a, b, c = g.call(ops.Split(3, dim=1), x)
+        assert a.spec.shape == (1, 2)
+        assert (a.port, b.port, c.port) == (0, 1, 2)
+        g.set_outputs(a, b, c)
+        g.validate()
+
+    def test_rejects_foreign_values(self):
+        g1 = Graph("a")
+        x1 = g1.input(TensorSpec((1, 4)), "x")
+        g2 = Graph("b")
+        g2.input(TensorSpec((2, 2)), "y")
+        with pytest.raises(GraphError):
+            g2.call(ops.ReLU(), x1)
+
+    def test_stats_counts_categories_and_params(self):
+        g = Graph("t")
+        x = g.input(TensorSpec((1, 4)), "x")
+        y = g.call(ops.Linear(4, 8), x)
+        y = g.call(ops.ReLU(), y)
+        g.set_outputs(y)
+        stats = g.stats()
+        assert stats.gemm_op_count == 1
+        assert stats.non_gemm_op_count == 1
+        assert stats.num_params == 4 * 8 + 8
+
+    def test_consumers_map(self):
+        g = Graph("t")
+        x = g.input(TensorSpec((1, 4)), "x")
+        a = g.call(ops.ReLU(), x)
+        b = g.call(ops.Add(), a, x)
+        g.set_outputs(b)
+        uses = g.consumers()
+        assert uses[(x.node_id, 0)] == [a.node_id, b.node_id]
+        assert uses[(a.node_id, 0)] == [b.node_id]
+
+    def test_str_rendering(self):
+        g = Graph("t")
+        x = g.input(TensorSpec((1, 4)), "x")
+        g.set_outputs(g.call(ops.ReLU(), x))
+        text = str(g)
+        assert "graph t" in text and "relu" in text

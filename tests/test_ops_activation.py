@@ -1,0 +1,81 @@
+"""Unit tests for activation operators."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from tests.conftest import run_op
+
+
+class TestReLU:
+    def test_clamps_negatives(self, rng):
+        x = rng.normal(size=(3, 5)).astype(np.float32)
+        y = run_op(ops.ReLU(), x)
+        assert np.all(y >= 0)
+        np.testing.assert_array_equal(y, np.maximum(x, 0))
+
+
+class TestGELU:
+    def test_limits(self):
+        x = np.array([-20.0, 0.0, 20.0], dtype=np.float32)
+        y = run_op(ops.GELU(), x)
+        np.testing.assert_allclose(y, [0.0, 0.0, 20.0], atol=1e-4)
+
+    def test_monotone_on_positives(self, rng):
+        x = np.sort(rng.uniform(0, 4, size=32).astype(np.float32))
+        y = run_op(ops.GELU(), x)
+        assert np.all(np.diff(y) >= 0)
+
+    def test_composite_flag_sets_kernel_count(self):
+        assert ops.GELU().eager_kernels == 1
+        assert ops.GELU(composite=True).eager_kernels == 8
+        assert ops.GELU(composite=True).describe() == "gelu(composite)"
+
+    def test_composite_numerics_identical(self, rng):
+        x = rng.normal(size=(4, 4)).astype(np.float32)
+        np.testing.assert_array_equal(run_op(ops.GELU(), x), run_op(ops.GELU(composite=True), x))
+
+
+class TestSiLU:
+    def test_matches_x_sigmoid(self, rng):
+        x = rng.normal(size=(6,)).astype(np.float32)
+        y = run_op(ops.SiLU(), x)
+        np.testing.assert_allclose(y, x / (1 + np.exp(-x)), rtol=1e-5)
+
+
+class TestSigmoidTanh:
+    def test_sigmoid_range(self, rng):
+        y = run_op(ops.Sigmoid(), rng.normal(size=(100,)).astype(np.float32) * 5)
+        assert np.all((y > 0) & (y < 1))
+
+    def test_tanh_odd(self, rng):
+        x = rng.normal(size=(50,)).astype(np.float32)
+        y_pos = run_op(ops.Tanh(), x)
+        y_neg = run_op(ops.Tanh(), -x)
+        np.testing.assert_allclose(y_pos, -y_neg, atol=1e-6)
+
+    def test_hardswish_zero_below_minus3(self):
+        x = np.array([-5.0, -3.0, 0.0, 3.0], dtype=np.float32)
+        y = run_op(ops.HardSwish(), x)
+        np.testing.assert_allclose(y, [0.0, 0.0, 0.0, 3.0], atol=1e-6)
+
+
+@pytest.mark.parametrize(
+    "op",
+    [ops.ReLU(), ops.GELU(), ops.SiLU(), ops.Sigmoid(), ops.Tanh()],
+    ids=lambda o: o.kind,
+)
+def test_activation_cost_is_elementwise(op, rng):
+    from repro.ir import TensorSpec
+
+    spec = TensorSpec((4, 32))
+    cost = op.cost([spec], list(op.infer_spec([spec])))
+    assert cost.flops == spec.numel * op.FLOPS_PER_ELEMENT
+    assert cost.bytes_read == spec.nbytes
+    assert cost.bytes_written == spec.nbytes
+
+
+def test_activations_preserve_dtype(rng):
+    x = rng.normal(size=(3, 3)).astype(np.float16)
+    for op in (ops.ReLU(), ops.GELU(), ops.SiLU()):
+        assert run_op(op, x).dtype == np.float16

@@ -1,0 +1,78 @@
+"""Unit tests for element-wise arithmetic operators."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.ir import TensorSpec
+from tests.conftest import run_op
+
+
+@pytest.mark.parametrize(
+    "op,fn",
+    [
+        (ops.Add(), np.add),
+        (ops.Sub(), np.subtract),
+        (ops.Mul(), np.multiply),
+        (ops.Div(), np.divide),
+        (ops.Maximum(), np.maximum),
+    ],
+    ids=lambda v: getattr(v, "kind", getattr(v, "__name__", "fn")),
+)
+def test_binary_ops_match_numpy(op, fn, rng):
+    a = rng.normal(size=(3, 4)).astype(np.float32)
+    b = rng.normal(size=(3, 4)).astype(np.float32) + 2.0
+    np.testing.assert_allclose(run_op(op, a, b), fn(a, b), rtol=1e-6)
+
+
+def test_binary_broadcasting(rng):
+    a = rng.normal(size=(2, 1, 4)).astype(np.float32)
+    b = rng.normal(size=(3, 1)).astype(np.float32)
+    y = run_op(ops.Add(), a, b)
+    assert y.shape == (2, 3, 4)
+
+
+@pytest.mark.parametrize(
+    "op,fn",
+    [
+        (ops.Neg(), np.negative),
+        (ops.Abs(), np.abs),
+        (ops.Exp(), np.exp),
+    ],
+    ids=lambda v: getattr(v, "kind", "fn"),
+)
+def test_unary_ops(op, fn, rng):
+    x = rng.normal(size=(5,)).astype(np.float32)
+    np.testing.assert_allclose(run_op(op, x), fn(x), rtol=1e-6)
+
+
+def test_sqrt_rsqrt(rng):
+    x = np.abs(rng.normal(size=(5,))).astype(np.float32) + 0.1
+    np.testing.assert_allclose(run_op(ops.Sqrt(), x), np.sqrt(x), rtol=1e-6)
+    np.testing.assert_allclose(run_op(ops.Rsqrt(), x), 1 / np.sqrt(x), rtol=1e-5)
+
+
+def test_scalar_ops(rng):
+    x = rng.normal(size=(4, 4)).astype(np.float32)
+    np.testing.assert_allclose(run_op(ops.AddScalar(2.5), x), x + 2.5, rtol=1e-6)
+    np.testing.assert_allclose(run_op(ops.MulScalar(-3.0), x), x * -3.0, rtol=1e-6)
+    np.testing.assert_allclose(run_op(ops.DivScalar(8.0), x), x / 8.0, rtol=1e-6)
+    np.testing.assert_allclose(run_op(ops.PowScalar(2.0), np.abs(x)), np.abs(x) ** 2, rtol=1e-5)
+
+
+def test_binary_cost_counts_both_inputs():
+    op = ops.Add()
+    a, b = TensorSpec((4, 4)), TensorSpec((4, 4))
+    cost = op.cost([a, b], list(op.infer_spec([a, b])))
+    assert cost.bytes_read == a.nbytes + b.nbytes
+    assert cost.bytes_written == a.nbytes
+    assert cost.flops == 16
+
+
+def test_div_is_costlier_than_add():
+    assert ops.Div.FLOPS_PER_ELEMENT > ops.Add.FLOPS_PER_ELEMENT
+
+
+def test_elementwise_category():
+    for op in (ops.Add(), ops.Neg(), ops.DivScalar(2.0)):
+        assert op.category is ops.OpCategory.ELEMENTWISE

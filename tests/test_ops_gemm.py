@@ -1,0 +1,145 @@
+"""Unit tests for GEMM operators: numerics, shapes, and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.errors import ShapeError
+from repro.ir import DType, TensorSpec
+from tests.conftest import make_weights, run_op
+
+
+class TestLinear:
+    def test_matches_reference(self, rng):
+        op = ops.Linear(16, 8)
+        w = make_weights(op)
+        x = rng.normal(size=(4, 16)).astype(np.float32)
+        y = run_op(op, x, weights=w)
+        np.testing.assert_allclose(y, x @ w["weight"].T + w["bias"], rtol=1e-5)
+
+    def test_batched_input(self, rng):
+        op = ops.Linear(16, 8, bias=False)
+        w = make_weights(op)
+        x = rng.normal(size=(2, 5, 16)).astype(np.float32)
+        y = run_op(op, x, weights=w)
+        assert y.shape == (2, 5, 8)
+
+    def test_rejects_wrong_feature_dim(self):
+        with pytest.raises(ShapeError):
+            ops.Linear(16, 8).infer_spec([TensorSpec((4, 12))])
+
+    def test_flop_count(self):
+        op = ops.Linear(16, 8, bias=True)
+        spec = TensorSpec((4, 16))
+        (out,) = op.infer_spec([spec])
+        cost = op.cost([spec], [out])
+        assert cost.flops == 2 * 4 * 16 * 8 + 4 * 8
+        assert cost.bytes_read == spec.nbytes + op.weight_bytes()
+
+    def test_param_count(self):
+        assert ops.Linear(16, 8).param_count() == 16 * 8 + 8
+        assert ops.Linear(16, 8, bias=False).param_count() == 16 * 8
+
+
+class TestConv1DGPT:
+    def test_transposed_weight_semantics(self, rng):
+        op = ops.Conv1DGPT(8, 12)
+        w = make_weights(op)
+        assert w["weight"].shape == (8, 12)  # (in, out) — GPT-2 layout
+        x = rng.normal(size=(1, 3, 8)).astype(np.float32)
+        y = run_op(op, x, weights=w)
+        np.testing.assert_allclose(y, x @ w["weight"] + w["bias"], rtol=1e-5)
+
+    def test_kind_is_distinct(self):
+        assert ops.Conv1DGPT(8, 8).kind == "conv1d"
+        assert ops.Linear(8, 8).kind == "linear"
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        op = ops.Conv2d(3, 16, 3, stride=2, padding=1)
+        (out,) = op.infer_spec([TensorSpec((1, 3, 8, 8))])
+        assert out.shape == (1, 16, 4, 4)
+
+    def test_identity_kernel(self, rng):
+        """A 1x1 conv with identity-ish weights equals a per-pixel linear map."""
+        op = ops.Conv2d(4, 4, 1, bias=False)
+        w = {"weight": np.eye(4, dtype=np.float32).reshape(4, 4, 1, 1)}
+        x = rng.normal(size=(1, 4, 5, 5)).astype(np.float32)
+        y = run_op(op, x, weights=w)
+        np.testing.assert_allclose(y, x, rtol=1e-6)
+
+    def test_matches_naive_convolution(self, rng):
+        op = ops.Conv2d(2, 3, 3, stride=1, padding=1)
+        w = make_weights(op)
+        x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        y = run_op(op, x, weights=w)
+        ref = _naive_conv(x, w["weight"], stride=1, padding=1) + w["bias"][None, :, None, None]
+        np.testing.assert_allclose(y, ref, rtol=1e-4, atol=1e-5)
+
+    def test_grouped_conv_shapes_and_params(self):
+        op = ops.Conv2d(8, 8, 3, padding=1, groups=8, bias=False)  # depthwise
+        (out,) = op.infer_spec([TensorSpec((1, 8, 4, 4))])
+        assert out.shape == (1, 8, 4, 4)
+        assert op.param_count() == 8 * 1 * 3 * 3
+
+    def test_grouped_conv_executes(self, rng):
+        op = ops.Conv2d(4, 4, 3, padding=1, groups=2)
+        x = rng.normal(size=(2, 4, 5, 5)).astype(np.float32)
+        y = run_op(op, x, weights=make_weights(op))
+        assert y.shape == (2, 4, 5, 5)
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ShapeError):
+            ops.Conv2d(3, 8, 3, groups=2)
+
+    def test_flops_scale_with_output(self):
+        op = ops.Conv2d(3, 16, 3, padding=1)
+        small = TensorSpec((1, 3, 8, 8))
+        large = TensorSpec((1, 3, 16, 16))
+        cost_s = op.cost([small], op.infer_spec([small]))
+        cost_l = op.cost([large], op.infer_spec([large]))
+        assert cost_l.flops == 4 * cost_s.flops
+
+
+class TestBMM:
+    def test_batched_matmul(self, rng):
+        a = rng.normal(size=(3, 4, 5)).astype(np.float32)
+        b = rng.normal(size=(3, 5, 6)).astype(np.float32)
+        y = run_op(ops.BMM(), a, b)
+        np.testing.assert_allclose(y, a @ b, rtol=1e-5)
+
+    def test_broadcast_batch_dims(self):
+        op = ops.BMM()
+        (out,) = op.infer_spec([TensorSpec((1, 8, 4, 5)), TensorSpec((1, 8, 5, 7))])
+        assert out.shape == (1, 8, 4, 7)
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(ShapeError):
+            ops.BMM().infer_spec([TensorSpec((2, 4, 5)), TensorSpec((2, 6, 7))])
+
+    def test_flops(self):
+        op = ops.BMM()
+        a, b = TensorSpec((2, 4, 8)), TensorSpec((2, 8, 3))
+        cost = op.cost([a, b], op.infer_spec([a, b]))
+        assert cost.flops == 2 * (2 * 4 * 3) * 8
+
+    def test_matmul_alias(self):
+        assert ops.MatMul().kind == "matmul"
+        assert ops.MatMul().category == ops.OpCategory.GEMM
+
+
+def _naive_conv(x, weight, stride, padding):
+    n, c, h, w = x.shape
+    oc, ic, kh, kw = weight.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    ho = (h + 2 * padding - kh) // stride + 1
+    wo = (w + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, oc, ho, wo), dtype=np.float32)
+    for b in range(n):
+        for o in range(oc):
+            for i in range(ho):
+                for j in range(wo):
+                    patch = xp[b, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[b, o, i, j] = np.sum(patch * weight[o])
+    return out

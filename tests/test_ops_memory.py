@@ -1,0 +1,137 @@
+"""Unit tests for memory operators (views and materializing copies)."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.errors import ShapeError
+from repro.ir import TensorSpec
+from tests.conftest import run_op
+
+
+class TestReshapeView:
+    def test_reshape_roundtrip(self, rng):
+        x = rng.normal(size=(2, 3, 4)).astype(np.float32)
+        y = run_op(ops.Reshape((6, 4)), x)
+        z = run_op(ops.Reshape((2, 3, 4)), y)
+        np.testing.assert_array_equal(x, z)
+
+    def test_wildcard_dimension(self):
+        (out,) = ops.Reshape((2, -1)).infer_spec([TensorSpec((2, 3, 4))])
+        assert out.shape == (2, 12)
+
+    def test_two_wildcards_rejected(self):
+        with pytest.raises(ShapeError):
+            ops.Reshape((-1, -1))
+
+    def test_numel_mismatch(self):
+        with pytest.raises(ShapeError):
+            ops.Reshape((5, 5)).infer_spec([TensorSpec((2, 3))])
+
+    def test_views_are_metadata_only(self):
+        for op in (ops.Reshape((4,)), ops.View((4,)), ops.Permute((0,)), ops.Squeeze(0)):
+            assert op.is_metadata_only
+
+    def test_view_kind_distinct_from_reshape(self):
+        assert ops.View((4,)).kind == "view"
+
+
+class TestPermuteTranspose:
+    def test_permute(self, rng):
+        x = rng.normal(size=(2, 3, 4)).astype(np.float32)
+        y = run_op(ops.Permute((2, 0, 1)), x)
+        np.testing.assert_array_equal(y, np.transpose(x, (2, 0, 1)))
+
+    def test_permute_validates(self):
+        with pytest.raises(ShapeError):
+            ops.Permute((0, 0, 1))
+
+    def test_transpose_negative_dims(self, rng):
+        x = rng.normal(size=(2, 3, 4)).astype(np.float32)
+        y = run_op(ops.Transpose(-2, -1), x)
+        assert y.shape == (2, 4, 3)
+
+
+class TestContiguous:
+    def test_identity_semantics_real_kernel(self, rng):
+        x = rng.normal(size=(3, 3)).astype(np.float32)
+        y = run_op(ops.Contiguous(), x)
+        np.testing.assert_array_equal(x, y)
+        assert not ops.Contiguous().is_metadata_only
+
+    def test_cost_is_copy(self):
+        spec = TensorSpec((8, 8))
+        op = ops.Contiguous()
+        cost = op.cost([spec], list(op.infer_spec([spec])))
+        assert cost.bytes_read == spec.nbytes
+        assert cost.bytes_written == spec.nbytes
+
+
+class TestSplitConcat:
+    def test_split_then_concat_roundtrip(self, rng):
+        x = rng.normal(size=(2, 9)).astype(np.float32)
+        parts = run_op(ops.Split(3, dim=1), x)
+        y = run_op(ops.Concat(1), *parts)
+        np.testing.assert_array_equal(x, y)
+
+    def test_split_requires_divisibility(self):
+        with pytest.raises(ShapeError):
+            ops.Split(4, dim=1).infer_spec([TensorSpec((2, 9))])
+
+    def test_concat_shape_checks(self):
+        with pytest.raises(ShapeError):
+            ops.Concat(0).infer_spec([TensorSpec((2, 3)), TensorSpec((2, 4))])
+
+    def test_concat_is_materializing(self):
+        assert not ops.Concat(0).is_metadata_only
+        assert ops.Split(2, 0).is_metadata_only  # torch split returns views
+
+
+class TestExpandSqueeze:
+    def test_expand_broadcasts(self, rng):
+        x = rng.normal(size=(1, 1, 4)).astype(np.float32)
+        y = run_op(ops.Expand((2, 3, 4)), x)
+        assert y.shape == (2, 3, 4)
+        np.testing.assert_array_equal(y[0, 0], y[1, 2])
+
+    def test_expand_minus_one_keeps(self):
+        (out,) = ops.Expand((2, -1, 4)).infer_spec([TensorSpec((1, 3, 4))])
+        assert out.shape == (2, 3, 4)
+
+    def test_expand_rejects_non_singleton(self):
+        with pytest.raises(ShapeError):
+            ops.Expand((2, 5)).infer_spec([TensorSpec((1, 3))])
+
+    def test_squeeze_unsqueeze_roundtrip(self, rng):
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        y = run_op(ops.Unsqueeze(1), x)
+        assert y.shape == (2, 1, 3)
+        z = run_op(ops.Squeeze(1), y)
+        np.testing.assert_array_equal(x, z)
+
+    def test_squeeze_requires_singleton(self):
+        with pytest.raises(ShapeError):
+            ops.Squeeze(0).infer_spec([TensorSpec((2, 3))])
+
+
+class TestSliceRollPad:
+    def test_slice(self, rng):
+        x = rng.normal(size=(4, 10)).astype(np.float32)
+        y = run_op(ops.Slice(1, 2, 7), x)
+        np.testing.assert_array_equal(y, x[:, 2:7])
+
+    def test_slice_bounds(self):
+        with pytest.raises(ShapeError):
+            ops.Slice(1, 2, 20).infer_spec([TensorSpec((4, 10))])
+
+    def test_roll_is_cyclic(self, rng):
+        x = rng.normal(size=(1, 6, 6, 2)).astype(np.float32)
+        y = run_op(ops.Roll((-2, -2), (1, 2)), x)
+        z = run_op(ops.Roll((2, 2), (1, 2)), y)
+        np.testing.assert_array_equal(x, z)
+
+    def test_pad_shape_and_zeros(self, rng):
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        y = run_op(ops.Pad(((0, 1), (2, 0))), x)
+        assert y.shape == (3, 5)
+        assert np.all(y[2] == 0) and np.all(y[:, :2] == 0)

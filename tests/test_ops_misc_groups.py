@@ -1,0 +1,247 @@
+"""Unit tests for softmax, RoI, interpolation, pooling, reduction,
+embedding, misc, and quantized operators."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.errors import ShapeError
+from repro.ir import DType, TensorSpec
+from tests.conftest import make_weights, run_op
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(4, 7)).astype(np.float32) * 10
+        y = run_op(ops.Softmax(-1), x)
+        np.testing.assert_allclose(y.sum(axis=-1), 1.0, rtol=1e-5)
+        assert np.all(y >= 0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(2, 5)).astype(np.float32)
+        y1 = run_op(ops.Softmax(-1), x)
+        y2 = run_op(ops.Softmax(-1), x + 100.0)
+        np.testing.assert_allclose(y1, y2, atol=1e-5)
+
+    def test_log_softmax(self, rng):
+        x = rng.normal(size=(3, 6)).astype(np.float32)
+        y = run_op(ops.LogSoftmax(-1), x)
+        np.testing.assert_allclose(np.exp(y).sum(axis=-1), 1.0, rtol=1e-5)
+
+
+class TestNMS:
+    def test_suppresses_overlapping(self):
+        boxes = np.array(
+            [[0, 0, 10, 10], [1, 1, 11, 11], [50, 50, 60, 60]], dtype=np.float32
+        )
+        scores = np.array([0.9, 0.8, 0.7], dtype=np.float32)
+        op = ops.NMS(iou_threshold=0.5, score_threshold=0.0, max_outputs=10)
+        kept, count = run_op(op, boxes, scores)
+        assert int(count) == 2  # the two heavily overlapping boxes collapse
+        np.testing.assert_array_equal(kept[0], boxes[0])
+
+    def test_score_threshold_filters(self):
+        boxes = np.array([[0, 0, 10, 10], [20, 20, 30, 30]], dtype=np.float32)
+        scores = np.array([0.9, 0.01], dtype=np.float32)
+        op = ops.NMS(iou_threshold=0.5, score_threshold=0.5, max_outputs=10)
+        _, count = run_op(op, boxes, scores)
+        assert int(count) == 1
+
+    def test_respects_max_outputs(self, rng):
+        n = 30
+        boxes = np.stack(
+            [
+                np.arange(n) * 20.0,
+                np.zeros(n),
+                np.arange(n) * 20.0 + 10,
+                np.full(n, 10.0),
+            ],
+            axis=1,
+        ).astype(np.float32)
+        scores = rng.uniform(0.5, 1.0, n).astype(np.float32)
+        op = ops.NMS(iou_threshold=0.5, score_threshold=0.0, max_outputs=5)
+        kept, count = run_op(op, boxes, scores)
+        assert int(count) == 5 and kept.shape == (5, 4)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ShapeError):
+            ops.NMS(iou_threshold=1.5)
+
+
+class TestRoIAlign:
+    def test_output_shape(self, rng):
+        feats = rng.normal(size=(1, 8, 16, 16)).astype(np.float32)
+        rois = np.array([[0, 0, 0, 8, 8], [0, 4, 4, 12, 12]], dtype=np.float32)
+        y = run_op(ops.RoIAlign(output_size=4), feats, rois)
+        assert y.shape == (2, 8, 4, 4)
+
+    def test_constant_feature_sampling(self):
+        feats = np.full((1, 2, 8, 8), 5.0, dtype=np.float32)
+        rois = np.array([[0, 1, 1, 6, 6]], dtype=np.float32)
+        y = run_op(ops.RoIAlign(output_size=2), feats, rois)
+        np.testing.assert_allclose(y, 5.0, rtol=1e-6)
+
+
+class TestInterpolate:
+    def test_nearest_upsample_repeats(self):
+        x = np.arange(4, dtype=np.float32).reshape(1, 1, 2, 2)
+        y = run_op(ops.Interpolate(scale_factor=2.0, mode="nearest"), x)
+        assert y.shape == (1, 1, 4, 4)
+        np.testing.assert_array_equal(y[0, 0, :2, :2], x[0, 0, 0, 0])
+
+    def test_bilinear_preserves_constant(self):
+        x = np.full((1, 3, 5, 5), 2.5, dtype=np.float32)
+        y = run_op(ops.Interpolate(size=(9, 9), mode="bilinear"), x)
+        np.testing.assert_allclose(y, 2.5, rtol=1e-6)
+
+    def test_needs_exactly_one_target(self):
+        with pytest.raises(ShapeError):
+            ops.Interpolate(scale_factor=2.0, size=(4, 4))
+        with pytest.raises(ShapeError):
+            ops.Interpolate()
+
+
+class TestPooling:
+    def test_maxpool(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        y = run_op(ops.MaxPool2d(2), x)
+        np.testing.assert_array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_avgpool(self):
+        x = np.ones((1, 2, 4, 4), dtype=np.float32)
+        y = run_op(ops.AvgPool2d(2), x)
+        np.testing.assert_allclose(y, 1.0)
+
+    def test_maxpool_padding_ignores_pad_values(self):
+        x = np.full((1, 1, 2, 2), -1.0, dtype=np.float32)
+        y = run_op(ops.MaxPool2d(3, stride=1, padding=1), x)
+        assert np.all(y == -1.0)
+
+    def test_adaptive_avg_pool(self, rng):
+        x = rng.normal(size=(2, 4, 7, 7)).astype(np.float32)
+        y = run_op(ops.AdaptiveAvgPool2d(1), x)
+        np.testing.assert_allclose(y[..., 0, 0], x.mean(axis=(2, 3)), rtol=1e-5)
+
+
+class TestReductions:
+    def test_mean_sum_max(self, rng):
+        x = rng.normal(size=(3, 5)).astype(np.float32)
+        np.testing.assert_allclose(run_op(ops.Mean(1), x), x.mean(axis=1), rtol=1e-6)
+        np.testing.assert_allclose(run_op(ops.Sum(0), x), x.sum(axis=0), rtol=1e-5)
+        np.testing.assert_allclose(run_op(ops.Max(1), x), x.max(axis=1), rtol=1e-6)
+
+    def test_keepdim(self, rng):
+        x = rng.normal(size=(3, 5)).astype(np.float32)
+        assert run_op(ops.Mean(1, keepdim=True), x).shape == (3, 1)
+
+    def test_argmax_dtype(self, rng):
+        x = rng.normal(size=(3, 5)).astype(np.float32)
+        y = run_op(ops.ArgMax(1), x)
+        assert y.dtype == np.int64
+        np.testing.assert_array_equal(y, np.argmax(x, axis=1))
+
+
+class TestEmbedding:
+    def test_gathers_rows(self, rng):
+        op = ops.Embedding(10, 4)
+        w = make_weights(op)
+        ids = np.array([[0, 3, 9]], dtype=np.int64)
+        y = run_op(op, ids, weights=w)
+        np.testing.assert_array_equal(y[0, 1], w["weight"][3])
+
+    def test_requires_integer_ids(self):
+        with pytest.raises(ShapeError):
+            ops.Embedding(10, 4).infer_spec([TensorSpec((1, 3), DType.F32)])
+
+
+class TestMiscOps:
+    def test_where(self, rng):
+        cond = np.array([True, False, True])
+        a = np.ones(3, np.float32)
+        b = np.zeros(3, np.float32)
+        np.testing.assert_array_equal(run_op(ops.Where(), cond, a, b), [1, 0, 1])
+
+    def test_masked_fill(self):
+        x = np.ones((2, 2), np.float32)
+        mask = np.array([[True, False], [False, True]])
+        y = run_op(ops.MaskedFill(0.0), x, mask)
+        np.testing.assert_array_equal(y, [[0, 1], [1, 0]])
+
+    def test_tril(self):
+        x = np.ones((3, 3), np.float32)
+        y = run_op(ops.Tril(), x)
+        assert y[0, 2] == 0 and y[2, 0] == 1
+
+    def test_gather_is_memory_group(self, rng):
+        assert ops.Gather(0).category is ops.OpCategory.MEMORY
+        x = rng.normal(size=(5, 3)).astype(np.float32)
+        idx = np.array([4, 0], dtype=np.int64)
+        y = run_op(ops.Gather(0), x, idx)
+        np.testing.assert_array_equal(y, x[[4, 0]])
+
+    def test_index_add(self, rng):
+        base = np.zeros((4, 2), np.float32)
+        idx = np.array([1, 3], dtype=np.int64)
+        vals = np.ones((2, 2), np.float32)
+        y = run_op(ops.IndexAdd(0), base, idx, vals)
+        np.testing.assert_array_equal(y[[1, 3]], 1.0)
+        np.testing.assert_array_equal(y[[0, 2]], 0.0)
+
+    def test_topk(self):
+        x = np.array([[1.0, 5.0, 3.0, 2.0]], dtype=np.float32)
+        values, idx = run_op(ops.TopK(2), x)
+        np.testing.assert_array_equal(values, [[5.0, 3.0]])
+        np.testing.assert_array_equal(idx, [[1, 2]])
+
+    def test_cast(self, rng):
+        x = rng.normal(size=(3,)).astype(np.float32)
+        y = run_op(ops.Cast(DType.F16), x)
+        assert y.dtype == np.float16
+
+    def test_constant_yields_weight(self):
+        op = ops.Constant((2, 3), name="pos")
+        w = make_weights(op)
+        (y,) = op.run([], w)
+        np.testing.assert_array_equal(y, w["pos"])
+
+    def test_nonzero_pads_to_bound(self):
+        x = np.array([1.0, 0.0, 2.0, 0.0], dtype=np.float32)
+        op = ops.Nonzero(max_outputs=3)
+        y = run_op(op, x)
+        assert y.shape == (3, 1)
+        np.testing.assert_array_equal(y[:2, 0], [0, 2])
+        assert getattr(op, "forces_sync")
+
+
+class TestQuantizedOps:
+    def test_quantize_roundtrip_error_bounded(self, rng):
+        x = rng.normal(size=(4, 64)).astype(np.float16)
+        q, scale = run_op(ops.Quantize(), x)
+        assert q.dtype == np.int8
+        recon = q.astype(np.float32) * scale.astype(np.float32)
+        absmax = np.abs(x).max(axis=-1, keepdims=True)
+        assert np.all(np.abs(recon - x.astype(np.float32)) <= absmax / 127.0 + 1e-3)
+
+    def test_int8_linear_matches_integer_matmul(self, rng):
+        op = ops.Int8Linear(8, 4)
+        w = make_weights(op)
+        x = rng.integers(-127, 127, size=(3, 8), dtype=np.int8)
+        y = run_op(op, x, weights=w)
+        assert y.dtype == np.int32
+        np.testing.assert_array_equal(y, x.astype(np.int32) @ w["weight_int8"].astype(np.int32).T)
+
+    def test_int8_linear_rejects_float(self):
+        with pytest.raises(ShapeError):
+            ops.Int8Linear(8, 4).infer_spec([TensorSpec((3, 8), DType.F16)])
+
+    def test_dequantize(self, rng):
+        acc = rng.integers(-100, 100, size=(2, 4)).astype(np.int32)
+        scales = np.full((2, 1), 0.5, dtype=np.float16)
+        y = run_op(ops.Dequantize(DType.F16), acc, scales)
+        assert y.dtype == np.float16
+        np.testing.assert_allclose(y, acc * 0.5, rtol=1e-3)
+
+    def test_qdq_category(self):
+        assert ops.Quantize().category is ops.OpCategory.QDQ
+        assert ops.Dequantize().category is ops.OpCategory.QDQ
+        assert ops.Int8Linear(8, 8).category is ops.OpCategory.GEMM

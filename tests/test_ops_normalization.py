@@ -1,0 +1,123 @@
+"""Unit tests for normalization operators."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.errors import ShapeError
+from repro.ir import TensorSpec
+from tests.conftest import make_weights, run_op
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self, rng):
+        op = ops.LayerNorm(16)
+        w = {"weight": np.ones(16, np.float32), "bias": np.zeros(16, np.float32)}
+        x = rng.normal(2.0, 3.0, size=(4, 16)).astype(np.float32)
+        y = run_op(op, x, weights=w)
+        np.testing.assert_allclose(y.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(y.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_params_apply(self, rng):
+        op = ops.LayerNorm(8)
+        w = {"weight": np.full(8, 2.0, np.float32), "bias": np.full(8, 1.0, np.float32)}
+        x = rng.normal(size=(2, 8)).astype(np.float32)
+        y = run_op(op, x, weights=w)
+        assert abs(float(y.mean()) - 1.0) < 0.2  # scaled zero-mean + bias
+
+    def test_multi_dim_normalized_shape(self, rng):
+        op = ops.LayerNorm((4, 8))
+        x = rng.normal(size=(2, 4, 8)).astype(np.float32)
+        y = run_op(op, x, weights=make_weights(op))
+        assert y.shape == (2, 4, 8)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ops.LayerNorm(16).infer_spec([TensorSpec((4, 8))])
+
+    def test_two_eager_kernels(self):
+        assert ops.LayerNorm(16).eager_kernels == 2
+
+
+class TestRMSNorm:
+    def test_unit_rms(self, rng):
+        op = ops.RMSNorm(32)
+        w = {"weight": np.ones(32, np.float32)}
+        x = rng.normal(0, 5.0, size=(3, 32)).astype(np.float32)
+        y = run_op(op, x, weights=w)
+        rms = np.sqrt(np.mean(np.square(y), axis=-1))
+        np.testing.assert_allclose(rms, 1.0, rtol=1e-3)
+
+    def test_no_mean_subtraction(self):
+        """RMSNorm of a constant vector keeps its sign (unlike LayerNorm)."""
+        op = ops.RMSNorm(4)
+        w = {"weight": np.ones(4, np.float32)}
+        x = np.full((1, 4), 3.0, np.float32)
+        y = run_op(op, x, weights=w)
+        assert np.all(y > 0.9)
+
+    def test_hf_composite_kernel_count(self):
+        op = ops.RMSNorm(4)
+        assert op.eager_kernels == 8
+        assert op.traffic_passes == 4
+        assert op.is_custom_kernel
+
+
+class TestBatchNorm2d:
+    def test_inference_uses_running_stats(self, rng):
+        op = ops.BatchNorm2d(3)
+        w = {
+            "weight": np.ones(3, np.float32),
+            "bias": np.zeros(3, np.float32),
+            "running_mean": np.array([1.0, 2.0, 3.0], np.float32),
+            "running_var": np.ones(3, np.float32),
+        }
+        x = np.stack([np.full((4, 4), m, np.float32) for m in (1.0, 2.0, 3.0)])[None]
+        y = run_op(op, x, weights=w)
+        np.testing.assert_allclose(y, 0.0, atol=1e-2)
+
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ShapeError):
+            ops.BatchNorm2d(3).infer_spec([TensorSpec((1, 3, 8))])
+
+
+class TestFrozenBatchNorm2d:
+    def test_precomputed_variant_kernels(self):
+        op = ops.FrozenBatchNorm2d(64, precomputed=True)
+        assert op.eager_kernels == 2
+        assert not op.is_custom_kernel
+
+    def test_detr_variant_kernels(self):
+        op = ops.FrozenBatchNorm2d(64, precomputed=False)
+        assert op.eager_kernels == 7
+        assert op.is_custom_kernel
+        assert "per-forward" in op.describe()
+
+    def test_numerics_match_batchnorm(self, rng):
+        w = make_weights(ops.BatchNorm2d(4))
+        x = rng.normal(size=(1, 4, 3, 3)).astype(np.float32)
+        y_bn = run_op(ops.BatchNorm2d(4), x, weights=w)
+        y_fbn = run_op(ops.FrozenBatchNorm2d(4), x, weights=w)
+        np.testing.assert_allclose(y_bn, y_fbn, rtol=1e-5)
+
+
+class TestGroupNorm:
+    def test_per_group_statistics(self, rng):
+        op = ops.GroupNorm(2, 8)
+        w = {"weight": np.ones(8, np.float32), "bias": np.zeros(8, np.float32)}
+        x = rng.normal(3.0, 2.0, size=(2, 8, 4, 4)).astype(np.float32)
+        y = run_op(op, x, weights=w)
+        grouped = y.reshape(2, 2, 4, 4, 4)
+        np.testing.assert_allclose(grouped.mean(axis=(2, 3, 4)), 0.0, atol=1e-4)
+
+    def test_channels_must_divide(self):
+        with pytest.raises(ShapeError):
+            ops.GroupNorm(3, 8)
+
+
+def test_norm_cost_includes_weights():
+    op = ops.LayerNorm(64)
+    spec = TensorSpec((2, 10, 64))
+    cost = op.cost([spec], list(op.infer_spec([spec])))
+    assert cost.bytes_read == spec.nbytes + op.weight_bytes()
+    assert cost.flops == spec.numel * op.FLOPS_PER_ELEMENT

@@ -1,0 +1,101 @@
+"""Tests for the LLM.int8() quantization pass."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.ir import DType, Graph, TensorSpec
+from repro.models import build_model, configs
+from repro.models.llama import build_llama
+from repro.ops.base import OpCategory
+from repro.quant import quantize_llm_int8
+from repro.runtime import run_graph
+
+
+def linear_stack(dim: int = 64, layers: int = 3, dtype: DType = DType.F16) -> Graph:
+    g = Graph("stack")
+    x = g.input(TensorSpec((1, 4, dim), dtype), "x")
+    h = x
+    for i in range(layers):
+        h = g.call(ops.Linear(dim, dim, bias=(i == 0), dtype=dtype), h, name=f"fc{i}")
+        h = g.call(ops.SiLU(), h, name=f"act{i}")
+    g.set_outputs(h)
+    return g
+
+
+class TestPassMechanics:
+    def test_quantizes_large_linears(self):
+        result = quantize_llm_int8(linear_stack(), min_features=32)
+        assert result.stats.linears_quantized == 3
+        kinds = result.graph.stats().op_counts
+        assert kinds.get("int8_linear", 0) == 3
+        assert kinds.get("linear", 0) == 3  # the fp16 outlier paths
+        assert kinds.get("quantize", 0) == 3
+        assert kinds.get("dequantize", 0) == 3
+
+    def test_small_linears_kept_fp(self):
+        result = quantize_llm_int8(linear_stack(dim=64), min_features=128)
+        assert result.stats.linears_quantized == 0
+        assert result.stats.linears_kept_fp == 3
+
+    def test_adds_ops(self):
+        result = quantize_llm_int8(linear_stack(), min_features=32)
+        assert result.stats.ops_added > 0
+        assert result.stats.ops_after == len(result.graph.compute_nodes())
+        assert result.stats.qdq_ops_added == 6
+
+    def test_output_specs_preserved(self):
+        graph = linear_stack()
+        result = quantize_llm_int8(graph, min_features=32)
+        assert [v.spec.shape for v in result.graph.outputs] == [
+            v.spec.shape for v in graph.outputs
+        ]
+
+    def test_original_graph_untouched(self):
+        graph = linear_stack()
+        before = len(graph.compute_nodes())
+        quantize_llm_int8(graph, min_features=32)
+        assert len(graph.compute_nodes()) == before
+
+    def test_rewritten_graph_validates_and_runs(self, rng):
+        graph = linear_stack(dim=32)
+        result = quantize_llm_int8(graph, min_features=16)
+        result.graph.validate()
+        x = rng.normal(size=(1, 4, 32)).astype(np.float16)
+        (out,) = run_graph(result.graph, {"x": x})
+        assert out.shape == (1, 4, 32)
+        assert np.all(np.isfinite(out.astype(np.float32)))
+
+    def test_qdq_ops_report_in_qdq_group(self):
+        result = quantize_llm_int8(linear_stack(), min_features=32)
+        categories = {n.op.category for n in result.graph.compute_nodes()}
+        assert OpCategory.QDQ in categories
+
+
+class TestOnLlama:
+    def test_quantizes_llama_linears(self):
+        graph = build_model("llama3-8b", seq_len=16)
+        result = quantize_llm_int8(graph)
+        # 7 projections per layer x 32 layers + lm_head
+        assert result.stats.linears_quantized == 7 * 32 + 1
+        assert result.stats.ops_added > 1000  # paper: thousands of extra ops
+
+    def test_int8_weights_smaller_in_bytes(self):
+        config = configs.LlamaConfig(
+            name="llama-test", layers=2, dim=64, heads=4, kv_heads=4,
+            ffn_dim=128, vocab=256, seq_len=4, dtype=DType.F16,
+        )
+        graph = build_llama(config)
+        result = quantize_llm_int8(graph, min_features=64)
+        bytes_before = sum(n.op.weight_bytes() for n in graph.nodes)
+        bytes_after = sum(n.op.weight_bytes() for n in result.graph.nodes)
+        assert bytes_after < bytes_before  # i8 storage beats f16 despite extra outlier weights
+
+    def test_gemm_share_of_ops_drops(self):
+        graph = build_model("llama3-8b", seq_len=16)
+        result = quantize_llm_int8(graph)
+        before = graph.stats()
+        after = result.graph.stats()
+        ratio_before = before.gemm_op_count / before.num_nodes
+        ratio_after = after.gemm_op_count / after.num_nodes
+        assert ratio_after < ratio_before
