@@ -1,0 +1,45 @@
+"""Sweep engine bench: end-to-end speedup of the fig6 grid vs the seed path.
+
+The reference leg disables memoization and routes the simulator through the
+scalar per-kernel estimator — the seed implementation's algorithm — then the
+engine regenerates the same grid cold (empty cache) and warm.  Output rows
+must be byte-identical across all three; the measured speedups land in the
+benchmark's extra_info (and ``scripts/bench_sweep.py`` writes them to
+``BENCH_sweep.json``).
+"""
+
+import time
+
+from repro.analysis import run_fig6
+from repro.runtime.simulator import use_reference_backend
+from repro.sweep.cache import PLAN_CACHE
+
+
+def test_sweep_engine_speedup(benchmark, results_dir):
+    PLAN_CACHE.clear()
+    with PLAN_CACHE.disabled(), use_reference_backend():
+        start = time.perf_counter()
+        reference = run_fig6(iterations=2)
+        reference_s = time.perf_counter() - start
+
+    PLAN_CACHE.clear()
+    result = benchmark.pedantic(lambda: run_fig6(iterations=2), rounds=1, iterations=1)
+    cold_s = benchmark.stats.stats.mean
+
+    start = time.perf_counter()
+    warm = run_fig6(iterations=2)
+    warm_s = time.perf_counter() - start
+
+    # the engine is an optimization, not a remodel: identical output rows
+    assert result.rows == reference.rows
+    assert warm.rows == reference.rows
+
+    benchmark.extra_info["reference_s"] = round(reference_s, 4)
+    benchmark.extra_info["engine_warm_s"] = round(warm_s, 4)
+    benchmark.extra_info["speedup_cold"] = round(reference_s / cold_s, 2)
+    benchmark.extra_info["speedup_warm"] = round(reference_s / warm_s, 2)
+
+    # loose floors so CI noise cannot flake the suite; nominal values are
+    # ~5-6x cold and >50x warm (see BENCH_sweep.json)
+    assert reference_s / cold_s > 2.0
+    assert reference_s / warm_s > 10.0

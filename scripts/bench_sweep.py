@@ -1,0 +1,142 @@
+"""Benchmark the sweep engine against the seed-equivalent reference path.
+
+Times three executions of the figure-6 grid (the repo's heaviest harness):
+
+* ``reference``   — memoization disabled and the scalar per-kernel simulator:
+  the seed implementation's algorithm (per-point build/lower/simulate with
+  142k Python-level ``estimate_kernel`` calls), run through today's harness.
+* ``engine_cold`` — the sweep engine from an empty cache: vectorized
+  simulation, content-hash memoized builds/plans/memory, derived CPU plans.
+* ``engine_warm`` — the engine re-running the same grid in-session, the
+  steady state of interactive/sweep workloads.
+
+All three produce byte-identical rows (asserted).  Results land in
+``BENCH_sweep.json`` at the repo root for the performance trajectory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sweep.py [--full] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_mod
+import sys
+import time
+from pathlib import Path
+
+from repro import analysis
+from repro.runtime.simulator import use_reference_backend
+from repro.sweep.cache import PLAN_CACHE
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: the full harness suite, with the iteration counts the benchmarks use
+SUITE = {
+    "fig1": lambda: analysis.run_fig1(iterations=3),
+    "fig5": lambda: analysis.run_fig5(iterations=2),
+    "fig6": lambda: analysis.run_fig6(iterations=2),
+    "fig7": lambda: analysis.run_fig7(iterations=3),
+    "fig8": lambda: analysis.run_fig8(iterations=2),
+    "fig9": lambda: analysis.run_fig9(iterations=2),
+    "table1": lambda: analysis.run_table1(),
+    "table4": lambda: analysis.run_table4(iterations=2),
+    "table5": lambda: analysis.run_table5(iterations=2),
+}
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def bench_fig6(models: tuple[str, ...] | None = None) -> dict:
+    runner = lambda: analysis.run_fig6(iterations=2, models=models)  # noqa: E731
+
+    PLAN_CACHE.clear()
+    with PLAN_CACHE.disabled(), use_reference_backend():
+        reference_s, reference = timed(runner)
+
+    PLAN_CACHE.clear()
+    cold_s, cold = timed(runner)
+    warm_s, warm = timed(runner)
+
+    assert reference.rows == cold.rows == warm.rows, "engine output diverged!"
+    return {
+        "reference_s": round(reference_s, 4),
+        "engine_cold_s": round(cold_s, 4),
+        "engine_warm_s": round(warm_s, 4),
+        "speedup_cold": round(reference_s / cold_s, 2),
+        "speedup_warm": round(reference_s / warm_s, 2),
+        "rows": len(cold.rows),
+        "byte_identical": True,
+    }
+
+
+def bench_suite() -> dict:
+    PLAN_CACHE.clear()
+    with PLAN_CACHE.disabled(), use_reference_backend():
+        reference_s = sum(timed(fn)[0] for fn in SUITE.values())
+    PLAN_CACHE.clear()
+    cold_s = sum(timed(fn)[0] for fn in SUITE.values())
+    warm_s = sum(timed(fn)[0] for fn in SUITE.values())
+    return {
+        "harnesses": len(SUITE),
+        "reference_s": round(reference_s, 4),
+        "engine_cold_s": round(cold_s, 4),
+        "engine_warm_s": round(warm_s, 4),
+        "speedup_cold": round(reference_s / cold_s, 2),
+        "speedup_warm": round(reference_s / warm_s, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="also bench the whole suite")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: a four-model fig6 subset (for CI)",
+    )
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_sweep.json"))
+    args = parser.parse_args(argv)
+
+    models = ("swin-t", "vit-b", "gpt2", "segformer") if args.quick else None
+    payload: dict = {
+        "benchmark": "sweep-engine",
+        "mode": "quick" if args.quick else "standard",
+        "python": sys.version.split()[0],
+        "machine": platform_mod.machine(),
+        "fig6": bench_fig6(models),
+    }
+    if args.full:
+        payload["suite"] = bench_suite()
+
+    out_path = Path(args.output)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    fig6 = payload["fig6"]
+    print(
+        f"fig6: reference {fig6['reference_s']}s -> engine cold {fig6['engine_cold_s']}s"
+        f" ({fig6['speedup_cold']}x), warm {fig6['engine_warm_s']}s"
+        f" ({fig6['speedup_warm']}x); rows byte-identical"
+    )
+    if args.full:
+        suite = payload["suite"]
+        print(
+            f"suite: reference {suite['reference_s']}s -> cold {suite['engine_cold_s']}s"
+            f" ({suite['speedup_cold']}x), warm {suite['engine_warm_s']}s"
+            f" ({suite['speedup_warm']}x)"
+        )
+    print(f"wrote {out_path}")
+    # the 5x acceptance gate applies to the full grid; the --quick subset has
+    # proportionally less cross-point reuse and only smoke-checks correctness.
+    if not args.quick and fig6["speedup_cold"] < 5.0:
+        print("WARNING: cold speedup below the 5x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,47 +7,49 @@ GEMMs, non-GEMM operators account for roughly half of the latency.
 
 from __future__ import annotations
 
-from repro.analysis.common import ExperimentResult, ordered_shares
-from repro.flows import get_flow
-from repro.hardware import get_platform
-from repro.models import build_model
-from repro.profiler import profile_graph
+from repro.analysis.common import ExperimentResult
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepSpec
 from repro.viz.ascii import render_stacked_chart
 
 MODELS = ("gpt2-xl", "swin-b")
 
 
 def run_fig1(platform_id: str = "A", iterations: int = 5, seed: int = 0) -> ExperimentResult:
-    platform = get_platform(platform_id)
-    flow = get_flow("pytorch")
+    spec = SweepSpec(
+        name="fig1",
+        platforms=(platform_id,),
+        models=MODELS,
+        flows=("pytorch",),
+        batch_sizes=(1,),
+        devices=("cpu", "gpu"),
+        iterations=iterations,
+        seed=seed,
+        order=("model", "device"),
+    )
     result = ExperimentResult(
         name="fig1_motivation",
         title="GEMM vs non-GEMM latency split, CPU vs CPU+GPU (batch 1, PyTorch)",
     )
     bars = []
-    for model in MODELS:
-        graph = build_model(model, batch_size=1)
-        for use_gpu in (False, True):
-            plat = platform if use_gpu else platform.cpu_only()
-            profile = profile_graph(
-                graph, flow, plat, use_gpu=use_gpu, iterations=iterations, seed=seed, model_name=model
+    for record in SweepRunner().run(spec).records:
+        profile = record.profile
+        device = "CPU+GPU" if record.point.use_gpu else "CPU"
+        result.rows.append(
+            {
+                "model": record.point.model,
+                "device": device,
+                "latency_ms": round(profile.total_latency_ms, 2),
+                "gemm_pct": round(100 * profile.gemm_share, 1),
+                "non_gemm_pct": round(100 * profile.non_gemm_share, 1),
+            }
+        )
+        bars.append(
+            (
+                f"{record.point.model} [{device}]",
+                {"GEMM": profile.gemm_share, "non-GEMM": profile.non_gemm_share},
+                f"{profile.total_latency_ms:7.2f} ms",
             )
-            device = "CPU+GPU" if use_gpu else "CPU"
-            result.rows.append(
-                {
-                    "model": model,
-                    "device": device,
-                    "latency_ms": round(profile.total_latency_ms, 2),
-                    "gemm_pct": round(100 * profile.gemm_share, 1),
-                    "non_gemm_pct": round(100 * profile.non_gemm_share, 1),
-                }
-            )
-            bars.append(
-                (
-                    f"{model} [{device}]",
-                    {"GEMM": profile.gemm_share, "non-GEMM": profile.non_gemm_share},
-                    f"{profile.total_latency_ms:7.2f} ms",
-                )
-            )
+        )
     result.chart = render_stacked_chart(bars)
     return result

@@ -6,10 +6,9 @@ All paper models at batch 1 and batch 8, PyTorch flow, Platform A.
 from __future__ import annotations
 
 from repro.analysis.common import ExperimentResult
-from repro.flows import get_flow
-from repro.hardware import get_platform
-from repro.models import PAPER_MODELS, build_model
-from repro.profiler import profile_graph
+from repro.models import PAPER_MODELS
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepSpec
 
 
 def run_fig5(
@@ -19,31 +18,28 @@ def run_fig5(
     iterations: int = 3,
     seed: int = 0,
 ) -> ExperimentResult:
-    platform = get_platform(platform_id)
-    flow = get_flow("pytorch")
+    spec = SweepSpec(
+        name="fig5",
+        platforms=(platform_id,),
+        models=models or tuple(PAPER_MODELS),
+        flows=("pytorch",),
+        batch_sizes=batch_sizes,
+        iterations=iterations,
+        seed=seed,
+        order=("model", "batch_size"),
+    )
     result = ExperimentResult(
         name="fig5_energy",
         title=f"GPU energy per inference, platform {platform_id} (PyTorch)",
     )
-    for model in models or tuple(PAPER_MODELS):
-        for batch in batch_sizes:
-            graph = build_model(model, batch_size=batch)
-            profile = profile_graph(
-                graph,
-                flow,
-                platform,
-                use_gpu=True,
-                batch_size=batch,
-                iterations=iterations,
-                seed=seed,
-                model_name=model,
-            )
-            result.rows.append(
-                {
-                    "model": model,
-                    "batch": batch,
-                    "gpu_energy_j": round(profile.gpu_energy_j, 3),
-                    "latency_ms": round(profile.total_latency_ms, 2),
-                }
-            )
+    for record in SweepRunner().run(spec).records:
+        profile = record.profile
+        result.rows.append(
+            {
+                "model": record.point.model,
+                "batch": record.point.batch_size,
+                "gpu_energy_j": round(profile.gpu_energy_j, 3),
+                "latency_ms": round(profile.total_latency_ms, 2),
+            }
+        )
     return result

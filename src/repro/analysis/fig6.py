@@ -2,15 +2,20 @@
 
 Every paper model x {batch 1, 8} x {CPU-only, CPU+GPU} x {Platform A, B},
 PyTorch flow, broken into the ten operator groups of the paper's legend.
+
+The grid is declared as a :class:`~repro.sweep.spec.SweepSpec` and executed
+by the sweep engine, which shares model builds, plan lowerings, and memory
+profiles across the cross-product (each graph is built once, not once per
+platform) and simulates each point vectorized.
 """
 
 from __future__ import annotations
 
 from repro.analysis.common import ExperimentResult, group_share_columns, ordered_shares
-from repro.flows import get_flow
-from repro.hardware import get_platform
-from repro.models import PAPER_MODELS, build_model, get_model
-from repro.profiler import ProfileResult, profile_graph
+from repro.models import PAPER_MODELS, get_model
+from repro.profiler import ProfileResult
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepSpec
 from repro.viz.ascii import render_stacked_chart
 
 
@@ -20,43 +25,40 @@ def run_fig6(
     batch_sizes: tuple[int, ...] = (1, 8),
     iterations: int = 3,
     seed: int = 0,
+    workers: int = 0,
 ) -> ExperimentResult:
-    flow = get_flow("pytorch")
+    spec = SweepSpec(
+        name="fig6",
+        platforms=platform_ids,
+        models=models or tuple(PAPER_MODELS),
+        flows=("pytorch",),
+        batch_sizes=batch_sizes,
+        devices=("cpu", "gpu"),
+        iterations=iterations,
+        seed=seed,
+        order=("platform", "model", "batch_size", "device"),
+    )
     result = ExperimentResult(
         name="fig6_breakdown",
         title="Operator-group latency breakdown (PyTorch, CPU vs CPU+GPU, platforms A/B)",
     )
+    sweep = SweepRunner(workers=workers).run(spec)
     profiles: list[ProfileResult] = []
-    for platform_id in platform_ids:
-        platform = get_platform(platform_id)
-        for model in models or tuple(PAPER_MODELS):
-            domain = get_model(model).domain.value
-            for batch in batch_sizes:
-                graph = build_model(model, batch_size=batch)
-                for use_gpu in (False, True):
-                    plat = platform if use_gpu else platform.cpu_only()
-                    profile = profile_graph(
-                        graph,
-                        flow,
-                        plat,
-                        use_gpu=use_gpu,
-                        batch_size=batch,
-                        iterations=iterations,
-                        seed=seed,
-                        model_name=model,
-                    )
-                    profiles.append(profile)
-                    row = {
-                        "platform": platform_id,
-                        "domain": domain,
-                        "model": model,
-                        "batch": batch,
-                        "device": "cpu+gpu" if use_gpu else "cpu",
-                        "latency_ms": round(profile.total_latency_ms, 3),
-                        "non_gemm_pct": round(100 * profile.non_gemm_share, 2),
-                    }
-                    row.update(group_share_columns(profile))
-                    result.rows.append(row)
+    domains = {model: get_model(model).domain.value for model in spec.models}
+    for record in sweep.records:
+        point, profile = record.point, record.profile
+        profiles.append(profile)
+        row = {
+            "platform": point.platform,
+            "domain": domains[point.model],
+            "model": point.model,
+            "batch": point.batch_size,
+            "device": "cpu+gpu" if point.use_gpu else "cpu",
+            "latency_ms": round(profile.total_latency_ms, 3),
+            "non_gemm_pct": round(100 * profile.non_gemm_share, 2),
+        }
+        row.update(group_share_columns(profile))
+        result.rows.append(row)
 
     gpu_profiles = [p for p in profiles if p.use_gpu]
     cpu_profiles = [p for p in profiles if not p.use_gpu]
@@ -67,15 +69,34 @@ def run_fig6(
             f"average non-GEMM share: CPU-only {cpu_avg:.1%} -> CPU+GPU {gpu_avg:.1%}"
             " (paper: 17.2% -> 42.3%)"
         )
-    # render the platform-A GPU bars as the headline chart
-    bars = [
-        (
-            f"{p.model} b{p.batch_size}",
-            ordered_shares(p),
-            f"{p.total_latency_ms:8.2f} ms",
-        )
-        for p in gpu_profiles
-        if p.platform.platform_id == platform_ids[0] and p.batch_size == batch_sizes[0]
-    ]
-    result.chart = render_stacked_chart(bars)
+    result.chart = _headline_chart(gpu_profiles, platform_ids, batch_sizes)
     return result
+
+
+def _headline_chart(
+    gpu_profiles: list[ProfileResult],
+    platform_ids: tuple[str, ...],
+    batch_sizes: tuple[int, ...],
+) -> str:
+    """Stacked bars for the first platform/batch, falling back when filters
+    leave that combination empty (custom model/platform subsets)."""
+    if not gpu_profiles:
+        return ""
+
+    def bars_for(platform_id: str, batch: int):
+        return [
+            (
+                f"{p.model} b{p.batch_size}",
+                ordered_shares(p),
+                f"{p.total_latency_ms:8.2f} ms",
+            )
+            for p in gpu_profiles
+            if p.platform.platform_id == platform_id and p.batch_size == batch
+        ]
+
+    for platform_id in platform_ids:
+        for batch in batch_sizes:
+            bars = bars_for(platform_id, batch)
+            if bars:
+                return render_stacked_chart(bars)
+    return ""

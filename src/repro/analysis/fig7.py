@@ -9,10 +9,8 @@ Llama-2's clean export simply gets faster.
 from __future__ import annotations
 
 from repro.analysis.common import ExperimentResult, group_share_columns, ordered_shares
-from repro.flows import get_flow
-from repro.hardware import get_platform
-from repro.models import build_model
-from repro.profiler import profile_graph
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepSpec
 from repro.viz.ascii import render_stacked_chart
 
 MODELS = ("gpt2-xl", "llama2-7b")
@@ -20,36 +18,40 @@ FLOWS = ("pytorch", "onnxruntime")
 
 
 def run_fig7(platform_id: str = "A", iterations: int = 5, seed: int = 0) -> ExperimentResult:
-    platform = get_platform(platform_id)
+    spec = SweepSpec(
+        name="fig7",
+        platforms=(platform_id,),
+        models=MODELS,
+        flows=FLOWS,
+        batch_sizes=(1,),
+        iterations=iterations,
+        seed=seed,
+        order=("flow", "model"),
+    )
     result = ExperimentResult(
         name="fig7_deployment",
         title="PyTorch vs ONNX Runtime latency breakdown on LLMs (batch 1, GPU)",
     )
     bars = []
     mem_shares: dict[str, float] = {}
-    for flow_name in FLOWS:
-        flow = get_flow(flow_name)
-        for model in MODELS:
-            graph = build_model(model, batch_size=1)
-            profile = profile_graph(
-                graph, flow, platform, use_gpu=True, iterations=iterations, seed=seed, model_name=model
+    for record in SweepRunner().run(spec).records:
+        point, profile = record.point, record.profile
+        row = {
+            "flow": point.flow,
+            "model": point.model,
+            "latency_ms": round(profile.total_latency_ms, 2),
+            "non_gemm_pct": round(100 * profile.non_gemm_share, 2),
+        }
+        row.update(group_share_columns(profile))
+        result.rows.append(row)
+        mem_shares[f"{point.flow}/{point.model}"] = row["memory_pct"]  # type: ignore[assignment]
+        bars.append(
+            (
+                f"{point.model} [{point.flow}]",
+                ordered_shares(profile),
+                f"{profile.total_latency_ms:7.2f} ms",
             )
-            row = {
-                "flow": flow_name,
-                "model": model,
-                "latency_ms": round(profile.total_latency_ms, 2),
-                "non_gemm_pct": round(100 * profile.non_gemm_share, 2),
-            }
-            row.update(group_share_columns(profile))
-            result.rows.append(row)
-            mem_shares[f"{flow_name}/{model}"] = row["memory_pct"]  # type: ignore[assignment]
-            bars.append(
-                (
-                    f"{model} [{flow_name}]",
-                    ordered_shares(profile),
-                    f"{profile.total_latency_ms:7.2f} ms",
-                )
-            )
+        )
     result.chart = render_stacked_chart(bars)
     pt_mem = sum(v for k, v in mem_shares.items() if k.startswith("pytorch")) / len(MODELS)
     ort_mem = sum(v for k, v in mem_shares.items() if k.startswith("onnxruntime")) / len(MODELS)

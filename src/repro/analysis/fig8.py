@@ -8,10 +8,8 @@ because TensorRT folds 100% of its FrozenBatchNorms into convolutions.
 from __future__ import annotations
 
 from repro.analysis.common import ExperimentResult
-from repro.flows import get_flow
-from repro.hardware import get_platform
-from repro.models import build_model
-from repro.profiler import profile_graph
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepSpec
 from repro.viz.ascii import render_stacked_chart
 
 MODELS = ("swin-t", "swin-b", "detr", "segformer")
@@ -26,45 +24,43 @@ def run_fig8(
     iterations: int = 3,
     seed: int = 0,
 ) -> ExperimentResult:
-    platform = get_platform(platform_id)
+    spec = SweepSpec(
+        name="fig8",
+        platforms=(platform_id,),
+        models=models,
+        flows=FLOWS,
+        batch_sizes=batch_sizes,
+        iterations=iterations,
+        seed=seed,
+        order=("model", "batch_size", "flow"),
+    )
     result = ExperimentResult(
         name="fig8_fusion",
         title="Latency and GEMM/non-GEMM split across fusion flows (platform A, GPU)",
     )
     bars = []
-    for model in models:
-        for batch in batch_sizes:
-            graph = build_model(model, batch_size=batch)
-            for flow_name in FLOWS:
-                profile = profile_graph(
-                    graph,
-                    get_flow(flow_name),
-                    platform,
-                    use_gpu=True,
-                    batch_size=batch,
-                    iterations=iterations,
-                    seed=seed,
-                    model_name=model,
+    first_batch = batch_sizes[0] if batch_sizes else None
+    for record in SweepRunner().run(spec).records:
+        point, profile = record.point, record.profile
+        result.rows.append(
+            {
+                "model": point.model,
+                "flow": point.flow,
+                "batch": point.batch_size,
+                "latency_ms": round(profile.total_latency_ms, 3),
+                "gemm_pct": round(100 * profile.gemm_share, 1),
+                "non_gemm_pct": round(100 * profile.non_gemm_share, 1),
+                "non_gemm_ms": round(profile.non_gemm_latency_s * 1e3, 3),
+                "fusion_rate_pct": round(100 * profile.non_gemm_fusion_rate, 1),
+            }
+        )
+        if point.batch_size == first_batch:
+            bars.append(
+                (
+                    f"{point.model} [{point.flow[:12]}]",
+                    {"GEMM": profile.gemm_share, "non-GEMM": profile.non_gemm_share},
+                    f"{profile.total_latency_ms:7.2f} ms",
                 )
-                result.rows.append(
-                    {
-                        "model": model,
-                        "flow": flow_name,
-                        "batch": batch,
-                        "latency_ms": round(profile.total_latency_ms, 3),
-                        "gemm_pct": round(100 * profile.gemm_share, 1),
-                        "non_gemm_pct": round(100 * profile.non_gemm_share, 1),
-                        "non_gemm_ms": round(profile.non_gemm_latency_s * 1e3, 3),
-                        "fusion_rate_pct": round(100 * profile.non_gemm_fusion_rate, 1),
-                    }
-                )
-                if batch == batch_sizes[0]:
-                    bars.append(
-                        (
-                            f"{model} [{flow_name[:12]}]",
-                            {"GEMM": profile.gemm_share, "non-GEMM": profile.non_gemm_share},
-                            f"{profile.total_latency_ms:7.2f} ms",
-                        )
-                    )
+            )
     result.chart = render_stacked_chart(bars)
     return result

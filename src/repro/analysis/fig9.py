@@ -5,16 +5,17 @@ Platform A.  The paper's findings reproduced here: quantization accelerates
 GEMMs but injects thousands of Q/DQ and scaling operators, flipping the
 profile to non-GEMM dominated, and the element-wise share grows with
 sequence length.
+
+The quantization pass runs as the sweep engine's registered ``llm-int8``
+graph transform, so each sequence length's rewritten graph is produced once
+and shared by any grid that profiles it.
 """
 
 from __future__ import annotations
 
 from repro.analysis.common import ExperimentResult, group_share_columns, ordered_shares
-from repro.flows import get_flow
-from repro.hardware import get_platform
-from repro.models import build_model
-from repro.profiler import profile_graph
-from repro.quant import quantize_llm_int8
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepSpec
 from repro.viz.ascii import render_stacked_chart
 
 SEQ_LENGTHS = (512, 1024, 2048, 4096, 8192)
@@ -27,8 +28,18 @@ def run_fig9(
     seed: int = 0,
     model: str = "llama3-8b",
 ) -> ExperimentResult:
-    platform = get_platform(platform_id)
-    flow = get_flow("pytorch")
+    spec = SweepSpec(
+        name="fig9",
+        platforms=(platform_id,),
+        models=(model,),
+        flows=("pytorch",),
+        batch_sizes=(1,),
+        seq_lens=seq_lengths,
+        transforms=(None, "llm-int8"),
+        iterations=iterations,
+        seed=seed,
+        order=("seq_len", "transform"),
+    )
     result = ExperimentResult(
         name="fig9_quantization",
         title=f"FP16 vs LLM.int8() breakdown on {model} across sequence lengths",
@@ -36,40 +47,30 @@ def run_fig9(
     bars = []
     fp_non_gemm: list[float] = []
     q_non_gemm: list[float] = []
-    for seq in seq_lengths:
-        graph = build_model(model, batch_size=1, seq_len=seq)
-        quantized = quantize_llm_int8(graph)
-        for precision, g in (("fp16", graph), ("int8", quantized.graph)):
-            profile = profile_graph(
-                g,
-                flow,
-                platform,
-                use_gpu=True,
-                iterations=iterations,
-                seed=seed,
-                model_name=f"{model}-{precision}",
+    for record in SweepRunner().run(spec).records:
+        point, profile = record.point, record.profile
+        precision = "int8" if point.transform else "fp16"
+        row = {
+            "seq_len": point.seq_len,
+            "precision": precision,
+            "latency_ms": round(profile.total_latency_ms, 2),
+            "gemm_ms": round(profile.gemm_latency_s * 1e3, 2),
+            "non_gemm_pct": round(100 * profile.non_gemm_share, 2),
+        }
+        row.update(group_share_columns(profile))
+        if precision == "int8":
+            row["ops_added"] = record.transform_stats.ops_added
+            q_non_gemm.append(profile.non_gemm_share)
+        else:
+            fp_non_gemm.append(profile.non_gemm_share)
+        result.rows.append(row)
+        bars.append(
+            (
+                f"seq {point.seq_len} [{precision}]",
+                ordered_shares(profile),
+                f"{profile.total_latency_ms:8.1f} ms",
             )
-            row = {
-                "seq_len": seq,
-                "precision": precision,
-                "latency_ms": round(profile.total_latency_ms, 2),
-                "gemm_ms": round(profile.gemm_latency_s * 1e3, 2),
-                "non_gemm_pct": round(100 * profile.non_gemm_share, 2),
-            }
-            row.update(group_share_columns(profile))
-            if precision == "int8":
-                row["ops_added"] = quantized.stats.ops_added
-                q_non_gemm.append(profile.non_gemm_share)
-            else:
-                fp_non_gemm.append(profile.non_gemm_share)
-            result.rows.append(row)
-            bars.append(
-                (
-                    f"seq {seq} [{precision}]",
-                    ordered_shares(profile),
-                    f"{profile.total_latency_ms:8.1f} ms",
-                )
-            )
+        )
     result.chart = render_stacked_chart(bars)
     result.notes.append(
         f"avg non-GEMM share: fp16 {sum(fp_non_gemm) / len(fp_non_gemm):.1%} ->"

@@ -4,16 +4,21 @@
 * Table IV — most time-consuming non-GEMM group per model (platform A,
   GPU, averaged over batch sizes).
 * Table V  — TensorRT fusion rate and non-GEMM latency before/after fusion.
+
+Tables IV and V declare their grids as sweep specs; Table I is static (no
+profiling) but pulls its graphs from the sweep engine's build cache so
+taxonomy extraction shares work with any profiling sweep of the same models.
 """
 
 from __future__ import annotations
 
 from repro.analysis.common import ExperimentResult
 from repro.core.reports import NonGemmReport
-from repro.flows import get_flow
-from repro.hardware import get_platform
-from repro.models import PAPER_MODELS, build_model
-from repro.profiler import ProfileResult, dominant_group_table, profile_graph
+from repro.models import PAPER_MODELS
+from repro.profiler import ProfileResult, dominant_group_table
+from repro.sweep.cache import cached_build_model
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepSpec
 
 #: the eight model variants Table I draws its examples from
 TABLE1_MODELS = ("detr", "vit-l", "gpt2-xl", "llama2-7b", "segformer", "mask-rcnn", "swin-b", "bert")
@@ -25,7 +30,7 @@ def run_table1(models: tuple[str, ...] = TABLE1_MODELS) -> ExperimentResult:
         title="Non-GEMM operator taxonomy with example input shapes (Table I)",
     )
     for model in models:
-        graph = build_model(model, batch_size=1)
+        graph = cached_build_model(model, batch_size=1)
         report = NonGemmReport(graph)
         result.rows.extend(report.taxonomy_rows(unique=True))
     return result
@@ -38,30 +43,23 @@ def run_table4(
     iterations: int = 3,
     seed: int = 0,
 ) -> ExperimentResult:
-    platform = get_platform(platform_id)
-    flow = get_flow("pytorch")
+    spec = SweepSpec(
+        name="table4",
+        platforms=(platform_id,),
+        models=models or tuple(PAPER_MODELS),
+        flows=("pytorch",),
+        batch_sizes=batch_sizes,
+        iterations=iterations,
+        seed=seed,
+        order=("model", "batch_size"),
+    )
     result = ExperimentResult(
         name="table4_dominant_groups",
         title="Most time-consuming non-GEMM group per model (platform A, GPU, batch-avg)",
     )
     profiles: dict[str, list[ProfileResult]] = {}
-    for model in models or tuple(PAPER_MODELS):
-        runs = []
-        for batch in batch_sizes:
-            graph = build_model(model, batch_size=batch)
-            runs.append(
-                profile_graph(
-                    graph,
-                    flow,
-                    platform,
-                    use_gpu=True,
-                    batch_size=batch,
-                    iterations=iterations,
-                    seed=seed,
-                    model_name=model,
-                )
-            )
-        profiles[model] = runs
+    for record in SweepRunner().run(spec).records:
+        profiles.setdefault(record.point.model, []).append(record.profile)
     for model, group, share in dominant_group_table(profiles):
         result.rows.append(
             {
@@ -80,34 +78,33 @@ def run_table5(
     iterations: int = 3,
     seed: int = 0,
 ) -> ExperimentResult:
-    platform = get_platform(platform_id)
-    eager = get_flow("pytorch")
-    trt = get_flow("tensorrt")
+    spec = SweepSpec(
+        name="table5",
+        platforms=(platform_id,),
+        models=models,
+        flows=("pytorch", "tensorrt"),
+        batch_sizes=batch_sizes,
+        iterations=iterations,
+        seed=seed,
+        order=("model", "batch_size", "flow"),
+    )
     result = ExperimentResult(
         name="table5_fusion_rate",
         title="TensorRT non-GEMM fusion rate and latency before/after (Table V)",
     )
+    by_model: dict[str, dict[str, list[ProfileResult]]] = {}
+    for record in SweepRunner().run(spec).records:
+        by_model.setdefault(record.point.model, {}).setdefault(
+            record.point.flow, []
+        ).append(record.profile)
     for model in models:
-        before_ms: list[float] = []
-        before_pct: list[float] = []
-        after_ms: list[float] = []
-        after_pct: list[float] = []
-        rates: list[float] = []
-        for batch in batch_sizes:
-            graph = build_model(model, batch_size=batch)
-            base = profile_graph(
-                graph, eager, platform, use_gpu=True, batch_size=batch,
-                iterations=iterations, seed=seed, model_name=model,
-            )
-            fused = profile_graph(
-                graph, trt, platform, use_gpu=True, batch_size=batch,
-                iterations=iterations, seed=seed, model_name=model,
-            )
-            before_ms.append(base.non_gemm_latency_s * 1e3)
-            before_pct.append(100 * base.non_gemm_share)
-            after_ms.append(fused.non_gemm_latency_s * 1e3)
-            after_pct.append(100 * fused.non_gemm_share)
-            rates.append(100 * fused.non_gemm_fusion_rate)
+        base_runs = by_model[model]["pytorch"]
+        fused_runs = by_model[model]["tensorrt"]
+        before_ms = [p.non_gemm_latency_s * 1e3 for p in base_runs]
+        before_pct = [100 * p.non_gemm_share for p in base_runs]
+        after_ms = [p.non_gemm_latency_s * 1e3 for p in fused_runs]
+        after_pct = [100 * p.non_gemm_share for p in fused_runs]
+        rates = [100 * p.non_gemm_fusion_rate for p in fused_runs]
         n = len(batch_sizes)
         speedup = (sum(before_ms) / n) / max(sum(after_ms) / n, 1e-9)
         result.rows.append(

@@ -5,6 +5,9 @@ Subcommands mirror the paper artifact's scripts:
 * ``list-models``            — show the model registry (Table II).
 * ``profile``                — profile one model on a platform/flow.
 * ``experiment <name>``      — regenerate a figure/table (fig1..fig9, table1/4/5).
+* ``sweep``                  — run a custom cross-product grid through the
+  sweep engine (memoized builds/plans, vectorized simulation, optional
+  process parallelism).
 * ``workload <model>``       — static workload report (op mix, params).
 """
 
@@ -54,6 +57,29 @@ def _build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
     p_exp.add_argument("--csv", metavar="DIR", default="results")
     p_exp.set_defaults(handler=_cmd_experiment)
+
+    p_sweep = sub.add_parser("sweep", help="run a cross-product sweep via the sweep engine")
+    p_sweep.add_argument(
+        "--models", default="paper",
+        help="comma-separated model names, or 'paper' for the paper's model set",
+    )
+    p_sweep.add_argument("--flows", default="pytorch", help="comma-separated flow names")
+    p_sweep.add_argument("--platforms", default="A", help="comma-separated platform ids")
+    p_sweep.add_argument("--batches", default="1", help="comma-separated batch sizes")
+    p_sweep.add_argument(
+        "--devices", default="gpu", help="comma-separated device modes (gpu,cpu)"
+    )
+    p_sweep.add_argument(
+        "--seq-lens", default="", help="comma-separated sequence lengths (optional)"
+    )
+    p_sweep.add_argument("--iterations", type=int, default=3)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--workers", type=int, default=0,
+        help="process-parallel workers (0/1 = in-process with shared caches)",
+    )
+    p_sweep.add_argument("--csv", metavar="DIR", default=None, help="also write CSV here")
+    p_sweep.set_defaults(handler=_cmd_sweep)
 
     p_work = sub.add_parser("workload", help="static workload/non-GEMM report for a model")
     p_work.add_argument("model")
@@ -110,6 +136,64 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     print(result.render())
     path = result.save(args.csv)
     print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.models import PAPER_MODELS
+    from repro.sweep.runner import SweepRunner
+    from repro.sweep.spec import SweepSpec
+
+    def split(raw: str) -> tuple[str, ...]:
+        return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+    models = tuple(PAPER_MODELS) if args.models == "paper" else split(args.models)
+    seq_lens: tuple[int | None, ...] = (None,)
+    if args.seq_lens:
+        seq_lens = tuple(int(s) for s in split(args.seq_lens))
+    spec = SweepSpec(
+        models=models,
+        platforms=split(args.platforms),
+        flows=split(args.flows),
+        batch_sizes=tuple(int(b) for b in split(args.batches)),
+        devices=split(args.devices),
+        seq_lens=seq_lens,
+        iterations=args.iterations,
+        seed=args.seed,
+        name="cli-sweep",
+    )
+    result = SweepRunner(workers=args.workers).run(spec)
+    rows = []
+    for record in result.records:
+        point, profile = record.point, record.profile
+        row: dict[str, object] = {
+            "model": point.model,
+            "flow": point.flow,
+            "platform": point.platform,
+            "batch": point.batch_size,
+            "device": point.device,
+        }
+        if point.seq_len is not None:
+            row["seq_len"] = point.seq_len
+        row.update(
+            {
+                "latency_ms": round(profile.total_latency_ms, 3),
+                "gemm_pct": round(100 * profile.gemm_share, 1),
+                "non_gemm_pct": round(100 * profile.non_gemm_share, 1),
+                "gpu_energy_j": round(profile.gpu_energy_j, 3),
+            }
+        )
+        rows.append(row)
+    print(render_table(rows))
+    hits = sum(result.cache_info.get("hits", {}).values())
+    misses = sum(result.cache_info.get("misses", {}).values())
+    print(
+        f"\n{len(result.records)} points in {result.wall_s:.2f}s"
+        f" (cache: {hits} hits, {misses} misses)"
+    )
+    if args.csv:
+        path = write_csv(rows, "sweep", args.csv)
+        print(f"wrote {path}")
     return 0
 
 

@@ -18,7 +18,7 @@ from repro.ir.graph import Graph
 from repro.ir.node import Node
 from repro.ops.base import OpCategory, OpCost
 from repro.flows.fusion import FusionConfig, fuse_graph, group_category
-from repro.flows.plan import ExecutionPlan, PlannedKernel, group_cost, node_base_cost
+from repro.flows.plan import ExecutionPlan, PlannedKernel, group_cost
 
 
 class DeploymentFlow(abc.ABC):
@@ -36,15 +36,27 @@ class DeploymentFlow(abc.ABC):
     #: scale on the device's small-GEMM saturation size: autotuned engines
     #: pick better tilings for small problems than stock cuBLAS heuristics.
     gemm_saturation_scale: ClassVar[float] = 1.0
+    #: True when ``placement`` puts every node on the same device for a given
+    #: ``use_gpu`` (all flows except ORT's per-op fallback).  Enables
+    #: :meth:`derive_plan` re-targeting instead of a full re-lowering.
+    uniform_placement: ClassVar[bool] = True
 
     def lower(self, graph: Graph, use_gpu: bool = True) -> ExecutionPlan:
         """Lower ``graph`` into an execution plan for simulation."""
         graph.validate()
         result = fuse_graph(graph, self.fusion)
+        # uniform flows resolve the device once, not per node
+        device = None
+        if self.uniform_placement:
+            device = DeviceKind.GPU if use_gpu else DeviceKind.CPU
         kernels: list[PlannedKernel] = []
+        nodes = graph.nodes
+        node_costs = graph.node_costs()
         for group in result.groups:
             if len(group) == 1:
-                kernels.append(self._plan_single(graph, graph.nodes[group[0]], use_gpu))
+                kernels.append(
+                    self._plan_single(graph, nodes[group[0]], use_gpu, device, node_costs)
+                )
             else:
                 kernels.append(self._plan_group(graph, group, use_gpu))
         plan = ExecutionPlan(
@@ -58,6 +70,54 @@ class DeploymentFlow(abc.ABC):
         plan.validate()
         return plan
 
+    def derive_plan(self, source: ExecutionPlan, use_gpu: bool) -> ExecutionPlan:
+        """Re-target an already-lowered plan to the other device class.
+
+        Valid only for uniform-placement flows: the kernel partition, fused
+        costs, dtypes, and launch counts are all device-independent, so the
+        opposite-device plan differs only in placement, the metadata-only
+        flag (data-dependent syncs exist on GPU only), and sync transfers.
+        Produces exactly what ``lower(graph, use_gpu=...)`` would, for a
+        fraction of the cost — the sweep cache uses this when it already
+        holds the sibling plan.
+        """
+        if not self.uniform_placement:
+            raise PlanError(f"flow {self.name} places per-op; cannot derive plans")
+        graph = source.graph
+        device = DeviceKind.GPU if use_gpu else DeviceKind.CPU
+        kernels: list[PlannedKernel] = []
+        for kernel in source.kernels:
+            metadata_only = False
+            sync_bytes = 0
+            if len(kernel.node_ids) == 1:
+                node = graph.nodes[kernel.node_ids[0]]
+                if use_gpu and node.op.forces_sync:
+                    sync_bytes = sum(s.nbytes for s in node.outputs)
+                metadata_only = node.op.is_metadata_only and not sync_bytes
+            kernels.append(
+                PlannedKernel(
+                    name=kernel.name,
+                    node_ids=kernel.node_ids,
+                    op_kinds=kernel.op_kinds,
+                    category=kernel.category,
+                    device=device,
+                    cost=kernel.cost,
+                    dtype=kernel.dtype,
+                    metadata_only=metadata_only,
+                    is_custom=kernel.is_custom,
+                    launch_count=kernel.launch_count,
+                    transfer_bytes_out=sync_bytes,
+                )
+            )
+        return ExecutionPlan(
+            graph=graph,
+            flow=self.name,
+            dispatch_profile=self.dispatch_profile,
+            kernels=kernels,
+            gemm_peak_scale_f32=self.gemm_peak_scale_f32,
+            gemm_saturation_scale=self.gemm_saturation_scale,
+        )
+
     # -- hooks ---------------------------------------------------------------
 
     def placement(self, node: Node, use_gpu: bool) -> DeviceKind:
@@ -66,8 +126,16 @@ class DeploymentFlow(abc.ABC):
 
     # -- kernel construction ---------------------------------------------------
 
-    def _plan_single(self, graph: Graph, node: Node, use_gpu: bool) -> PlannedKernel:
-        device = self.placement(node, use_gpu)
+    def _plan_single(
+        self,
+        graph: Graph,
+        node: Node,
+        use_gpu: bool,
+        device: DeviceKind | None = None,
+        node_costs: list | None = None,
+    ) -> PlannedKernel:
+        if device is None:
+            device = self.placement(node, use_gpu)
         fallback = use_gpu and device is DeviceKind.CPU
         metadata = node.op.is_metadata_only and not fallback
         if fallback:
@@ -90,11 +158,13 @@ class DeploymentFlow(abc.ABC):
                 transfer_bytes_in=in_bytes,
                 transfer_bytes_out=out_bytes,
             )
-        cost = node_base_cost(node)
+        if node_costs is None:
+            node_costs = graph.node_costs()
+        cost = node_costs[node.node_id]
         # data-dependent ops (nonzero, dynamic shapes) stall the pipeline with
         # a device->host round trip to read their result size.
         sync_bytes = 0
-        if device is DeviceKind.GPU and getattr(node.op, "forces_sync", False):
+        if device is DeviceKind.GPU and node.op.forces_sync:
             sync_bytes = sum(s.nbytes for s in node.outputs)
         launches = 1
         if not self.collapses_composites and node.op.eager_kernels > 1:

@@ -154,11 +154,12 @@ def group_category(graph: Graph, node_ids: tuple[int, ...]) -> OpCategory:
     Otherwise the member with the largest unfused traffic wins.
     """
     best: tuple[int, OpCategory] | None = None
+    node_costs = graph.node_costs()
     for node_id in node_ids:
         node = graph.nodes[node_id]
         if node.op.category is OpCategory.GEMM:
             return OpCategory.GEMM
-        cost = node.op.cost([v.spec for v in node.inputs], list(node.outputs))
+        cost = node_costs[node_id]
         key = cost.total_bytes
         if best is None or key > best[0]:
             best = (key, node.op.category)

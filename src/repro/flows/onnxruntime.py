@@ -30,6 +30,7 @@ class ONNXRuntimeFlow(DeploymentFlow):
     )
     collapses_composites = True
     gemm_saturation_scale = 0.6
+    uniform_placement = False  # per-op CPU fallback (see placement below)
 
     #: op kinds the CUDA execution provider lacks kernels for; these fall
     #: back to the CPU provider with device<->host copies and stream-drain

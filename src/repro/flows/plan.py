@@ -8,7 +8,9 @@ CPU-fallback kernels).  The simulator walks this list.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.errors import PlanError
 from repro.hardware.device import DeviceKind
@@ -18,9 +20,12 @@ from repro.ir.node import Node
 from repro.ops.base import OpCategory, OpCost
 
 
-@dataclass
-class PlannedKernel:
-    """One schedulable unit: a single op or a fused group."""
+class PlannedKernel(NamedTuple):
+    """One schedulable unit: a single op or a fused group.
+
+    A NamedTuple: tens of thousands are minted per lowering, so construction
+    cost sits on the sweep engine's critical path.
+    """
 
     name: str
     node_ids: tuple[int, ...]
@@ -67,6 +72,28 @@ class ExecutionPlan:
     def num_fused_kernels(self) -> int:
         return sum(1 for k in self.kernels if k.fused)
 
+    def content_hash(self) -> str:
+        """Structural fingerprint of the lowered plan.
+
+        Combines the source graph's content hash with the flow-level knobs and
+        every kernel's schedulable identity, so two plans hash equal exactly
+        when the simulator would produce identical timelines for them.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self.graph.content_hash().encode())
+        digest.update(
+            f"|{self.flow}|{self.dispatch_profile}"
+            f"|{self.gemm_peak_scale_f32!r}|{self.gemm_saturation_scale!r}".encode()
+        )
+        for kernel in self.kernels:
+            digest.update(
+                f"\x00{kernel.node_ids}{kernel.category.name}{kernel.device.value}"
+                f"{kernel.cost.flops},{kernel.cost.bytes_read},{kernel.cost.bytes_written}"
+                f"{kernel.dtype.name}{int(kernel.metadata_only)}{int(kernel.is_custom)}"
+                f"{kernel.launch_count},{kernel.transfer_bytes_in},{kernel.transfer_bytes_out}".encode()
+            )
+        return digest.hexdigest()
+
     def covered_node_ids(self) -> set[int]:
         covered: set[int] = set()
         for kernel in self.kernels:
@@ -90,7 +117,19 @@ class ExecutionPlan:
             raise PlanError(f"plan for {self.graph.name} has unknown nodes {sorted(extra)[:8]}")
 
     def non_gemm_fusion_rate(self) -> float:
-        """Fraction of non-GEMM graph ops that were fused away (paper Table V)."""
+        """Fraction of non-GEMM graph ops that were fused away (paper Table V).
+
+        Memoized: plans are immutable once lowered, and cached plans are
+        re-profiled many times per sweep.
+        """
+        cached = self.__dict__.get("_non_gemm_fusion_rate")
+        if cached is not None:
+            return cached
+        rate = self._compute_non_gemm_fusion_rate()
+        self.__dict__["_non_gemm_fusion_rate"] = rate
+        return rate
+
+    def _compute_non_gemm_fusion_rate(self) -> float:
         non_gemm_total = 0
         non_gemm_fused = 0
         for kernel in self.kernels:
@@ -118,13 +157,12 @@ def group_cost(graph: Graph, node_ids: tuple[int, ...]) -> OpCost:
     weight_bytes = 0
     read = 0
     consumers = graph.consumers()
+    node_costs = graph.node_costs()
     seen_inputs: set[tuple[int, int]] = set()
     written = 0
     for node_id in node_ids:
         node = graph.nodes[node_id]
-        base = node.op.cost(
-            [v.spec for v in node.inputs], list(node.outputs)
-        )
+        base = node_costs[node_id]
         flops += base.flops
         weight_bytes += node.op.weight_bytes()
         for value in node.inputs:

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hardware.calibration import (
     CUSTOM_KERNEL_PENALTY,
     efficiency_for,
@@ -26,6 +28,9 @@ from repro.hardware.calibration import (
 from repro.hardware.device import DeviceSpec
 from repro.ir.dtype import DType
 from repro.ops.base import OpCategory, OpCost
+
+#: bound labels in the order of the integer codes in :class:`BatchEstimates`.
+BOUND_LABELS = ("dispatch", "launch", "compute", "memory")
 
 
 @dataclass(frozen=True)
@@ -127,4 +132,130 @@ def estimate_kernel(
         memory_s=memory_s,
         launch_s=launch_s,
         bound=bound,
+    )
+
+
+@dataclass
+class BatchEstimates:
+    """Vectorized :class:`LatencyEstimate` for every kernel of a plan.
+
+    Produced by :func:`estimate_kernels_batch`; each field is a float64 array
+    with one entry per kernel, and every value is bit-identical to what the
+    scalar :func:`estimate_kernel` reference computes for that kernel (the
+    vectorized expressions preserve operation order and association).
+    """
+
+    total_s: np.ndarray
+    host_s: np.ndarray
+    device_s: np.ndarray
+    compute_s: np.ndarray
+    memory_s: np.ndarray
+    launch_s: np.ndarray
+    bound_code: np.ndarray  # int8 index into BOUND_LABELS
+
+    def bound_labels(self) -> list[str]:
+        return [BOUND_LABELS[c] for c in self.bound_code]
+
+    @property
+    def utilization(self) -> np.ndarray:
+        """Per-kernel fraction of busy time at peak rate (see LatencyEstimate)."""
+        work = np.maximum(self.compute_s, self.memory_s)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.minimum(1.0, work / self.device_s)
+        return np.where(self.device_s > 0.0, util, 0.0)
+
+    def estimate(self, i: int) -> LatencyEstimate:
+        """Materialize the scalar estimate record for one kernel."""
+        return LatencyEstimate(
+            total_s=float(self.total_s[i]),
+            host_s=float(self.host_s[i]),
+            device_s=float(self.device_s[i]),
+            compute_s=float(self.compute_s[i]),
+            memory_s=float(self.memory_s[i]),
+            launch_s=float(self.launch_s[i]),
+            bound=BOUND_LABELS[self.bound_code[i]],
+        )
+
+
+def estimate_kernels_batch(
+    *,
+    is_gpu: np.ndarray,
+    is_gemm: np.ndarray,
+    flops: np.ndarray,
+    total_bytes: np.ndarray,
+    metadata_only: np.ndarray,
+    is_custom: np.ndarray,
+    launch_count: np.ndarray,
+    dispatch_s: np.ndarray,
+    eff_compute: np.ndarray,
+    eff_memory: np.ndarray,
+    gemm_peak: np.ndarray,
+    gemm_saturation_flops: np.ndarray,
+    vector_flops: np.ndarray,
+    mem_bandwidth: np.ndarray,
+    kernel_launch_s: np.ndarray,
+) -> BatchEstimates:
+    """Roofline-estimate an entire plan's kernels in one numpy pass.
+
+    All inputs are per-kernel arrays with device- and flow-level parameters
+    already resolved (``gemm_peak`` includes the TF32 f32 scale, and
+    ``gemm_saturation_flops`` the flow's saturation scale).  The arithmetic
+    mirrors :func:`estimate_kernel` expression-for-expression so results are
+    bit-identical; the scalar function remains the reference implementation
+    that the equivalence tests check against.
+    """
+    host_s = dispatch_s * launch_count
+    scale = np.where(is_custom, CUSTOM_KERNEL_PENALTY, 1.0)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        saturation = np.where(
+            gemm_saturation_flops > 0.0,
+            flops / (flops + gemm_saturation_flops),
+            1.0,
+        )
+        peak_flops = np.where(is_gemm, gemm_peak * saturation, vector_flops)
+        compute_s = np.where(
+            flops > 0.0, flops / (peak_flops * eff_compute * scale), 0.0
+        )
+        memory_s = np.where(
+            total_bytes > 0.0,
+            total_bytes / (mem_bandwidth * eff_memory * scale),
+            0.0,
+        )
+
+    work_s = np.maximum(compute_s, memory_s)
+    launch_s = kernel_launch_s * launch_count
+    device_s = launch_s + work_s
+    total_s = np.where(is_gpu, np.maximum(host_s, device_s), host_s + work_s)
+
+    no_work = work_s <= 0.0
+    bound_code = np.select(
+        [
+            metadata_only,
+            no_work & is_gpu & (launch_s >= host_s),
+            no_work,
+            is_gpu & (host_s >= device_s),
+            is_gpu & (launch_s >= work_s),
+            compute_s >= memory_s,
+        ],
+        [0, 1, 0, 0, 1, 2],
+        default=3,
+    ).astype(np.int8)
+
+    # metadata-only kernels pay only host dispatch and launch nothing.
+    zero = np.zeros_like(host_s)
+    total_s = np.where(metadata_only, host_s, total_s)
+    device_s = np.where(metadata_only, zero, device_s)
+    compute_s = np.where(metadata_only, zero, compute_s)
+    memory_s = np.where(metadata_only, zero, memory_s)
+    launch_s = np.where(metadata_only, zero, launch_s)
+
+    return BatchEstimates(
+        total_s=total_s,
+        host_s=host_s,
+        device_s=device_s,
+        compute_s=compute_s,
+        memory_s=memory_s,
+        launch_s=launch_s,
+        bound_code=bound_code,
     )

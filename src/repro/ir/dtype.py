@@ -27,7 +27,8 @@ class DType(enum.Enum):
     @property
     def itemsize(self) -> int:
         """Storage size of one element in bytes."""
-        return _ITEMSIZE[self]
+        return self._itemsize  # set per member below; avoids a dict lookup
+        # (this property is on the nbytes hot path of every cost estimate)
 
     @property
     def is_floating(self) -> bool:
@@ -58,6 +59,9 @@ _ITEMSIZE = {
     DType.I64: 8,
     DType.BOOL: 1,
 }
+
+for _member in DType:
+    _member._itemsize = _ITEMSIZE[_member]
 
 _NUMPY = {
     DType.F32: np.dtype(np.float32),

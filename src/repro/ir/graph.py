@@ -10,6 +10,7 @@ list is always a valid topological order.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 from collections import Counter
 from dataclasses import dataclass
 from typing import Iterator, Sequence
@@ -53,7 +54,14 @@ class Graph:
         self.input_ids: list[int] = []
         self.outputs: list[Value] = []
         self._scope_parts: list[str] = []
+        self._scope_str = ""
         self._name_counts: Counter[str] = Counter()
+        #: memoized structural state; any mutation resets all (see _mutated).
+        self._validated = False
+        self._content_hash: str | None = None
+        self._consumers: dict[tuple[int, int], list[int]] | None = None
+        self._node_costs: list | None = None
+        self._compute_nodes: list[Node] | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -73,15 +81,18 @@ class Graph:
         for value in values:
             self._check_value(value)
         self.outputs = list(values)
+        self._mutated()
 
     @contextlib.contextmanager
     def scope(self, part: str) -> Iterator[None]:
         """Push a scope component onto the hierarchical name stack."""
         self._scope_parts.append(part)
+        self._scope_str = ".".join(self._scope_parts)
         try:
             yield
         finally:
             self._scope_parts.pop()
+            self._scope_str = ".".join(self._scope_parts)
 
     def _append(self, op: Operator, args: Sequence[Value], name: str) -> Node:
         for value in args:
@@ -93,13 +104,21 @@ class Graph:
             inputs=tuple(args),
             outputs=tuple(out_specs),
             name=self._unique_name(name),
-            scope=".".join(self._scope_parts),
+            scope=self._scope_str,
         )
         self.nodes.append(node)
+        self._mutated()
         return node
 
+    def _mutated(self) -> None:
+        self._validated = False
+        self._content_hash = None
+        self._consumers = None
+        self._node_costs = None
+        self._compute_nodes = None
+
     def _unique_name(self, base: str) -> str:
-        key = ".".join(self._scope_parts) + "/" + base
+        key = self._scope_str + "/" + base
         self._name_counts[key] += 1
         count = self._name_counts[key]
         return base if count == 1 else f"{base}_{count}"
@@ -110,7 +129,9 @@ class Graph:
         node = self.nodes[value.node_id]
         if not 0 <= value.port < len(node.outputs):
             raise GraphError(f"value {value} references invalid port of {node}")
-        if node.outputs[value.port] != value.spec:
+        spec = node.outputs[value.port]
+        # identity fast path: values minted by Node.value() share the spec object
+        if spec is not value.spec and spec != value.spec:
             raise GraphError(f"value {value} spec disagrees with producer {node}")
 
     # -- inspection ----------------------------------------------------------
@@ -126,19 +147,50 @@ class Graph:
         return [self.nodes[i] for i in self.input_ids]
 
     def compute_nodes(self) -> list[Node]:
-        """All nodes except input placeholders."""
-        return [n for n in self.nodes if not n.is_placeholder]
+        """All nodes except input placeholders (memoized; treat as read-only)."""
+        if self._compute_nodes is None:
+            self._compute_nodes = [n for n in self.nodes if not n.is_placeholder]
+        return self._compute_nodes
 
     def consumers(self) -> dict[tuple[int, int], list[int]]:
-        """Map (node_id, port) -> ids of nodes consuming that value."""
-        uses: dict[tuple[int, int], list[int]] = {}
-        for node in self.nodes:
-            for value in node.inputs:
-                uses.setdefault((value.node_id, value.port), []).append(node.node_id)
-        return uses
+        """Map (node_id, port) -> ids of nodes consuming that value.
+
+        Memoized until the next mutation; treat the result as read-only
+        (fusion and group-cost walk it once per lowered plan).
+        """
+        if self._consumers is None:
+            uses: dict[tuple[int, int], list[int]] = {}
+            for node in self.nodes:
+                for value in node.inputs:
+                    uses.setdefault((value.node_id, value.port), []).append(node.node_id)
+            self._consumers = uses
+        return self._consumers
+
+    def node_costs(self) -> list:
+        """Per-node unfused :class:`~repro.ops.base.OpCost`, memoized.
+
+        Node costs are pure functions of graph structure but are consulted by
+        every flow lowering the graph (placement, fusion grouping, kernel
+        construction), so computing them once per structural version removes
+        the dominant repeated work of multi-flow/multi-device sweeps.
+        """
+        if self._node_costs is None:
+            self._node_costs = [
+                node.op.cost([v.spec for v in node.inputs], list(node.outputs))
+                for node in self.nodes
+            ]
+        return self._node_costs
 
     def validate(self) -> None:
-        """Check structural invariants; raises :class:`GraphError` on violation."""
+        """Check structural invariants; raises :class:`GraphError` on violation.
+
+        The full walk runs once per structural version of the graph: a passing
+        validation is memoized and any mutation (node append, output change)
+        resets the flag, so flows, plans, and executors can all call
+        ``validate()`` defensively without paying for repeated walks.
+        """
+        if self._validated:
+            return
         for i, node in enumerate(self.nodes):
             if node.node_id != i:
                 raise GraphError(f"node id {node.node_id} at position {i}")
@@ -150,6 +202,47 @@ class Graph:
             raise GraphError(f"graph {self.name!r} has no outputs")
         for value in self.outputs:
             self._check_value(value)
+        self._validated = True
+
+    def content_hash(self) -> str:
+        """Structural fingerprint of the graph, memoized until mutation.
+
+        Covers everything the lowering and cost pipeline reads: per node the
+        operator identity (kind, configuration via ``describe``, category,
+        kernel-count/custom/metadata flags, weight size summary), input wiring,
+        output specs, and qualified name, plus the graph outputs.  Two graphs
+        with equal hashes lower to equivalent plans under any flow, which is
+        what makes the hash a safe memoization key for
+        :class:`~repro.sweep.cache.PlanCache`.
+        """
+        if self._content_hash is None:
+            parts = [self.name]
+            for node in self.nodes:
+                op = node.op
+                parts.append(
+                    f"{node.name}|{node.scope}|{op.kind}|{op.describe()}"
+                    f"|{op.category.name}"
+                    f"|{int(op.is_metadata_only)}{op.eager_kernels}{op.traffic_passes}"
+                    f"{int(op.is_custom_kernel)}{int(op.forces_sync)}"
+                    f"|{[(v[0], v[1]) for v in node.inputs]}"
+                    f"|{[(s.shape, s.dtype.name) for s in node.outputs]}"
+                    f"|{op.param_count()},{op.weight_bytes()}"
+                )
+            parts.append(str([(v[0], v[1]) for v in self.outputs]))
+            digest = hashlib.blake2b("\x00".join(parts).encode(), digest_size=16)
+            self._content_hash = digest.hexdigest()
+        return self._content_hash
+
+    def derive_content_hash(self, tag: str, parent_hash: str) -> str:
+        """Record this graph's content hash as a derivation of a parent's.
+
+        For graphs produced by a *deterministic* transform of a parent graph
+        (e.g. the LLM.int8() rewrite), ``hash(tag, parent)`` identifies the
+        structure exactly as well as re-walking it, at none of the cost.
+        """
+        digest = hashlib.blake2b(f"{tag}:{parent_hash}".encode(), digest_size=16)
+        self._content_hash = digest.hexdigest()
+        return self._content_hash
 
     def stats(self) -> GraphStats:
         op_counts: Counter[str] = Counter()

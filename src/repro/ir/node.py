@@ -9,7 +9,7 @@ so multi-output operators such as ``Split`` are first-class.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, NamedTuple
 
 from repro.ir.tensor import TensorSpec
 
@@ -17,9 +17,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.ops.base import Operator
 
 
-@dataclass(frozen=True)
-class Value:
-    """A reference to output ``port`` of node ``node_id`` with its spec."""
+class Value(NamedTuple):
+    """A reference to output ``port`` of node ``node_id`` with its spec.
+
+    A NamedTuple rather than a dataclass: values are constructed once per
+    graph edge while building multi-billion-parameter models, and tuple
+    construction is several times cheaper than a frozen dataclass ``__init__``.
+    """
 
     node_id: int
     port: int
@@ -41,17 +45,21 @@ class Node:
     scope: str = ""
     metadata: dict[str, Any] = field(default_factory=dict)
 
-    @property
-    def is_placeholder(self) -> bool:
-        """True for graph-input nodes (their op is the Input sentinel)."""
-        return self.op.kind == "input"
+    def __post_init__(self) -> None:
+        #: True for graph-input nodes (their op is the Input sentinel);
+        #: precomputed — executors/planners test this for every node walked.
+        self.is_placeholder = self.op.kind == "input"
 
     def value(self, port: int = 0) -> Value:
         """The :class:`Value` for one of this node's outputs."""
         return Value(self.node_id, port, self.outputs[port])
 
     def values(self) -> tuple[Value, ...]:
-        return tuple(self.value(i) for i in range(len(self.outputs)))
+        outputs = self.outputs
+        if len(outputs) == 1:  # overwhelmingly common; skip the genexpr
+            return (Value(self.node_id, 0, outputs[0]),)
+        node_id = self.node_id
+        return tuple(Value(node_id, i, spec) for i, spec in enumerate(outputs))
 
     @property
     def qualified_name(self) -> str:

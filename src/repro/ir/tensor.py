@@ -41,8 +41,13 @@ class TensorSpec:
 
     @property
     def nbytes(self) -> int:
-        """Storage footprint in bytes."""
-        return self.numel * self.dtype.itemsize
+        """Storage footprint in bytes (memoized; specs are immutable and
+        shared, and nbytes is consulted by every cost/liveness walk)."""
+        try:
+            return self._nbytes
+        except AttributeError:
+            object.__setattr__(self, "_nbytes", self.numel * self.dtype.itemsize)
+            return self._nbytes
 
     def with_shape(self, shape: Shape) -> "TensorSpec":
         return TensorSpec(tuple(shape), self.dtype)

@@ -20,7 +20,7 @@ import abc
 import enum
 import math
 from dataclasses import dataclass
-from typing import ClassVar, Sequence
+from typing import ClassVar, NamedTuple, Sequence
 
 import numpy as np
 
@@ -56,13 +56,15 @@ class OpCategory(enum.Enum):
 MISC_LIKE = frozenset({OpCategory.POOLING, OpCategory.REDUCTION, OpCategory.MISC})
 
 
-@dataclass(frozen=True)
-class OpCost:
+class OpCost(NamedTuple):
     """Work performed by one operator application.
 
     ``flops`` counts multiply-and-accumulate style arithmetic (one MAC = 2
     flops).  ``bytes_read``/``bytes_written`` count off-chip traffic assuming
     no fusion; the simulator adjusts traffic for fused kernels.
+
+    A NamedTuple: one cost is computed per node per structural graph version,
+    which makes construction cost part of every lowering's critical path.
     """
 
     flops: int = 0
@@ -134,6 +136,9 @@ class Operator(abc.ABC):
     #: custom (non vendor-library) kernels take an efficiency penalty and are
     #: prime fusion targets (the paper's DETR FrozenBatchNorm observation).
     is_custom_kernel: bool = False
+    #: data-dependent ops (e.g. nonzero) stall the GPU pipeline with a
+    #: device->host round trip to learn their output size.
+    forces_sync: ClassVar[bool] = False
 
     @abc.abstractmethod
     def infer_spec(self, inputs: Sequence[TensorSpec]) -> tuple[TensorSpec, ...]:
@@ -161,11 +166,28 @@ class Operator(abc.ABC):
         """Parameter tensors of this operator (empty for stateless ops)."""
         return ()
 
+    def cached_weight_specs(self) -> tuple[WeightSpec, ...]:
+        """Memoized :meth:`weight_specs` — operators are immutable, and spec
+        construction is hot when hashing/profiling billion-parameter graphs."""
+        specs = self.__dict__.get("_weight_specs")
+        if specs is None:
+            specs = self.weight_specs()
+            self.__dict__["_weight_specs"] = specs
+        return specs
+
     def param_count(self) -> int:
-        return sum(w.numel for w in self.weight_specs())
+        count = self.__dict__.get("_param_count")
+        if count is None:
+            count = sum(w.numel for w in self.cached_weight_specs())
+            self.__dict__["_param_count"] = count
+        return count
 
     def weight_bytes(self) -> int:
-        return sum(w.nbytes for w in self.weight_specs())
+        nbytes = self.__dict__.get("_weight_bytes")
+        if nbytes is None:
+            nbytes = sum(w.nbytes for w in self.cached_weight_specs())
+            self.__dict__["_weight_bytes"] = nbytes
+        return nbytes
 
     @property
     def is_gemm(self) -> bool:

@@ -5,6 +5,12 @@ configuration, per-operator latency collection, then aggregation into
 operator groups.  Run-to-run jitter is modelled with a deterministic seeded
 multiplicative noise so that repeated profiles have realistic variance
 without being flaky.
+
+Hot-path plumbing: lowering and memory profiling go through the sweep
+engine's :class:`~repro.sweep.cache.PlanCache` (so repeated profiles of the
+same graph/flow reuse the plan and liveness walk), and the simulator's
+vectorized array view feeds the per-kernel statistics directly — no
+per-kernel estimate objects are materialized while profiling.
 """
 
 from __future__ import annotations
@@ -14,14 +20,44 @@ import math
 import numpy as np
 
 from repro.flows.base import DeploymentFlow
+from repro.flows.plan import ExecutionPlan
 from repro.hardware.platform import Platform
 from repro.ir.graph import Graph
-from repro.profiler.records import OpRecord, ProfileResult
-from repro.runtime.memory import profile_memory
-from repro.runtime.simulator import simulate
+from repro.hardware.cost_model import BOUND_LABELS
+from repro.ops.base import OpCategory
+from repro.profiler.records import ProfileResult, report_group
+from repro.runtime.simulator import _CATEGORIES, plan_arrays, simulate
+from repro.sweep.cache import cached_lower, cached_profile_memory
 
 #: relative run-to-run jitter of kernel latencies (std of multiplicative noise)
 JITTER_STD = 0.03
+
+#: report-group category index of each fine category, aligned with the
+#: simulator's category order (used to group kernels without Python loops).
+_GROUP_OF_CATEGORY = np.array(
+    [_CATEGORIES.index(report_group(category)) for category in _CATEGORIES]
+)
+
+
+def _plan_group_index(plan: ExecutionPlan) -> tuple[list[OpCategory], np.ndarray]:
+    """Per-kernel reporting-group positions, in first-occurrence order.
+
+    Memoized on the plan: the group partition is a pure function of the
+    kernel list, and every profile of the plan reuses it.
+    """
+    cached = plan.__dict__.get("_group_index")
+    if cached is None:
+        group_cat = _GROUP_OF_CATEGORY[plan_arrays(plan).category_idx]
+        unique_cats, first_idx, inverse = np.unique(
+            group_cat, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first_idx, kind="stable")
+        rank = np.empty(len(order), dtype=np.int64)
+        rank[order] = np.arange(len(order))
+        groups = [_CATEGORIES[unique_cats[i]] for i in order]
+        cached = (groups, rank[inverse])
+        plan.__dict__["_group_index"] = cached
+    return cached
 
 
 def profile_graph(
@@ -37,38 +73,33 @@ def profile_graph(
     """Profile one model graph under one deployment flow on one platform."""
     if use_gpu and not platform.has_gpu:
         use_gpu = False
-    plan = flow.lower(graph, use_gpu=use_gpu)
+    plan = cached_lower(flow, graph, use_gpu)
     baseline = simulate(plan, platform)
     rng = np.random.default_rng(seed)
 
     # per-kernel noisy samples across iterations
-    n_kernels = len(baseline.records)
+    base_latencies = baseline.latencies
+    n_kernels = len(base_latencies)
     noise = 1.0 + JITTER_STD * rng.standard_normal((iterations, n_kernels))
     noise = np.clip(noise, 0.7, 1.3)
-    base_latencies = np.array([r.latency_s for r in baseline.records])
     samples = noise * base_latencies[None, :]
 
     mean_lat = samples.mean(axis=0)
     std_lat = samples.std(axis=0)
     totals = samples.sum(axis=1)
 
-    records = [
-        OpRecord(
-            name=rec.kernel.name,
-            op_kinds=rec.kernel.op_kinds,
-            category=rec.kernel.category,
-            device=rec.kernel.device,
-            latency_s=float(mean_lat[i]),
-            latency_std_s=float(std_lat[i]),
-            flops=rec.kernel.cost.flops,
-            bytes_moved=rec.kernel.cost.total_bytes,
-            fused=rec.kernel.fused,
-            bound=rec.estimate.bound,
+    estimates = baseline.estimates
+    if estimates is not None:
+        bound_code = estimates.bound_code
+    else:
+        # reference-backend run: recover the codes from the scalar records so
+        # ProfileResult has a single record-materialization path either way.
+        bound_code = np.array(
+            [BOUND_LABELS.index(b) for b in baseline.bound_labels()], dtype=np.int8
         )
-        for i, rec in enumerate(baseline.records)
-    ]
+    groups, group_pos = _plan_group_index(plan)
 
-    memory = profile_memory(graph)
+    memory = cached_profile_memory(graph)
     scale = float(totals.mean()) / baseline.total_latency_s if baseline.total_latency_s else 1.0
     return ProfileResult(
         model=model_name or graph.name,
@@ -77,7 +108,6 @@ def profile_graph(
         use_gpu=use_gpu,
         batch_size=batch_size,
         iterations=iterations,
-        records=records,
         total_latency_s=float(totals.mean()),
         total_latency_std_s=float(totals.std()) / math.sqrt(max(iterations, 1)),
         gpu_energy_j=baseline.gpu_energy_j * scale,
@@ -86,4 +116,11 @@ def profile_graph(
         num_graph_ops=len(graph.compute_nodes()),
         num_kernels=plan.num_kernels,
         non_gemm_fusion_rate=plan.non_gemm_fusion_rate(),
+        plan=plan,
+        kernel_latency_s=mean_lat,
+        kernel_latency_std_s=std_lat,
+        bound_code=bound_code,
+        gemm_mask=plan_arrays(plan).is_gemm,
+        group_categories=groups,
+        group_pos=group_pos,
     )

@@ -1,12 +1,26 @@
-"""Profiling record types and the profile result container."""
+"""Profiling record types and the profile result container.
+
+:class:`ProfileResult` has two faces: an array-backed one used on the sweep
+hot path (per-kernel latencies, bounds, and group indices as numpy arrays,
+aggregated with vectorized reductions) and a record-object one
+(:class:`OpRecord` per kernel) materialized lazily for reports, traces, and
+tests.  Both produce bit-identical aggregates: the vectorized reductions
+accumulate in record order exactly like the original per-record loops.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, NamedTuple
 
+import numpy as np
+
+from repro.hardware.cost_model import BOUND_LABELS
 from repro.hardware.device import DeviceKind
 from repro.hardware.platform import Platform
 from repro.ops.base import MISC_LIKE, OpCategory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flows.plan import ExecutionPlan
 
 #: Display order of operator groups in the paper's figures.
 GROUP_ORDER = [
@@ -31,9 +45,12 @@ def report_group(category: OpCategory) -> OpCategory:
     return category
 
 
-@dataclass(frozen=True)
-class OpRecord:
-    """Mean profiled timing of one kernel across iterations."""
+class OpRecord(NamedTuple):
+    """Mean profiled timing of one kernel across iterations.
+
+    A NamedTuple: profiles materialize one record per kernel per sweep point,
+    and tuple construction keeps that path cheap.
+    """
 
     name: str
     op_kinds: tuple[str, ...]
@@ -55,25 +72,85 @@ class OpRecord:
         return report_group(self.category)
 
 
-@dataclass
 class ProfileResult:
     """Operator-level profile of one (model, flow, platform, batch) point."""
 
-    model: str
-    flow: str
-    platform: Platform
-    use_gpu: bool
-    batch_size: int
-    iterations: int
-    records: list[OpRecord] = field(default_factory=list)
-    total_latency_s: float = 0.0
-    total_latency_std_s: float = 0.0
-    gpu_energy_j: float = 0.0
-    cpu_energy_j: float = 0.0
-    peak_memory_bytes: int = 0
-    num_graph_ops: int = 0
-    num_kernels: int = 0
-    non_gemm_fusion_rate: float = 0.0
+    def __init__(
+        self,
+        model: str,
+        flow: str,
+        platform: Platform,
+        use_gpu: bool,
+        batch_size: int,
+        iterations: int,
+        records: list[OpRecord] | None = None,
+        total_latency_s: float = 0.0,
+        total_latency_std_s: float = 0.0,
+        gpu_energy_j: float = 0.0,
+        cpu_energy_j: float = 0.0,
+        peak_memory_bytes: int = 0,
+        num_graph_ops: int = 0,
+        num_kernels: int = 0,
+        non_gemm_fusion_rate: float = 0.0,
+        plan: "ExecutionPlan | None" = None,
+        kernel_latency_s: np.ndarray | None = None,
+        kernel_latency_std_s: np.ndarray | None = None,
+        bound_code: np.ndarray | None = None,
+        gemm_mask: np.ndarray | None = None,
+        group_categories: list[OpCategory] | None = None,
+        group_pos: np.ndarray | None = None,
+    ):
+        self.model = model
+        self.flow = flow
+        self.platform = platform
+        self.use_gpu = use_gpu
+        self.batch_size = batch_size
+        self.iterations = iterations
+        self.total_latency_s = total_latency_s
+        self.total_latency_std_s = total_latency_std_s
+        self.gpu_energy_j = gpu_energy_j
+        self.cpu_energy_j = cpu_energy_j
+        self.peak_memory_bytes = peak_memory_bytes
+        self.num_graph_ops = num_graph_ops
+        self.num_kernels = num_kernels
+        self.non_gemm_fusion_rate = non_gemm_fusion_rate
+        self._records = records
+        self._plan = plan
+        self._kernel_latency_s = kernel_latency_s
+        self._kernel_latency_std_s = kernel_latency_std_s
+        self._bound_code = bound_code
+        self._gemm_mask = gemm_mask
+        self._group_categories = group_categories
+        self._group_pos = group_pos
+        self._latency_by_group: dict[OpCategory, float] | None = None
+        self._non_gemm_latency_s: float | None = None
+
+    @property
+    def records(self) -> list[OpRecord]:
+        """Per-kernel records, materialized on first access from the arrays."""
+        if self._records is None:
+            plan = self._plan
+            latency = self._kernel_latency_s
+            std = self._kernel_latency_std_s
+            codes = self._bound_code
+            assert plan is not None and latency is not None
+            assert std is not None and codes is not None
+            self._records = [
+                OpRecord(
+                    name=kernel.name,
+                    op_kinds=kernel.op_kinds,
+                    category=kernel.category,
+                    device=kernel.device,
+                    latency_s=float(latency[i]),
+                    latency_std_s=float(std[i]),
+                    flops=kernel.cost.flops,
+                    bytes_moved=kernel.cost.total_bytes,
+                    fused=kernel.fused,
+                    bound=BOUND_LABELS[codes[i]],
+                )
+                for i, kernel in enumerate(plan.kernels)
+            ]
+        return self._records
 
     # -- aggregation -----------------------------------------------------------
 
@@ -82,11 +159,29 @@ class ProfileResult:
         return self.total_latency_s * 1e3
 
     def latency_by_group(self) -> dict[OpCategory, float]:
-        """Seconds per reporting group (the paper's stacked-bar breakdown)."""
-        out: dict[OpCategory, float] = {}
-        for record in self.records:
-            out[record.group] = out.get(record.group, 0.0) + record.latency_s
-        return out
+        """Seconds per reporting group (the paper's stacked-bar breakdown).
+
+        Memoized; on the array path a bincount accumulates each group's
+        kernels in record order, matching the per-record loop bit-for-bit.
+        """
+        if self._latency_by_group is None:
+            if self._group_pos is not None and self._kernel_latency_s is not None:
+                groups = self._group_categories or []
+                sums = np.bincount(
+                    self._group_pos,
+                    weights=self._kernel_latency_s,
+                    minlength=len(groups),
+                )
+                self._latency_by_group = {
+                    group: float(sums[i]) for i, group in enumerate(groups)
+                }
+            else:
+                out: dict[OpCategory, float] = {}
+                for record in self.records:
+                    group = report_group(record.category)
+                    out[group] = out.get(group, 0.0) + record.latency_s
+                self._latency_by_group = out
+        return self._latency_by_group
 
     def share_by_group(self) -> dict[OpCategory, float]:
         """Fraction of total latency per reporting group."""
@@ -95,11 +190,20 @@ class ProfileResult:
 
     @property
     def gemm_latency_s(self) -> float:
-        return sum(r.latency_s for r in self.records if r.is_gemm)
+        return self.latency_by_group().get(OpCategory.GEMM, 0.0)
 
     @property
     def non_gemm_latency_s(self) -> float:
-        return sum(r.latency_s for r in self.records if not r.is_gemm)
+        # summed in record order (not per-group) to stay bit-identical with
+        # the original per-record accumulation.
+        if self._non_gemm_latency_s is None:
+            if self._gemm_mask is not None and self._kernel_latency_s is not None:
+                masked = np.where(self._gemm_mask, 0.0, self._kernel_latency_s)
+                total = float(np.cumsum(masked)[-1]) if len(masked) else 0.0
+            else:
+                total = sum(r.latency_s for r in self.records if not r.is_gemm)
+            self._non_gemm_latency_s = total
+        return self._non_gemm_latency_s
 
     @property
     def gemm_share(self) -> float:

@@ -79,7 +79,8 @@ def quantize_llm_int8(
         if isinstance(node.op, Linear):
             stats.linears_kept_fp += 1
         result = new.call(node.op, *inputs, name=node.name)
-        values = result if isinstance(result, tuple) else (result,)
+        # Value is itself a (named) tuple, so test for it, not for tuple-ness.
+        values = (result,) if isinstance(result, Value) else result
         for port, value in enumerate(values):
             mapping[(node.node_id, port)] = value
 

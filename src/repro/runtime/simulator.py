@@ -4,18 +4,87 @@ Walks a lowered :class:`~repro.flows.plan.ExecutionPlan` on a
 :class:`~repro.hardware.platform.Platform`, estimating each kernel with the
 roofline cost model, adding PCIe transfers for CPU-fallback kernels, and
 integrating the power model for energy.
+
+Two implementations produce bit-identical results:
+
+* :func:`simulate` — the production path.  It lifts the plan into per-kernel
+  numpy arrays (built once per plan and cached on it) and estimates every
+  kernel in one :func:`~repro.hardware.cost_model.estimate_kernels_batch`
+  call, so a 10k-kernel plan costs a handful of array operations instead of
+  10k Python-level roofline evaluations.
+* :func:`simulate_reference` — the original kernel-by-kernel loop over the
+  scalar :func:`~repro.hardware.cost_model.estimate_kernel`.  It is kept as
+  the executable specification; the equivalence tests assert the vectorized
+  path matches it exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
 
 from repro.flows.plan import ExecutionPlan, PlannedKernel
-from repro.hardware.calibration import FALLBACK_SYNC_S, dispatch_profile
-from repro.hardware.cost_model import LatencyEstimate, estimate_kernel
-from repro.hardware.device import DeviceKind
+from repro.hardware.calibration import (
+    FALLBACK_SYNC_S,
+    PCIE_LATENCY_S,
+    dispatch_profile,
+    efficiency_for,
+)
+from repro.hardware.cost_model import (
+    BatchEstimates,
+    LatencyEstimate,
+    estimate_kernel,
+    estimate_kernels_batch,
+)
+from repro.hardware.device import DeviceKind, DeviceSpec
 from repro.hardware.energy import EnergyAccumulator
 from repro.hardware.platform import Platform
+from repro.ir.dtype import DType
+from repro.ops.base import OpCategory
+
+#: stable category order used to index the efficiency lookup tables.
+_CATEGORIES = tuple(OpCategory)
+_CATEGORY_INDEX = {category: i for i, category in enumerate(_CATEGORIES)}
+
+#: dtype codes for GEMM peak selection: f32 (TF32-scalable), f16/bf16, i8,
+#: and "other" (falls back to the f32 pipe rate but never gets the TF32 scale).
+_DTYPE_F32, _DTYPE_F16, _DTYPE_I8, _DTYPE_OTHER = 0, 1, 2, 3
+_DTYPE_CODE = {
+    DType.F32: _DTYPE_F32,
+    DType.F16: _DTYPE_F16,
+    DType.BF16: _DTYPE_F16,
+    DType.I8: _DTYPE_I8,
+}
+
+#: attribute used to cache the platform-independent arrays on a plan.
+_PLAN_ARRAYS_ATTR = "_simulator_arrays"
+
+#: lazily-built efficiency lookup tables indexed [is_gpu, category]; the
+#: calibration data is static, so they are computed once per process.
+_EFF_TABLES: tuple[np.ndarray, np.ndarray] | None = None
+
+
+def _efficiency_tables() -> tuple[np.ndarray, np.ndarray]:
+    global _EFF_TABLES
+    if _EFF_TABLES is None:
+        _EFF_TABLES = (
+            np.array(
+                [
+                    [efficiency_for(c, is_gpu=False).compute for c in _CATEGORIES],
+                    [efficiency_for(c, is_gpu=True).compute for c in _CATEGORIES],
+                ]
+            ),
+            np.array(
+                [
+                    [efficiency_for(c, is_gpu=False).memory for c in _CATEGORIES],
+                    [efficiency_for(c, is_gpu=True).memory for c in _CATEGORIES],
+                ]
+            ),
+        )
+    return _EFF_TABLES
 
 
 @dataclass(frozen=True)
@@ -31,26 +100,288 @@ class KernelRecord:
         return self.estimate.total_s + self.transfer_s
 
 
-@dataclass
-class SimulationResult:
-    """Timeline of one simulated inference."""
+@dataclass(frozen=True)
+class PlanArrays:
+    """Platform-independent per-kernel arrays lifted from a plan once."""
 
-    plan: ExecutionPlan
-    platform: Platform
-    records: list[KernelRecord] = field(default_factory=list)
-    total_latency_s: float = 0.0
-    gpu_energy_j: float = 0.0
-    cpu_energy_j: float = 0.0
+    category_idx: np.ndarray  # int index into _CATEGORIES
+    on_gpu: np.ndarray  # bool: kernel.device is GPU
+    is_gemm: np.ndarray
+    flops: np.ndarray
+    total_bytes: np.ndarray
+    metadata_only: np.ndarray
+    is_custom: np.ndarray
+    launch_count: np.ndarray
+    dtype_code: np.ndarray
+    transfer_in: np.ndarray
+    transfer_out: np.ndarray
+
+
+def plan_arrays(plan: ExecutionPlan) -> PlanArrays:
+    """The per-kernel array view of ``plan``, built once and cached on it."""
+    cached = getattr(plan, _PLAN_ARRAYS_ATTR, None)
+    if cached is not None:
+        return cached
+    gpu = DeviceKind.GPU
+    gemm = OpCategory.GEMM
+    columns = [
+        (
+            _CATEGORY_INDEX[k.category],
+            k.device is gpu,
+            k.category is gemm,
+            k.cost.flops,
+            k.cost.total_bytes,
+            k.metadata_only,
+            k.is_custom,
+            k.launch_count,
+            _DTYPE_CODE.get(k.dtype, _DTYPE_OTHER),
+            k.transfer_bytes_in,
+            k.transfer_bytes_out,
+        )
+        for k in plan.kernels
+    ]
+    if columns:
+        (cat, on_gpu, is_gemm, flops, nbytes, meta, custom, launches, dcode,
+         tin, tout) = zip(*columns)
+    else:
+        cat = on_gpu = is_gemm = flops = nbytes = meta = custom = launches = dcode = tin = tout = ()
+    arrays = PlanArrays(
+        category_idx=np.array(cat, dtype=np.int64),
+        on_gpu=np.array(on_gpu, dtype=bool),
+        is_gemm=np.array(is_gemm, dtype=bool),
+        flops=np.array(flops, dtype=np.float64),
+        total_bytes=np.array(nbytes, dtype=np.float64),
+        metadata_only=np.array(meta, dtype=bool),
+        is_custom=np.array(custom, dtype=bool),
+        launch_count=np.array(launches, dtype=np.float64),
+        dtype_code=np.array(dcode, dtype=np.int64),
+        transfer_in=np.array(tin, dtype=np.float64),
+        transfer_out=np.array(tout, dtype=np.float64),
+    )
+    setattr(plan, _PLAN_ARRAYS_ATTR, arrays)
+    return arrays
+
+
+class SimulationResult:
+    """Timeline of one simulated inference.
+
+    The vectorized simulator stores per-kernel latencies and bound labels as
+    arrays; the :attr:`records` list of :class:`KernelRecord` objects is
+    materialized lazily for callers that want the object view.
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        platform: Platform,
+        records: list[KernelRecord] | None = None,
+        total_latency_s: float = 0.0,
+        gpu_energy_j: float = 0.0,
+        cpu_energy_j: float = 0.0,
+        estimates: BatchEstimates | None = None,
+        transfer_s: np.ndarray | None = None,
+    ):
+        self.plan = plan
+        self.platform = platform
+        self.total_latency_s = total_latency_s
+        self.gpu_energy_j = gpu_energy_j
+        self.cpu_energy_j = cpu_energy_j
+        self._records = records
+        self._estimates = estimates
+        self._transfer_s = transfer_s
+        self._latencies: np.ndarray | None = None
 
     @property
     def total_latency_ms(self) -> float:
         return self.total_latency_s * 1e3
 
+    @property
+    def estimates(self) -> BatchEstimates | None:
+        """The vectorized per-kernel estimates (None for reference runs)."""
+        return self._estimates
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """Per-kernel wall-clock latency (estimate + transfers), float64."""
+        if self._latencies is None:
+            if self._estimates is not None and self._transfer_s is not None:
+                self._latencies = self._estimates.total_s + self._transfer_s
+            else:
+                self._latencies = np.array(
+                    [r.latency_s for r in self.records], dtype=np.float64
+                )
+        return self._latencies
+
+    def bound_labels(self) -> list[str]:
+        """Per-kernel roofline bound ("dispatch"/"launch"/"compute"/"memory")."""
+        if self._estimates is not None:
+            return self._estimates.bound_labels()
+        return [r.estimate.bound for r in self.records]
+
+    @property
+    def records(self) -> list[KernelRecord]:
+        if self._records is None:
+            estimates, transfers = self._estimates, self._transfer_s
+            assert estimates is not None and transfers is not None
+            self._records = [
+                KernelRecord(
+                    kernel=kernel,
+                    estimate=estimates.estimate(i),
+                    transfer_s=float(transfers[i]),
+                )
+                for i, kernel in enumerate(self.plan.kernels)
+            ]
+        return self._records
+
+
+#: active simulation backend; flipped by :func:`use_reference_backend` so
+#: benchmarks can time the scalar path through the exact same call sites.
+_BACKEND = "vectorized"
+
+
+@contextmanager
+def use_reference_backend() -> Iterator[None]:
+    """Route :func:`simulate` through the scalar reference implementation.
+
+    For benchmarking and validation only — results are bit-identical, just
+    orders of magnitude more Python work.
+    """
+    global _BACKEND
+    previous = _BACKEND
+    _BACKEND = "reference"
+    try:
+        yield
+    finally:
+        _BACKEND = previous
+
 
 def simulate(plan: ExecutionPlan, platform: Platform) -> SimulationResult:
-    """Estimate the wall-clock timeline of ``plan`` on ``platform``."""
+    """Estimate the wall-clock timeline of ``plan`` on ``platform``.
+
+    Vectorized over all kernels; bit-identical to :func:`simulate_reference`.
+    """
+    if _BACKEND == "reference":
+        return simulate_reference(plan, platform)
+    arrays = plan_arrays(plan)
+    if arrays.on_gpu.any() and not platform.has_gpu:
+        platform.device(DeviceKind.GPU)  # raises the same RegistryError
     profile = dispatch_profile(plan.dispatch_profile)
-    result = SimulationResult(plan=plan, platform=platform)
+    cpu = platform.cpu
+    gpu = platform.gpu if platform.has_gpu else platform.cpu
+    on_gpu = arrays.on_gpu
+
+    def per_device(gpu_value: float, cpu_value: float) -> np.ndarray:
+        return np.where(on_gpu, gpu_value, cpu_value)
+
+    eff_compute_table, eff_memory_table = _efficiency_tables()
+    gpu_row = on_gpu.astype(np.int64)
+    eff_compute = eff_compute_table[gpu_row, arrays.category_idx]
+    eff_memory = eff_memory_table[gpu_row, arrays.category_idx]
+
+    dispatch_s = np.where(
+        on_gpu,
+        np.where(arrays.metadata_only, profile.gpu_metadata, profile.gpu_kernel),
+        np.where(arrays.metadata_only, profile.cpu_metadata, profile.cpu_kernel),
+    )
+
+    def gemm_peak_for(device: DeviceSpec) -> np.ndarray:
+        peaks = np.array(
+            [
+                device.gemm_flops_f32,
+                device.gemm_flops_f16,
+                device.gemm_flops_i8,
+                device.gemm_flops_f32,
+            ]
+        )
+        return peaks[arrays.dtype_code]
+
+    gemm_peak = np.where(on_gpu, gemm_peak_for(gpu), gemm_peak_for(cpu))
+    # eager PyTorch ships with TF32 disabled; engine flows scale the f32 pipe.
+    f32_on_gpu = (arrays.dtype_code == _DTYPE_F32) & on_gpu
+    gemm_peak = np.where(f32_on_gpu, gemm_peak * plan.gemm_peak_scale_f32, gemm_peak)
+    saturation_flops = (
+        per_device(gpu.gemm_saturation_flops, cpu.gemm_saturation_flops)
+        * plan.gemm_saturation_scale
+    )
+
+    estimates = estimate_kernels_batch(
+        is_gpu=on_gpu,
+        is_gemm=arrays.is_gemm,
+        flops=arrays.flops,
+        total_bytes=arrays.total_bytes,
+        metadata_only=arrays.metadata_only,
+        is_custom=arrays.is_custom,
+        launch_count=arrays.launch_count,
+        dispatch_s=dispatch_s,
+        eff_compute=eff_compute,
+        eff_memory=eff_memory,
+        gemm_peak=gemm_peak,
+        gemm_saturation_flops=saturation_flops,
+        vector_flops=per_device(gpu.vector_flops, cpu.vector_flops),
+        mem_bandwidth=per_device(gpu.mem_bandwidth, cpu.mem_bandwidth),
+        kernel_launch_s=per_device(gpu.kernel_launch_s, cpu.kernel_launch_s),
+    )
+
+    transfer_s = np.where(
+        arrays.transfer_in > 0.0,
+        (PCIE_LATENCY_S + arrays.transfer_in / platform.pcie_bandwidth) + FALLBACK_SYNC_S,
+        0.0,
+    ) + np.where(
+        arrays.transfer_out > 0.0,
+        (PCIE_LATENCY_S + arrays.transfer_out / platform.pcie_bandwidth) + FALLBACK_SYNC_S,
+        0.0,
+    )
+
+    latencies = estimates.total_s + transfer_s
+    # cumsum is a sequential left-to-right accumulation, so the total matches
+    # the reference loop's running `+=` bit-for-bit (np.sum's pairwise
+    # summation would not).
+    wall = float(np.cumsum(latencies)[-1]) if len(latencies) else 0.0
+
+    utilization = estimates.utilization
+    cpu_energy = _device_energy(
+        cpu, ~on_gpu, utilization, estimates.device_s, wall
+    )
+    if platform.has_gpu:
+        gpu_energy = _device_energy(
+            platform.gpu, on_gpu, utilization, estimates.device_s, wall
+        )
+    else:
+        gpu_energy = 0.0
+
+    return SimulationResult(
+        plan=plan,
+        platform=platform,
+        total_latency_s=wall,
+        gpu_energy_j=gpu_energy,
+        cpu_energy_j=cpu_energy,
+        estimates=estimates,
+        transfer_s=transfer_s,
+    )
+
+
+def _device_energy(
+    device: DeviceSpec,
+    mask: np.ndarray,
+    utilization: np.ndarray,
+    device_s: np.ndarray,
+    wall_s: float,
+) -> float:
+    """Two-term power model over one device's kernels (see hardware.energy)."""
+    dynamic_power = device.peak_power_w - device.idle_power_w
+    contributions = np.where(mask, dynamic_power * utilization * device_s, 0.0)
+    dynamic_j = float(np.cumsum(contributions)[-1]) if len(contributions) else 0.0
+    return device.idle_power_w * wall_s + dynamic_j
+
+
+def simulate_reference(plan: ExecutionPlan, platform: Platform) -> SimulationResult:
+    """Kernel-by-kernel scalar simulation — the reference implementation.
+
+    The vectorized :func:`simulate` must match this exactly; equivalence is
+    enforced by ``tests/test_sweep.py``.
+    """
+    profile = dispatch_profile(plan.dispatch_profile)
+    result = SimulationResult(plan=plan, platform=platform, records=[])
     gpu_acc = EnergyAccumulator(platform.gpu) if platform.has_gpu else None
     cpu_acc = EnergyAccumulator(platform.cpu)
 

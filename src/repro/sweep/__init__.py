@@ -1,0 +1,63 @@
+"""The sweep engine: memoized, vectorized execution of experiment grids.
+
+Layers (see the README architecture section):
+
+* :mod:`repro.sweep.cache`  — :class:`PlanCache`, the LRU memoization of
+  model builds, plan lowerings, graph transforms, and memory profiles.
+* :mod:`repro.sweep.spec`   — :class:`SweepSpec`/:class:`SweepPoint`,
+  declarative cross-product grids with explicit nesting order.
+* :mod:`repro.sweep.runner` — :class:`SweepRunner`, serial or
+  process-parallel execution producing :class:`SweepRecord` lists.
+
+``spec``/``runner`` are exposed lazily: the profiler imports
+:mod:`repro.sweep.cache` while the runner imports the profiler, and the lazy
+indirection keeps that dependency chain acyclic at import time.
+"""
+
+from repro.sweep.cache import (
+    PLAN_CACHE,
+    CacheStats,
+    PlanCache,
+    cached_build_model,
+    cached_lower,
+    cached_profile_memory,
+    cached_transform,
+    get_transform,
+    register_transform,
+)
+
+_LAZY = {
+    "SweepPoint": "repro.sweep.spec",
+    "SweepSpec": "repro.sweep.spec",
+    "DIMENSIONS": "repro.sweep.spec",
+    "DEVICE_GPU": "repro.sweep.spec",
+    "DEVICE_CPU": "repro.sweep.spec",
+    "SweepRecord": "repro.sweep.runner",
+    "SweepResult": "repro.sweep.runner",
+    "SweepRunner": "repro.sweep.runner",
+    "run_point": "repro.sweep.runner",
+    "run_sweep": "repro.sweep.runner",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "PLAN_CACHE",
+    "CacheStats",
+    "PlanCache",
+    "cached_build_model",
+    "cached_lower",
+    "cached_profile_memory",
+    "cached_transform",
+    "get_transform",
+    "register_transform",
+    *sorted(_LAZY),
+]

@@ -1,0 +1,254 @@
+"""Memoization layer for the sweep engine: graphs, plans, memory, transforms.
+
+The figure/table harnesses sweep large cross-products in which most of the
+per-point work is identical: the same model graph is rebuilt for every
+platform, the same plan re-lowered for every device combination, and the same
+liveness walk repeated per profile.  :class:`PlanCache` memoizes the four
+expensive, structurally-pure stages behind explicit, size-bounded LRU maps:
+
+* ``build_model``       keyed by ``(model, batch_size, overrides)``
+* ``DeploymentFlow.lower`` keyed by ``(flow, graph.content_hash(), use_gpu)``
+* ``profile_memory``    keyed by ``graph.content_hash()``
+* graph transforms (e.g. LLM.int8()) keyed by ``(name, graph.content_hash())``
+
+Correctness rests on :meth:`repro.ir.graph.Graph.content_hash`: any mutation
+of a graph changes its hash, so stale plan/memory entries can never be
+returned for a modified graph (they simply age out of the LRU).
+
+A process-global :data:`PLAN_CACHE` serves the profiler and the sweep runner;
+worker processes of a parallel sweep each get their own instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.models import build_model
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.flows.base import DeploymentFlow
+    from repro.flows.plan import ExecutionPlan
+    from repro.ir.graph import Graph
+    from repro.runtime.memory import MemoryProfile
+
+#: registered graph transforms usable from sweep specs (name -> callable
+#: returning an object with ``.graph`` and ``.stats``, like QuantizedModel).
+_TRANSFORMS: dict[str, Any] = {}
+
+
+def register_transform(name: str, fn: Any, replace: bool = False) -> None:
+    """Register a graph transform for use in sweep specs (e.g. "llm-int8")."""
+    if name in _TRANSFORMS and not replace:
+        raise ValueError(f"transform {name!r} already registered")
+    _TRANSFORMS[name] = fn
+
+
+def get_transform(name: str) -> Any:
+    try:
+        return _TRANSFORMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown transform {name!r}; known: {sorted(_TRANSFORMS)}"
+        ) from None
+
+
+def _register_builtin_transforms() -> None:
+    from repro.quant import quantize_llm_int8
+
+    register_transform("llm-int8", quantize_llm_int8, replace=True)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters per memoized stage."""
+
+    hits: dict[str, int] = field(default_factory=dict)
+    misses: dict[str, int] = field(default_factory=dict)
+    evictions: int = 0
+
+    def hit(self, kind: str) -> None:
+        self.hits[kind] = self.hits.get(kind, 0) + 1
+
+    def miss(self, kind: str) -> None:
+        self.misses[kind] = self.misses.get(kind, 0) + 1
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "evictions": self.evictions,
+        }
+
+    def delta_since(self, before: dict[str, object]) -> dict[str, object]:
+        """Activity between an earlier :meth:`snapshot` and now."""
+        current = self.snapshot()
+
+        def diff(kind: str) -> dict[str, int]:
+            prior: dict[str, int] = before.get(kind, {})  # type: ignore[assignment]
+            now: dict[str, int] = current[kind]  # type: ignore[assignment]
+            out = {k: v - prior.get(k, 0) for k, v in now.items()}
+            return {k: v for k, v in out.items() if v}
+
+        return {
+            "hits": diff("hits"),
+            "misses": diff("misses"),
+            "evictions": current["evictions"] - int(before.get("evictions", 0)),  # type: ignore[arg-type]
+        }
+
+
+class PlanCache:
+    """Size-bounded LRU cache over the build -> lower -> profile pipeline."""
+
+    def __init__(self, max_entries: int = 256):
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._enabled = True
+
+    # -- generic LRU plumbing ----------------------------------------------
+
+    def _get(self, key: tuple) -> object | None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hit(key[0])
+                return self._entries[key]
+            self.stats.miss(key[0])
+            return None
+
+    def _peek(self, key: tuple) -> object | None:
+        """Lookup without touching LRU order or hit/miss counters."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def _put(self, key: tuple, value: object) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    @contextmanager
+    def disabled(self) -> Iterator[None]:
+        """Temporarily bypass the cache (used by benchmarks to measure cold paths)."""
+        previous = self._enabled
+        self._enabled = False
+        try:
+            yield
+        finally:
+            self._enabled = previous
+
+    # -- memoized stages ----------------------------------------------------
+
+    def graph(self, model: str, batch_size: int = 1, **overrides) -> "Graph":
+        """Memoized ``build_model``; overrides must be hashable (e.g. seq_len)."""
+        if not self._enabled:
+            return build_model(model, batch_size=batch_size, **overrides)
+        key = ("graph", model, batch_size, tuple(sorted(overrides.items())))
+        entry = self._get(key)
+        if entry is not None:
+            cached, stamp = entry
+            # cached graphs are shared objects; if a caller mutated one, its
+            # memoized hash was cleared and no longer matches the stamp —
+            # rebuild fresh instead of handing out the modified structure.
+            if cached.content_hash() == stamp:
+                return cached
+        cached = build_model(model, batch_size=batch_size, **overrides)
+        # registry builders are deterministic, so the build key identifies
+        # the structure exactly; stamping it as the content hash spares a
+        # full structural walk per graph (any later mutation clears it).
+        stamp = cached.derive_content_hash("build", f"{key}")
+        self._put(key, (cached, stamp))
+        return cached
+
+    def plan(self, flow: "DeploymentFlow", graph: "Graph", use_gpu: bool) -> "ExecutionPlan":
+        """Memoized ``flow.lower(graph, use_gpu)`` keyed by graph content hash.
+
+        When the sibling plan (same flow/graph, other device class) is
+        already cached and the flow places uniformly, the miss is served by
+        re-targeting that plan instead of a full fusion + cost re-lowering.
+        """
+        if not self._enabled:
+            return flow.lower(graph, use_gpu=use_gpu)
+        graph_hash = graph.content_hash()
+        key = ("plan", flow.name, graph_hash, use_gpu)
+        cached = self._get(key)
+        if cached is None:
+            sibling = None
+            if flow.uniform_placement:
+                sibling = self._peek(("plan", flow.name, graph_hash, not use_gpu))
+            if sibling is not None:
+                cached = flow.derive_plan(sibling, use_gpu)
+            else:
+                cached = flow.lower(graph, use_gpu=use_gpu)
+            self._put(key, cached)
+        return cached  # type: ignore[return-value]
+
+    def memory(self, graph: "Graph") -> "MemoryProfile":
+        """Memoized liveness analysis keyed by graph content hash."""
+        from repro.runtime.memory import profile_memory
+
+        if not self._enabled:
+            return profile_memory(graph)
+        key = ("memory", graph.content_hash())
+        cached = self._get(key)
+        if cached is None:
+            cached = profile_memory(graph)
+            self._put(key, cached)
+        return cached  # type: ignore[return-value]
+
+    def transform(self, name: str, graph: "Graph") -> Any:
+        """Memoized registered graph transform (returns the transform's result)."""
+        fn = get_transform(name)
+        if not self._enabled:
+            return fn(graph)
+        parent_hash = graph.content_hash()
+        key = ("transform", name, parent_hash)
+        cached = self._get(key)
+        if cached is None:
+            cached = fn(graph)
+            result_graph = getattr(cached, "graph", None)
+            if result_graph is not None:
+                # registered transforms are deterministic, so the rewritten
+                # graph's identity derives from the parent's — skip re-hashing
+                # the (often much larger) transformed structure.
+                result_graph.derive_content_hash(name, parent_hash)
+            self._put(key, cached)
+        return cached
+
+
+#: the process-global cache used by the profiler and sweep runner.
+PLAN_CACHE = PlanCache()
+
+
+def cached_build_model(model: str, batch_size: int = 1, **overrides) -> "Graph":
+    return PLAN_CACHE.graph(model, batch_size=batch_size, **overrides)
+
+
+def cached_lower(flow: "DeploymentFlow", graph: "Graph", use_gpu: bool) -> "ExecutionPlan":
+    return PLAN_CACHE.plan(flow, graph, use_gpu)
+
+
+def cached_profile_memory(graph: "Graph") -> "MemoryProfile":
+    return PLAN_CACHE.memory(graph)
+
+
+def cached_transform(name: str, graph: "Graph") -> Any:
+    return PLAN_CACHE.transform(name, graph)
+
+
+_register_builtin_transforms()

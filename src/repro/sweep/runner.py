@@ -1,0 +1,146 @@
+"""The sweep runner: execute a :class:`SweepSpec` grid point by point.
+
+One code path serves every figure/table harness and the CLI ``sweep``
+subcommand.  Each point flows through the memoizing :mod:`~repro.sweep.cache`
+(graph build, plan lowering, transforms, memory profiling are all shared
+across points) and the vectorized simulator, so large cross-products cost a
+small multiple of their unique work rather than of their point count.
+
+For grids whose unique work dominates (many distinct models or sequence
+lengths), ``SweepRunner(workers=N)`` fans points out over a process pool;
+results come back in grid order regardless of completion order, so outputs
+are identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import RegistryError
+from repro.flows import get_flow
+from repro.hardware import get_platform
+from repro.profiler.profiler import profile_graph
+from repro.profiler.records import ProfileResult
+from repro.sweep.cache import PLAN_CACHE, cached_build_model, cached_transform
+from repro.sweep.spec import SweepPoint, SweepSpec
+
+
+@dataclass
+class SweepRecord:
+    """The outcome of one sweep point."""
+
+    point: SweepPoint
+    profile: ProfileResult
+    #: accounting object returned by the point's graph transform, if any
+    #: (e.g. :class:`~repro.quant.llm_int8.QuantizationStats`).
+    transform_stats: object | None = None
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep run, in grid order."""
+
+    spec: SweepSpec
+    records: list[SweepRecord] = field(default_factory=list)
+    wall_s: float = 0.0
+    cache_info: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def profiles(self) -> list[ProfileResult]:
+        return [record.profile for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def run_point(point: SweepPoint) -> SweepRecord:
+    """Profile one sweep point through the memoizing pipeline."""
+    platform = get_platform(point.platform)
+    if not point.use_gpu:
+        platform = platform.cpu_only()
+    overrides = {} if point.seq_len is None else {"seq_len": point.seq_len}
+    try:
+        graph = cached_build_model(point.model, point.batch_size, **overrides)
+    except TypeError as exc:
+        raise RegistryError(
+            f"model {point.model!r} does not accept sweep overrides {overrides}"
+            f" ({exc}); drop the seq_len axis or restrict it to sequence models"
+        ) from None
+    transform_stats = None
+    model_name = point.model
+    if point.transform:
+        transformed = cached_transform(point.transform, graph)
+        graph = transformed.graph
+        transform_stats = getattr(transformed, "stats", None)
+        model_name = f"{point.model}-{point.transform}"
+    profile = profile_graph(
+        graph,
+        get_flow(point.flow),
+        platform,
+        use_gpu=point.use_gpu,
+        batch_size=point.batch_size,
+        iterations=point.iterations,
+        seed=point.seed,
+        model_name=model_name,
+    )
+    return SweepRecord(point=point, profile=profile, transform_stats=transform_stats)
+
+
+def _run_point_for_pool(point: SweepPoint) -> SweepRecord:
+    """Worker-side wrapper: shed the heavy per-record state before pickling.
+
+    A ProfileResult lazily references its ExecutionPlan (and through it the
+    whole Graph); shipping one independent copy per record back over IPC
+    would grow linearly with the grid.  Materialize the per-kernel records
+    (still needed by reports) and drop the plan/array backrefs.
+    """
+    record = run_point(point)
+    profile = record.profile
+    profile.records  # force materialization while the plan is at hand
+    profile._plan = None
+    profile._kernel_latency_s = None
+    profile._kernel_latency_std_s = None
+    profile._bound_code = None
+    profile._gemm_mask = None
+    profile._group_pos = None
+    return record
+
+
+class SweepRunner:
+    """Executes sweep specs serially or across a process pool.
+
+    ``workers <= 1`` runs in-process (the default, and the fastest choice
+    whenever the memoization cache covers most of the grid, since workers
+    cannot share a cache across processes).
+    """
+
+    def __init__(self, workers: int = 0):
+        self.workers = workers
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        points = spec.points()
+        started = time.perf_counter()
+        stats_before = PLAN_CACHE.stats.snapshot()
+        if self.workers and self.workers > 1 and len(points) > 1:
+            workers = min(self.workers, len(points), os.cpu_count() or 1)
+            chunksize = max(1, len(points) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                records = list(pool.map(_run_point_for_pool, points, chunksize=chunksize))
+        else:
+            records = [run_point(point) for point in points]
+        # cache activity attributable to this run; note that worker-pool runs
+        # hit per-process caches, so the parent-side delta is empty there.
+        return SweepResult(
+            spec=spec,
+            records=records,
+            wall_s=time.perf_counter() - started,
+            cache_info=PLAN_CACHE.stats.delta_since(stats_before),
+        )
+
+
+def run_sweep(spec: SweepSpec, workers: int = 0) -> SweepResult:
+    """Convenience wrapper: build a runner and execute ``spec``."""
+    return SweepRunner(workers=workers).run(spec)

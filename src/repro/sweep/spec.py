@@ -1,0 +1,131 @@
+"""Declarative sweep grids: what to profile, as data instead of nested loops.
+
+A :class:`SweepSpec` names the value sets of each sweep dimension and the
+nesting order in which the cross-product should be walked; :meth:`points`
+expands it into concrete :class:`SweepPoint` records.  Keeping the grid
+declarative lets every figure/table harness share one runner (caching,
+vectorized simulation, optional process parallelism) while still controlling
+its exact row order — the CSV artifacts are byte-stable across engines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+
+from repro.errors import RegistryError
+
+#: canonical dimension nesting order; specs may reorder any prefix subset.
+DIMENSIONS = ("platform", "model", "seq_len", "batch_size", "flow", "device", "transform")
+
+#: device axis values: profile with the platform's GPU, or CPU-only.
+DEVICE_GPU = "gpu"
+DEVICE_CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-resolved configuration to profile."""
+
+    platform: str
+    model: str
+    flow: str
+    batch_size: int
+    use_gpu: bool
+    seq_len: int | None = None
+    transform: str | None = None
+    iterations: int = 3
+    seed: int = 0
+
+    @property
+    def device(self) -> str:
+        return DEVICE_GPU if self.use_gpu else DEVICE_CPU
+
+    def describe(self) -> str:
+        parts = [self.model, f"b{self.batch_size}", self.flow, self.platform, self.device]
+        if self.seq_len is not None:
+            parts.insert(1, f"seq{self.seq_len}")
+        if self.transform:
+            parts.append(self.transform)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A cross-product sweep grid plus the nesting order of its dimensions."""
+
+    models: tuple[str, ...]
+    platforms: tuple[str, ...] = ("A",)
+    flows: tuple[str, ...] = ("pytorch",)
+    batch_sizes: tuple[int, ...] = (1,)
+    devices: tuple[str, ...] = (DEVICE_GPU,)
+    seq_lens: tuple[int | None, ...] = (None,)
+    transforms: tuple[str | None, ...] = (None,)
+    iterations: int = 3
+    seed: int = 0
+    #: outermost-to-innermost loop order; unlisted dimensions follow in
+    #: canonical order after the listed ones.
+    order: tuple[str, ...] = field(default=DIMENSIONS)
+    name: str = "sweep"
+
+    def _values(self, dimension: str) -> tuple:
+        return {
+            "platform": self.platforms,
+            "model": self.models,
+            "flow": self.flows,
+            "batch_size": self.batch_sizes,
+            "device": self.devices,
+            "seq_len": self.seq_lens,
+            "transform": self.transforms,
+        }[dimension]
+
+    def resolved_order(self) -> tuple[str, ...]:
+        """The full loop order: explicit dimensions then canonical remainder."""
+        for dimension in self.order:
+            if dimension not in DIMENSIONS:
+                raise RegistryError(
+                    f"unknown sweep dimension {dimension!r}; known: {DIMENSIONS}"
+                )
+        if len(set(self.order)) != len(self.order):
+            raise RegistryError(f"duplicate dimensions in sweep order {self.order}")
+        return self.order + tuple(d for d in DIMENSIONS if d not in self.order)
+
+    @property
+    def num_points(self) -> int:
+        total = 1
+        for dimension in DIMENSIONS:
+            total *= len(self._values(dimension))
+        return total
+
+    def points(self) -> list[SweepPoint]:
+        """Expand the grid into concrete points, walked in nesting order."""
+        order = self.resolved_order()
+        for dimension in order:
+            if not self._values(dimension):
+                return []
+        for device in self.devices:
+            if device not in (DEVICE_GPU, DEVICE_CPU):
+                raise RegistryError(
+                    f"unknown device {device!r}; use {DEVICE_GPU!r} or {DEVICE_CPU!r}"
+                )
+        points = []
+        for combo in itertools.product(*(self._values(d) for d in order)):
+            values = dict(zip(order, combo))
+            points.append(
+                SweepPoint(
+                    platform=values["platform"],
+                    model=values["model"],
+                    flow=values["flow"],
+                    batch_size=values["batch_size"],
+                    use_gpu=values["device"] == DEVICE_GPU,
+                    seq_len=values["seq_len"],
+                    transform=values["transform"],
+                    iterations=self.iterations,
+                    seed=self.seed,
+                )
+            )
+        return points
+
+    def subset(self, **overrides) -> "SweepSpec":
+        """A copy of this spec with some dimensions replaced."""
+        return replace(self, **overrides)

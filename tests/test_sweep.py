@@ -1,0 +1,332 @@
+"""Sweep engine tests: vectorized-vs-scalar equivalence, caching, specs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.errors import RegistryError
+from repro.flows import get_flow
+from repro.hardware import PLATFORM_A, PLATFORM_B
+from repro.ir import Graph, TensorSpec
+from repro.models import build_model
+from repro.profiler import profile_graph
+from repro.runtime.memory import profile_memory
+from repro.runtime.simulator import simulate, simulate_reference, use_reference_backend
+from repro.sweep.cache import PlanCache
+from repro.sweep.runner import SweepRunner, run_point
+from repro.sweep.spec import SweepPoint, SweepSpec
+
+ALL_FLOWS = ("pytorch", "torchinductor", "tensorrt", "onnxruntime")
+SMALL_MODELS = ("swin-t", "segformer", "gpt2")
+
+
+class TestVectorizedEquivalence:
+    @pytest.mark.parametrize("flow_name", ALL_FLOWS)
+    @pytest.mark.parametrize("platform", [PLATFORM_A, PLATFORM_B], ids=["A", "B"])
+    def test_matches_scalar_reference_per_kernel(self, flow_name, platform):
+        for model in SMALL_MODELS:
+            graph = build_model(model, batch_size=1)
+            for use_gpu in (True, False):
+                plat = platform if use_gpu else platform.cpu_only()
+                plan = get_flow(flow_name).lower(graph, use_gpu=use_gpu)
+                fast = simulate(plan, plat)
+                slow = simulate_reference(plan, plat)
+                ref = np.array([r.latency_s for r in slow.records])
+                assert np.all(np.abs(fast.latencies - ref) <= 1e-12)
+                # in practice the paths are bit-identical, not just close
+                assert np.array_equal(fast.latencies, ref)
+                assert fast.total_latency_s == slow.total_latency_s
+                assert fast.gpu_energy_j == slow.gpu_energy_j
+                assert fast.cpu_energy_j == slow.cpu_energy_j
+                assert fast.bound_labels() == [r.estimate.bound for r in slow.records]
+
+    def test_estimate_breakdowns_match(self, tiny_transformer_graph):
+        plan = get_flow("pytorch").lower(tiny_transformer_graph, use_gpu=True)
+        fast = simulate(plan, PLATFORM_A)
+        slow = simulate_reference(plan, PLATFORM_A)
+        for fast_rec, slow_rec in zip(fast.records, slow.records):
+            assert fast_rec.estimate == slow_rec.estimate
+            assert fast_rec.transfer_s == slow_rec.transfer_s
+
+    def test_reference_backend_context(self, tiny_transformer_graph):
+        plan = get_flow("pytorch").lower(tiny_transformer_graph, use_gpu=True)
+        with use_reference_backend():
+            result = simulate(plan, PLATFORM_A)
+        assert result.estimates is None  # scalar path taken
+        assert result.total_latency_s == simulate(plan, PLATFORM_A).total_latency_s
+
+    def test_profile_matches_reference_backend(self):
+        graph = build_model("swin-t", batch_size=1)
+        flow = get_flow("pytorch")
+        fast = profile_graph(graph, flow, PLATFORM_A, use_gpu=True, iterations=3, seed=7)
+        with use_reference_backend():
+            slow = profile_graph(graph, flow, PLATFORM_A, use_gpu=True, iterations=3, seed=7)
+        assert fast.total_latency_s == slow.total_latency_s
+        assert fast.gpu_energy_j == slow.gpu_energy_j
+        assert fast.latency_by_group() == slow.latency_by_group()
+        assert fast.records == slow.records
+
+
+class TestDerivedPlans:
+    @pytest.mark.parametrize("flow_name", ["pytorch", "torchinductor", "tensorrt"])
+    def test_derive_matches_full_lower(self, flow_name):
+        flow = get_flow(flow_name)
+        graph = build_model("swin-t", batch_size=1)
+        for source_gpu in (True, False):
+            source = flow.lower(graph, use_gpu=source_gpu)
+            derived = flow.derive_plan(source, use_gpu=not source_gpu)
+            direct = flow.lower(graph, use_gpu=not source_gpu)
+            assert derived.kernels == direct.kernels
+            assert derived.content_hash() == direct.content_hash()
+
+    def test_ort_refuses_derivation(self):
+        from repro.errors import PlanError
+
+        flow = get_flow("onnxruntime")
+        graph = build_model("gpt2", batch_size=1)
+        plan = flow.lower(graph, use_gpu=True)
+        with pytest.raises(PlanError):
+            flow.derive_plan(plan, use_gpu=False)
+
+
+class TestContentHash:
+    def test_stable_until_mutation(self, tiny_transformer_graph):
+        first = tiny_transformer_graph.content_hash()
+        assert tiny_transformer_graph.content_hash() == first
+        out = tiny_transformer_graph.call(ops.GELU(), tiny_transformer_graph.outputs[0])
+        tiny_transformer_graph.set_outputs(out)
+        assert tiny_transformer_graph.content_hash() != first
+
+    def test_identical_builds_hash_equal(self):
+        a = build_model("swin-t", batch_size=1)
+        b = build_model("swin-t", batch_size=1)
+        assert a is not b
+        assert a.content_hash() == b.content_hash()
+        assert a.content_hash() != build_model("swin-t", batch_size=2).content_hash()
+
+    def test_plan_hash_covers_flow(self, tiny_transformer_graph):
+        eager = get_flow("pytorch").lower(tiny_transformer_graph, use_gpu=True)
+        trt = get_flow("tensorrt").lower(tiny_transformer_graph, use_gpu=True)
+        assert eager.content_hash() != trt.content_hash()
+
+
+class TestValidationMemo:
+    def test_validate_walk_runs_once(self, tiny_transformer_graph, monkeypatch):
+        calls = {"n": 0}
+        original = Graph._check_value
+
+        def counting(self, value):
+            calls["n"] += 1
+            return original(self, value)
+
+        monkeypatch.setattr(Graph, "_check_value", counting)
+        tiny_transformer_graph.validate()
+        after_first = calls["n"]
+        assert after_first > 0
+        tiny_transformer_graph.validate()
+        assert calls["n"] == after_first  # memoized: no second walk
+
+    def test_mutation_resets_validated_flag(self, tiny_transformer_graph):
+        tiny_transformer_graph.validate()
+        assert tiny_transformer_graph._validated
+        out = tiny_transformer_graph.call(ops.GELU(), tiny_transformer_graph.outputs[0])
+        assert not tiny_transformer_graph._validated
+        tiny_transformer_graph.set_outputs(out)
+        tiny_transformer_graph.validate()
+        assert tiny_transformer_graph._validated
+
+
+class TestPlanCache:
+    def test_hit_returns_same_plan(self):
+        cache = PlanCache()
+        flow = get_flow("pytorch")
+        graph = build_model("swin-t", batch_size=1)
+        first = cache.plan(flow, graph, use_gpu=True)
+        assert cache.plan(flow, graph, use_gpu=True) is first
+        assert cache.stats.hits.get("plan") == 1
+
+    def test_hit_returns_identical_profile(self):
+        graph = build_model("swin-t", batch_size=1)
+        flow = get_flow("pytorch")
+        cold = profile_graph(graph, flow, PLATFORM_A, use_gpu=True, iterations=3, seed=3)
+        warm = profile_graph(graph, flow, PLATFORM_A, use_gpu=True, iterations=3, seed=3)
+        assert warm.total_latency_s == cold.total_latency_s
+        assert warm.gpu_energy_j == cold.gpu_energy_j
+        assert warm.peak_memory_bytes == cold.peak_memory_bytes
+        assert warm.latency_by_group() == cold.latency_by_group()
+        assert warm.records == cold.records
+
+    def test_mutated_graph_misses(self):
+        cache = PlanCache()
+        flow = get_flow("pytorch")
+        graph = build_model("swin-t", batch_size=1)
+        first = cache.plan(flow, graph, use_gpu=True)
+        out = graph.call(ops.GELU(), graph.outputs[0])
+        graph.set_outputs(out)
+        second = cache.plan(flow, graph, use_gpu=True)
+        assert second is not first
+        assert second.num_kernels == first.num_kernels + 1
+
+    def test_memory_memoized_by_structure(self):
+        cache = PlanCache()
+        a = build_model("segformer", batch_size=1)
+        b = build_model("segformer", batch_size=1)
+        first = cache.memory(a)
+        assert cache.memory(b) is first  # structurally equal twin hits
+        assert first == profile_memory(a)
+
+    def test_lru_bound(self):
+        cache = PlanCache(max_entries=2)
+        for batch in (1, 2, 3):
+            cache.graph("segformer", batch_size=batch)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # oldest entry (batch 1) was evicted; re-request misses
+        cache.graph("segformer", batch_size=1)
+        assert cache.stats.misses.get("graph") == 4
+
+    def test_disabled_bypasses(self):
+        cache = PlanCache()
+        with cache.disabled():
+            a = cache.graph("segformer", batch_size=1)
+            b = cache.graph("segformer", batch_size=1)
+        assert a is not b
+        assert len(cache) == 0
+
+    def test_mutated_cached_graph_is_not_reissued(self):
+        cache = PlanCache()
+        graph = cache.graph("segformer", batch_size=1)
+        clean_len = len(graph.nodes)
+        graph.set_outputs(graph.call(ops.GELU(), graph.outputs[0]))
+        fresh = cache.graph("segformer", batch_size=1)
+        assert fresh is not graph
+        assert len(fresh.nodes) == clean_len
+
+    def test_transform_cached_and_hash_derived(self):
+        cache = PlanCache()
+        graph = build_model("gpt2", batch_size=1)
+        first = cache.transform("llm-int8", graph)
+        assert cache.transform("llm-int8", graph) is first
+        assert first.graph.content_hash() != graph.content_hash()
+
+
+class TestSweepSpec:
+    def test_points_follow_order(self):
+        spec = SweepSpec(
+            models=("a", "b"),
+            batch_sizes=(1, 2),
+            order=("batch_size", "model"),
+        )
+        combos = [(p.batch_size, p.model) for p in spec.points()]
+        assert combos == [(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+    def test_unknown_dimension_rejected(self):
+        spec = SweepSpec(models=("a",), order=("nope",))
+        with pytest.raises(RegistryError):
+            spec.points()
+
+    def test_unknown_device_rejected(self):
+        spec = SweepSpec(models=("a",), devices=("tpu",))
+        with pytest.raises(RegistryError):
+            spec.points()
+
+    def test_empty_dimension_yields_no_points(self):
+        assert SweepSpec(models=()).points() == []
+
+    def test_num_points(self):
+        spec = SweepSpec(models=("a", "b"), batch_sizes=(1, 2, 4), devices=("gpu", "cpu"))
+        assert spec.num_points == 12
+        assert len(spec.points()) == 12
+
+
+class TestSweepRunner:
+    def test_cpu_point_uses_cpu_only_platform(self):
+        point = SweepPoint(
+            platform="A", model="segformer", flow="pytorch",
+            batch_size=1, use_gpu=False, iterations=2,
+        )
+        record = run_point(point)
+        assert record.profile.gpu_energy_j == 0.0
+        assert record.profile.platform.platform_id == "A-cpu"
+
+    def test_matches_direct_profiling(self):
+        spec = SweepSpec(
+            models=("segformer",), batch_sizes=(1, 2), iterations=2, seed=5,
+            order=("model", "batch_size"),
+        )
+        result = SweepRunner().run(spec)
+        assert len(result) == 2
+        for record, batch in zip(result.records, (1, 2)):
+            direct = profile_graph(
+                build_model("segformer", batch_size=batch),
+                get_flow("pytorch"), PLATFORM_A,
+                use_gpu=True, batch_size=batch, iterations=2, seed=5,
+            )
+            assert record.profile.total_latency_s == direct.total_latency_s
+
+    def test_transform_point_carries_stats(self):
+        point = SweepPoint(
+            platform="A", model="gpt2-l", flow="pytorch", batch_size=1,
+            use_gpu=True, transform="llm-int8", iterations=2,
+        )
+        record = run_point(point)
+        assert record.transform_stats is not None
+        assert record.transform_stats.ops_added > 0
+        assert record.profile.model == "gpt2-l-llm-int8"
+
+    def test_cache_info_is_per_run(self):
+        spec = SweepSpec(models=("segformer",), batch_sizes=(1,), iterations=2)
+        first = SweepRunner().run(spec)
+        second = SweepRunner().run(spec)
+        # the second run hits for every stage but reports only its own counts
+        assert second.cache_info["hits"].get("plan") == 1
+        assert first.cache_info["hits"].get("plan", 0) <= 1
+
+    def test_seq_len_override_on_vision_model_names_the_problem(self):
+        point = SweepPoint(
+            platform="A", model="swin-t", flow="pytorch", batch_size=1,
+            use_gpu=True, seq_len=128, iterations=2,
+        )
+        with pytest.raises(RegistryError, match="swin-t.*seq_len"):
+            run_point(point)
+
+    def test_parallel_matches_serial(self):
+        spec = SweepSpec(
+            models=("segformer",), batch_sizes=(1, 2), iterations=2,
+            order=("model", "batch_size"),
+        )
+        serial = SweepRunner(workers=0).run(spec)
+        parallel = SweepRunner(workers=2).run(spec)
+        for a, b in zip(serial.records, parallel.records):
+            assert a.point == b.point
+            assert a.profile.total_latency_s == b.profile.total_latency_s
+            assert a.profile.latency_by_group() == b.profile.latency_by_group()
+
+
+class TestSweepCLI:
+    def test_sweep_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["sweep", "--models", "segformer", "--batches", "1",
+             "--devices", "gpu", "--iterations", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "segformer" in out
+        assert "1 points" in out
+
+
+class TestGraphCallValueSemantics:
+    def test_value_is_tuple_but_not_unpacked_by_call(self):
+        g = Graph("t")
+        x = g.input(TensorSpec((2, 4)), "x")
+        y = g.call(ops.GELU(), x)
+        g.set_outputs(y)
+        assert y.node_id == 1 and y.port == 0
+        out = Graph("q")
+        xin = out.input(TensorSpec((2, 12)), "x")
+        parts = out.call(ops.Split(3, dim=1), xin)
+        assert isinstance(parts, tuple) and len(parts) == 3
