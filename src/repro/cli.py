@@ -8,6 +8,8 @@ Subcommands mirror the paper artifact's scripts:
 * ``sweep``                  — run a custom cross-product grid through the
   sweep engine (memoized builds/plans, vectorized simulation, optional
   process parallelism).
+* ``inspect <model>``        — dump a lowered execution plan with per-pass
+  provenance (which pass fused/placed/refined each kernel).
 * ``workload <model>``       — static workload report (op mix, params).
 """
 
@@ -80,6 +82,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--csv", metavar="DIR", default=None, help="also write CSV here")
     p_sweep.set_defaults(handler=_cmd_sweep)
+
+    p_ins = sub.add_parser(
+        "inspect", help="dump a lowered plan with per-pass provenance"
+    )
+    p_ins.add_argument("model")
+    p_ins.add_argument("--flow", default="pytorch")
+    p_ins.add_argument("--batch", type=int, default=1)
+    p_ins.add_argument("--cpu-only", action="store_true")
+    p_ins.add_argument("--seq-len", type=int, default=None)
+    p_ins.add_argument(
+        "--kernels", type=int, default=16,
+        help="kernel rows to print (largest by traffic; 0 = all)",
+    )
+    p_ins.set_defaults(handler=_cmd_inspect)
 
     p_work = sub.add_parser("workload", help="static workload/non-GEMM report for a model")
     p_work.add_argument("model")
@@ -194,6 +210,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         path = write_csv(rows, "sweep", args.csv)
         print(f"wrote {path}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.flows import get_flow
+
+    flow = get_flow(args.flow)
+    overrides = {} if args.seq_len is None else {"seq_len": args.seq_len}
+    graph = build_model(args.model, batch_size=args.batch, **overrides)
+    plan = flow.lower(graph, use_gpu=not args.cpu_only, record_provenance=True)
+
+    print(f"plan: {args.model} via {flow.name} ({plan.num_kernels} kernels,")
+    print(f"      {plan.num_fused_kernels} fused, dispatch={plan.dispatch_profile})")
+    print(f"pipeline signature: {plan.notes['pipeline_signature']}")
+    print()
+    print("pass pipeline:")
+    pass_rows = []
+    for entry in plan.notes["passes"]:
+        entry = dict(entry)
+        name = entry.pop("pass")
+        summary = ", ".join(f"{k}={v}" for k, v in entry.items())
+        pass_rows.append({"pass": name, "effect": summary or "-"})
+    print(render_table(pass_rows))
+    print()
+
+    provenance = plan.notes["kernel_provenance"]
+    indexed = list(zip(plan.kernels, provenance))
+    if args.kernels:
+        indexed.sort(key=lambda pair: pair[0].cost.total_bytes, reverse=True)
+        indexed = indexed[: args.kernels]
+        print(f"top {len(indexed)} kernels by traffic:")
+    else:
+        print("kernels (plan order):")
+    kernel_rows = []
+    for kernel, tags in indexed:
+        kernel_rows.append(
+            {
+                "kernel": kernel.name,
+                "ops": len(kernel.node_ids),
+                "category": kernel.category.value,
+                "device": kernel.device.value,
+                "launches": kernel.launch_count,
+                "bytes": kernel.cost.total_bytes,
+                "transfer": kernel.transfer_bytes_in + kernel.transfer_bytes_out,
+                "provenance": "; ".join(tags) or "-",
+            }
+        )
+    print(render_table(kernel_rows))
     return 0
 
 

@@ -4,21 +4,39 @@ A flow lowers an operator graph into an :class:`ExecutionPlan` the way a real
 serving stack would: it decides fusion, per-op placement (GPU vs CPU
 fallback), whether composite Python ops run as many kernels or one, and the
 per-kernel host dispatch overhead profile.
+
+Lowering is a *pass pipeline* (:mod:`repro.flows.passes`): each concrete flow
+is a declarative list of named passes plus tuning knobs, and
+:meth:`DeploymentFlow.lower` just runs its :class:`~repro.flows.passes.PassManager`
+and freezes the resulting kernel drafts.  The pipeline's content hash
+(:meth:`DeploymentFlow.pipeline_signature`) is what the sweep
+:class:`~repro.sweep.cache.PlanCache` keys plans on.
 """
 
 from __future__ import annotations
 
 import abc
+import hashlib
 from typing import ClassVar
 
 from repro.errors import PlanError
-from repro.hardware.device import DeviceKind
-from repro.ir.dtype import DType
 from repro.ir.graph import Graph
-from repro.ir.node import Node
-from repro.ops.base import OpCategory, OpCost
-from repro.flows.fusion import FusionConfig, fuse_graph, group_category
-from repro.flows.plan import ExecutionPlan, PlannedKernel, group_cost
+from repro.flows.fusion import FusionConfig
+from repro.flows.passes import (
+    CompositeExpansionPass,
+    FusionPass,
+    KernelConstructionPass,
+    MetadataElisionPass,
+    PassManager,
+    PlacementPass,
+    PlacementPolicy,
+    RetargetPass,
+    SyncInsertionPass,
+    TransferInsertionPass,
+    UniformPlacement,
+)
+from repro.flows.passes.state import LoweringState
+from repro.flows.plan import ExecutionPlan, PlannedKernel
 
 
 class DeploymentFlow(abc.ABC):
@@ -36,183 +54,180 @@ class DeploymentFlow(abc.ABC):
     #: scale on the device's small-GEMM saturation size: autotuned engines
     #: pick better tilings for small problems than stock cuBLAS heuristics.
     gemm_saturation_scale: ClassVar[float] = 1.0
-    #: True when ``placement`` puts every node on the same device for a given
+    #: True when placement puts every node on the same device for a given
     #: ``use_gpu`` (all flows except ORT's per-op fallback).  Enables
     #: :meth:`derive_plan` re-targeting instead of a full re-lowering.
     uniform_placement: ClassVar[bool] = True
 
-    def lower(self, graph: Graph, use_gpu: bool = True) -> ExecutionPlan:
-        """Lower ``graph`` into an execution plan for simulation."""
+    # -- pipeline declaration -------------------------------------------------
+
+    def placement_policy(self) -> PlacementPolicy:
+        """The flow's placement policy; per-op-fallback flows override this."""
+        return UniformPlacement()
+
+    def build_pipeline(self) -> PassManager:
+        """Assemble the flow's lowering pipeline from its knobs.
+
+        Concrete flows override this to declare their pass list explicitly;
+        the default assembly covers the common shapes (uniform vs per-op
+        placement, collapsing vs eager composites) for custom flows that only
+        set knobs.  The pass ordering contract is documented in
+        :mod:`repro.flows.passes.manager`.
+        """
+        policy = self.placement_policy()
+        passes = [
+            FusionPass(self.fusion),
+            PlacementPass(policy),
+            KernelConstructionPass(collapse=self.collapses_composites),
+        ]
+        if not policy.is_uniform:
+            passes.append(TransferInsertionPass())
+        if not self.collapses_composites:
+            passes.append(CompositeExpansionPass())
+        passes.extend((SyncInsertionPass(), MetadataElisionPass()))
+        return PassManager(passes)
+
+    @property
+    def pipeline(self) -> PassManager:
+        """The flow's pass pipeline, built once per instance."""
+        built = self.__dict__.get("_pipeline")
+        if built is None:
+            built = self.build_pipeline()
+            self.__dict__["_pipeline"] = built
+        return built
+
+    def pipeline_signature(self) -> str:
+        """Content hash of everything that determines this flow's plans.
+
+        Folds the flow-level knobs (name, dispatch profile, GEMM scales) with
+        the ordered signatures of every pipeline pass, so the sweep cache key
+        survives refactors that preserve behavior and invalidates on any knob
+        change — including subclass overrides that keep the flow name.
+        """
+        signature = self.__dict__.get("_pipeline_signature")
+        if signature is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(
+                f"{self.name}|{self.dispatch_profile}"
+                f"|{self.gemm_peak_scale_f32!r}|{self.gemm_saturation_scale!r}"
+                f"|{int(self.uniform_placement)}".encode()
+            )
+            digest.update(self.pipeline.signature().encode())
+            signature = digest.hexdigest()
+            self.__dict__["_pipeline_signature"] = signature
+        return signature
+
+    # -- lowering --------------------------------------------------------------
+
+    def lower(
+        self, graph: Graph, use_gpu: bool = True, record_provenance: bool = False
+    ) -> ExecutionPlan:
+        """Lower ``graph`` into an execution plan for simulation.
+
+        With ``record_provenance``, the plan's ``notes`` carry a per-pass
+        trace and per-kernel provenance tags (``nongemm-bench inspect``).
+        """
         graph.validate()
-        result = fuse_graph(graph, self.fusion)
-        # uniform flows resolve the device once, not per node
-        device = None
-        if self.uniform_placement:
-            device = DeviceKind.GPU if use_gpu else DeviceKind.CPU
-        kernels: list[PlannedKernel] = []
-        nodes = graph.nodes
-        node_costs = graph.node_costs()
-        for group in result.groups:
-            if len(group) == 1:
-                kernels.append(
-                    self._plan_single(graph, nodes[group[0]], use_gpu, device, node_costs)
-                )
-            else:
-                kernels.append(self._plan_group(graph, group, use_gpu))
-        plan = ExecutionPlan(
-            graph=graph,
-            flow=self.name,
-            dispatch_profile=self.dispatch_profile,
-            kernels=kernels,
-            gemm_peak_scale_f32=self.gemm_peak_scale_f32,
-            gemm_saturation_scale=self.gemm_saturation_scale,
-        )
+        state = self.pipeline.run(graph, use_gpu, record_provenance=record_provenance)
+        plan = self._finalize(state)
         plan.validate()
         return plan
+
+    def supports_derivation(self) -> bool:
+        """True when :meth:`derive_plan` reproduces :meth:`lower` exactly.
+
+        Requires uniform placement *and* a pipeline whose refinement passes
+        are all known to the re-targeting mini-pipeline: a custom refinement
+        pass would be silently skipped during derivation, so its presence
+        opts the flow out of sibling-plan derivation (the sweep cache then
+        always lowers in full).
+        """
+        if not self.uniform_placement:
+            return False
+        derivable = {
+            FusionPass,
+            PlacementPass,
+            KernelConstructionPass,
+            # device-independent (composite scaling is baked into the source
+            # kernels) or a no-op for uniform flows (no fallback drafts):
+            CompositeExpansionPass,
+            TransferInsertionPass,
+            # re-run by derive_plan:
+            SyncInsertionPass,
+            MetadataElisionPass,
+        }
+        for p in self.pipeline.passes:
+            # exact types, not isinstance: a subclass of a stock pass carries
+            # behavior the re-targeting mini-pipeline would not reproduce.
+            if type(p) not in derivable:
+                return False
+            # trust the pipeline's actual policy, not the uniform_placement
+            # declaration: a knob-only flow overriding placement_policy()
+            # must not be derived with its fallback placements dropped.
+            if type(p) is PlacementPass and not p.policy.is_uniform:
+                return False
+        return True
 
     def derive_plan(self, source: ExecutionPlan, use_gpu: bool) -> ExecutionPlan:
         """Re-target an already-lowered plan to the other device class.
 
-        Valid only for uniform-placement flows: the kernel partition, fused
-        costs, dtypes, and launch counts are all device-independent, so the
-        opposite-device plan differs only in placement, the metadata-only
-        flag (data-dependent syncs exist on GPU only), and sync transfers.
-        Produces exactly what ``lower(graph, use_gpu=...)`` would, for a
-        fraction of the cost — the sweep cache uses this when it already
-        holds the sibling plan.
+        Valid only when :meth:`supports_derivation` holds: the kernel
+        partition, fused costs, dtypes, and launch counts are all
+        device-independent, so the opposite-device plan differs only in
+        placement and the device-sensitive refinements (syncs, metadata
+        elision), which re-run here as a short pipeline over re-targeted
+        drafts.  Produces exactly what ``lower(graph, use_gpu=...)`` would,
+        for a fraction of the cost — the sweep cache uses this when it
+        already holds the sibling plan.
         """
         if not self.uniform_placement:
             raise PlanError(f"flow {self.name} places per-op; cannot derive plans")
-        graph = source.graph
-        device = DeviceKind.GPU if use_gpu else DeviceKind.CPU
-        kernels: list[PlannedKernel] = []
-        for kernel in source.kernels:
-            metadata_only = False
-            sync_bytes = 0
-            if len(kernel.node_ids) == 1:
-                node = graph.nodes[kernel.node_ids[0]]
-                if use_gpu and node.op.forces_sync:
-                    sync_bytes = sum(s.nbytes for s in node.outputs)
-                metadata_only = node.op.is_metadata_only and not sync_bytes
-            kernels.append(
-                PlannedKernel(
-                    name=kernel.name,
-                    node_ids=kernel.node_ids,
-                    op_kinds=kernel.op_kinds,
-                    category=kernel.category,
-                    device=device,
-                    cost=kernel.cost,
-                    dtype=kernel.dtype,
-                    metadata_only=metadata_only,
-                    is_custom=kernel.is_custom,
-                    launch_count=kernel.launch_count,
-                    transfer_bytes_out=sync_bytes,
-                )
+        if not self.supports_derivation():
+            raise PlanError(
+                f"flow {self.name} has custom refinement passes; re-targeting"
+                " would skip them — lower the graph in full instead"
             )
-        return ExecutionPlan(
-            graph=graph,
+        manager = PassManager(
+            (RetargetPass(source), SyncInsertionPass(), MetadataElisionPass())
+        )
+        state = manager.run(source.graph, use_gpu)
+        return self._finalize(state)
+
+    def _finalize(self, state: LoweringState) -> ExecutionPlan:
+        """Freeze kernel drafts into an immutable :class:`ExecutionPlan`."""
+        assert state.drafts is not None, "pipeline produced no kernel drafts"
+        kernels = [
+            PlannedKernel(
+                draft.name,
+                draft.node_ids,
+                draft.op_kinds,
+                draft.category,
+                draft.device,
+                draft.cost,
+                draft.dtype,
+                draft.metadata_only,
+                draft.is_custom,
+                draft.launch_count,
+                draft.transfer_bytes_in,
+                draft.transfer_bytes_out,
+            )
+            for draft in state.drafts
+        ]
+        plan = ExecutionPlan(
+            graph=state.graph,
             flow=self.name,
             dispatch_profile=self.dispatch_profile,
             kernels=kernels,
             gemm_peak_scale_f32=self.gemm_peak_scale_f32,
             gemm_saturation_scale=self.gemm_saturation_scale,
         )
-
-    # -- hooks ---------------------------------------------------------------
-
-    def placement(self, node: Node, use_gpu: bool) -> DeviceKind:
-        """Device for one node; ORT overrides this for unsupported ops."""
-        return DeviceKind.GPU if use_gpu else DeviceKind.CPU
-
-    # -- kernel construction ---------------------------------------------------
-
-    def _plan_single(
-        self,
-        graph: Graph,
-        node: Node,
-        use_gpu: bool,
-        device: DeviceKind | None = None,
-        node_costs: list | None = None,
-    ) -> PlannedKernel:
-        if device is None:
-            device = self.placement(node, use_gpu)
-        fallback = use_gpu and device is DeviceKind.CPU
-        metadata = node.op.is_metadata_only and not fallback
-        if fallback:
-            # an op forced off the accelerator materializes its data on the
-            # host: inputs cross PCIe down, outputs cross back up.
-            in_bytes = sum(v.spec.nbytes for v in node.inputs)
-            out_bytes = sum(s.nbytes for s in node.outputs)
-            cost = OpCost(flops=0, bytes_read=in_bytes, bytes_written=out_bytes)
-            return PlannedKernel(
-                name=node.qualified_name,
-                node_ids=(node.node_id,),
-                op_kinds=(node.op.kind,),
-                category=node.op.category,
-                device=DeviceKind.CPU,
-                cost=cost,
-                dtype=_node_dtype(node),
-                metadata_only=False,
-                is_custom=node.op.is_custom_kernel,
-                launch_count=1,
-                transfer_bytes_in=in_bytes,
-                transfer_bytes_out=out_bytes,
+        if state.record_provenance:
+            plan.notes["pipeline_signature"] = self.pipeline_signature()
+            plan.notes["passes"] = [
+                {"pass": trace.pass_name, **trace.summary} for trace in state.trace
+            ]
+            plan.notes["kernel_provenance"] = tuple(
+                tuple(draft.provenance) if draft.provenance else ()
+                for draft in state.drafts
             )
-        if node_costs is None:
-            node_costs = graph.node_costs()
-        cost = node_costs[node.node_id]
-        # data-dependent ops (nonzero, dynamic shapes) stall the pipeline with
-        # a device->host round trip to read their result size.
-        sync_bytes = 0
-        if device is DeviceKind.GPU and node.op.forces_sync:
-            sync_bytes = sum(s.nbytes for s in node.outputs)
-        launches = 1
-        if not self.collapses_composites and node.op.eager_kernels > 1:
-            launches = node.op.eager_kernels
-            # full-size sub-kernels of a Python composite re-stream the tensor
-            passes = node.op.traffic_passes
-            cost = OpCost(
-                flops=cost.flops,
-                bytes_read=cost.bytes_read * passes,
-                bytes_written=cost.bytes_written * passes,
-            )
-        return PlannedKernel(
-            name=node.qualified_name,
-            node_ids=(node.node_id,),
-            op_kinds=(node.op.kind,),
-            category=node.op.category,
-            device=device,
-            cost=cost,
-            dtype=_node_dtype(node),
-            metadata_only=metadata and not sync_bytes,
-            is_custom=node.op.is_custom_kernel and not self.collapses_composites,
-            launch_count=launches,
-            transfer_bytes_out=sync_bytes,
-        )
-
-    def _plan_group(self, graph: Graph, group: tuple[int, ...], use_gpu: bool) -> PlannedKernel:
-        nodes = [graph.nodes[i] for i in group]
-        devices = {self.placement(n, use_gpu) for n in nodes}
-        if len(devices) > 1:
-            raise PlanError(f"fused group {group} spans devices {devices}")
-        category = group_category(graph, group)
-        first = nodes[0]
-        return PlannedKernel(
-            name=f"{first.qualified_name}+{len(group) - 1}",
-            node_ids=tuple(group),
-            op_kinds=tuple(n.op.kind for n in nodes),
-            category=category,
-            device=devices.pop(),
-            cost=group_cost(graph, group),
-            dtype=_node_dtype(first),
-            metadata_only=False,
-            is_custom=False,  # fused kernels are generated, not hand-written
-            launch_count=1,
-        )
-
-
-def _node_dtype(node: Node) -> DType:
-    """Execution precision of a node: its first tensor input, else its output."""
-    if node.inputs:
-        return node.inputs[0].spec.dtype
-    return node.outputs[0].dtype
+        return plan

@@ -136,16 +136,6 @@ def fuse_graph(graph: Graph, config: FusionConfig) -> FusionResult:
     return FusionResult(groups=groups)
 
 
-def _has_multiple_tensor_inputs(node: Node) -> bool:
-    """True when the node joins two different producer values (e.g. residual add).
-
-    Joins are still fusible as epilogues (the second operand streams in), but
-    they terminate *start-of-chain* growth to keep groups linear.
-    """
-    producer_ids = {v.node_id for v in node.inputs}
-    return len(producer_ids) > 1
-
-
 def group_category(graph: Graph, node_ids: tuple[int, ...]) -> OpCategory:
     """Reporting category of a fused kernel.
 

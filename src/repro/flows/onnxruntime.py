@@ -7,6 +7,10 @@ the CPU provider, which forces their operands across PCIe in both
 directions.  The paper's Fig. 7 shows the consequence on GPT2-XL: memory
 operators balloon from 3.2% to ~67% of latency because the model's
 Split/View/Expand-heavy attention code keeps bouncing between devices.
+
+Pipeline (assembled by ``DeploymentFlow.build_pipeline`` from the knobs
+below): fusion -> placement(per-op-fallback) -> construct(collapse=1) ->
+transfer-insertion -> sync-insertion -> metadata-elision.
 """
 
 from __future__ import annotations
@@ -15,8 +19,7 @@ from typing import ClassVar
 
 from repro.flows.base import DeploymentFlow
 from repro.flows.fusion import FusionConfig
-from repro.hardware.device import DeviceKind
-from repro.ir.node import Node
+from repro.flows.passes import PerOpFallbackPlacement, PlacementPolicy
 
 
 class ONNXRuntimeFlow(DeploymentFlow):
@@ -30,7 +33,7 @@ class ONNXRuntimeFlow(DeploymentFlow):
     )
     collapses_composites = True
     gemm_saturation_scale = 0.6
-    uniform_placement = False  # per-op CPU fallback (see placement below)
+    uniform_placement = False  # per-op CPU fallback (see placement_policy)
 
     #: op kinds the CUDA execution provider lacks kernels for; these fall
     #: back to the CPU provider with device<->host copies and stream-drain
@@ -50,9 +53,5 @@ class ONNXRuntimeFlow(DeploymentFlow):
         }
     )
 
-    def placement(self, node: Node, use_gpu: bool) -> DeviceKind:
-        if not use_gpu:
-            return DeviceKind.CPU
-        if node.op.kind in self.gpu_unsupported_kinds:
-            return DeviceKind.CPU
-        return DeviceKind.GPU
+    def placement_policy(self) -> PlacementPolicy:
+        return PerOpFallbackPlacement(self.gpu_unsupported_kinds)

@@ -1,0 +1,59 @@
+"""ONNX Runtime flow with an aggressive inductor-style fuser.
+
+A what-if scenario assembled **purely from existing passes**: the serving
+stack keeps ORT's per-op CPU-provider fallback (the paper's Fig. 7 failure
+mode) but swaps the conservative ORT graph rewriter for TorchInductor-style
+pointwise/normalization chain fusion (longer chains, fused reductions).  It
+answers the question the pass pipeline exists to make cheap: *how much of
+the fallback penalty survives when fusion gets better but the provider
+coverage does not?*
+
+No new lowering code — the pipeline reuses :class:`FusionPass` with the
+inductor fusion knobs, :class:`PerOpFallbackPlacement` with ORT's
+unsupported-kind list, and the standard refinement passes.  Mixed-device
+fusion groups (possible when a fallback kind is also a fusible category) are
+split rather than aborting lowering: accelerator members stay fused, CPU
+members become singleton fallback kernels with full PCIe accounting.
+"""
+
+from __future__ import annotations
+
+from repro.flows.base import DeploymentFlow
+from repro.flows.onnxruntime import ONNXRuntimeFlow
+from repro.flows.torch_inductor import TorchInductorFlow
+from repro.flows.passes import (
+    FusionPass,
+    KernelConstructionPass,
+    MetadataElisionPass,
+    PassManager,
+    PerOpFallbackPlacement,
+    PlacementPass,
+    PlacementPolicy,
+    SyncInsertionPass,
+    TransferInsertionPass,
+)
+
+
+class ORTCpuEpFlow(DeploymentFlow):
+    name = "ort-cpu-ep"
+    dispatch_profile = "ort"
+    #: TorchInductor's chain fuser, verbatim — not ORT's shorter chains.
+    fusion = TorchInductorFlow.fusion
+    collapses_composites = True
+    gemm_saturation_scale = 0.6
+    uniform_placement = False  # same per-op fallback as ONNXRuntimeFlow
+
+    def placement_policy(self) -> PlacementPolicy:
+        return PerOpFallbackPlacement(ONNXRuntimeFlow.gpu_unsupported_kinds)
+
+    def build_pipeline(self) -> PassManager:
+        return PassManager(
+            (
+                FusionPass(self.fusion),
+                PlacementPass(self.placement_policy(), split_mixed_groups=True),
+                KernelConstructionPass(collapse=True),
+                TransferInsertionPass(),
+                SyncInsertionPass(),
+                MetadataElisionPass(),
+            )
+        )

@@ -1,0 +1,36 @@
+"""FusionPass: partition the graph's compute nodes into fusion groups."""
+
+from __future__ import annotations
+
+from repro.flows.fusion import FusionConfig, fuse_graph
+from repro.flows.passes.manager import LoweringPass
+from repro.flows.passes.state import LoweringState
+
+
+class FusionPass(LoweringPass):
+    """Run the pattern-based fuser and record its disjoint node groups.
+
+    Always the first pass of a pipeline: everything downstream consumes the
+    ``groups`` partition it produces.
+    """
+
+    name = "fusion"
+
+    def __init__(self, config: FusionConfig | None = None):
+        self.config = config or FusionConfig()
+
+    def describe(self) -> str:
+        # FusionConfig is a frozen dataclass; its repr is a stable, complete
+        # rendering of every fusion knob.
+        return repr(self.config)
+
+    def run(self, state: LoweringState) -> None:
+        state.groups = fuse_graph(state.graph, self.config).groups
+        if state.record_provenance:
+            fused = sum(1 for g in state.groups if len(g) > 1)
+            state.note(
+                self.name,
+                groups=len(state.groups),
+                fused_groups=fused,
+                fused_ops=sum(len(g) for g in state.groups if len(g) > 1),
+            )

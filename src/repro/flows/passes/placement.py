@@ -1,0 +1,156 @@
+"""PlacementPass: assign every fusion group to a device.
+
+Placement is a *policy* plugged into one pass:
+
+* :class:`UniformPlacement` — all flows except ORT: the whole plan lands on
+  one device, resolved once per lowering (never per node — re-deriving the
+  device for every member of every fused group was redundant work on the hot
+  lowering path of the pre-pass planner).
+* :class:`PerOpFallbackPlacement` — ORT-style: ops whose kind the accelerator
+  provider lacks fall back to the CPU provider.  Groups whose members
+  disagree either abort lowering (the historical contract) or, with
+  ``split_mixed_groups``, are split: accelerator members stay fused in
+  contiguous runs, while CPU members become singleton kernels (the host
+  provider runs fallback ops one by one, and each must pay its PCIe
+  transfers) — so aggressive fusion configs can coexist with per-op fallback.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.errors import PlanError
+from repro.hardware.device import DeviceKind
+from repro.flows.passes.manager import LoweringPass
+from repro.flows.passes.state import LoweringState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.node import Node
+
+
+class PlacementPolicy(abc.ABC):
+    """Where nodes run for a given device mode."""
+
+    #: True when the policy maps every node to one device per device mode;
+    #: decides the pipeline's shape (uniform pipelines skip transfer passes).
+    is_uniform: bool = False
+
+    @abc.abstractmethod
+    def device_for(self, node: "Node", use_gpu: bool) -> DeviceKind:
+        """Device for one node."""
+
+    def resolve_uniform(self, use_gpu: bool) -> DeviceKind | None:
+        """The single device every node maps to, or None for per-op policies."""
+        return None
+
+    @abc.abstractmethod
+    def signature(self) -> str:
+        """Stable content description of the policy's configuration."""
+
+
+class UniformPlacement(PlacementPolicy):
+    """Every node on the same device; resolved once per lowering."""
+
+    is_uniform = True
+
+    def device_for(self, node: "Node", use_gpu: bool) -> DeviceKind:
+        return DeviceKind.GPU if use_gpu else DeviceKind.CPU
+
+    def resolve_uniform(self, use_gpu: bool) -> DeviceKind | None:
+        return DeviceKind.GPU if use_gpu else DeviceKind.CPU
+
+    def signature(self) -> str:
+        return "uniform"
+
+
+class PerOpFallbackPlacement(PlacementPolicy):
+    """Ops the accelerator provider lacks kernels for fall back to the CPU."""
+
+    def __init__(self, cpu_fallback_kinds: frozenset[str]):
+        self.cpu_fallback_kinds = frozenset(cpu_fallback_kinds)
+
+    def device_for(self, node: "Node", use_gpu: bool) -> DeviceKind:
+        if not use_gpu:
+            return DeviceKind.CPU
+        if node.op.kind in self.cpu_fallback_kinds:
+            return DeviceKind.CPU
+        return DeviceKind.GPU
+
+    def signature(self) -> str:
+        return f"per-op-fallback({','.join(sorted(self.cpu_fallback_kinds))})"
+
+
+class PlacementPass(LoweringPass):
+    """Resolve a device per group under the flow's placement policy."""
+
+    name = "placement"
+
+    def __init__(self, policy: PlacementPolicy, split_mixed_groups: bool = False):
+        self.policy = policy
+        self.split_mixed_groups = split_mixed_groups
+
+    def describe(self) -> str:
+        return f"{self.policy.signature()},split={int(self.split_mixed_groups)}"
+
+    def run(self, state: LoweringState) -> None:
+        assert state.groups is not None, "placement requires fusion groups"
+        uniform = self.policy.resolve_uniform(state.use_gpu)
+        if uniform is not None:
+            # uniform flows resolve the device once, not per node or group
+            state.devices = [uniform] * len(state.groups)
+            state.note(self.name, device=uniform.value, groups=len(state.groups))
+            return
+        nodes = state.graph.nodes
+        use_gpu = state.use_gpu
+        groups: list[tuple[int, ...]] = []
+        devices: list[DeviceKind] = []
+        splits = 0
+        for group in state.groups:
+            if len(group) == 1:
+                groups.append(group)
+                devices.append(self.policy.device_for(nodes[group[0]], use_gpu))
+                continue
+            member_devices = [self.policy.device_for(nodes[i], use_gpu) for i in group]
+            distinct = set(member_devices)
+            if len(distinct) == 1:
+                groups.append(group)
+                devices.append(member_devices[0])
+                continue
+            if not self.split_mixed_groups:
+                raise PlanError(f"fused group {group} spans devices {distinct}")
+            splits += 1
+            for run_ids, run_device in _split_runs(group, member_devices):
+                if run_device is DeviceKind.CPU:
+                    # the host provider runs fallback ops one by one, not as a
+                    # fused generated kernel: emit singletons so each gets the
+                    # standard fallback transfer accounting downstream.
+                    for node_id in run_ids:
+                        groups.append((node_id,))
+                        devices.append(run_device)
+                else:
+                    groups.append(run_ids)
+                    devices.append(run_device)
+        state.groups = groups
+        state.devices = devices
+        if state.record_provenance:
+            cpu_placed = sum(1 for d in devices if d is DeviceKind.CPU) if use_gpu else 0
+            state.note(
+                self.name,
+                groups=len(groups),
+                cpu_placed_kernels=cpu_placed,
+                split_groups=splits,
+            )
+
+
+def _split_runs(
+    group: tuple[int, ...], member_devices: list[DeviceKind]
+) -> list[tuple[tuple[int, ...], DeviceKind]]:
+    """Split a device-spanning group into contiguous same-device runs."""
+    runs: list[tuple[tuple[int, ...], DeviceKind]] = []
+    start = 0
+    for i in range(1, len(group) + 1):
+        if i == len(group) or member_devices[i] is not member_devices[start]:
+            runs.append((group[start:i], member_devices[start]))
+            start = i
+    return runs

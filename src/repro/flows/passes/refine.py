@@ -1,0 +1,145 @@
+"""Refinement passes: in-place draft rewrites after kernel construction.
+
+Each pass owns one deployment-flow behavior that the pre-pass planner had
+inlined into ``_plan_single``:
+
+* :class:`CompositeExpansionPass` — eager kernel splitting: composite Python
+  ops launch one kernel per tensor expression and re-stream their operands.
+* :class:`TransferInsertionPass` — CPU-fallback PCIe accounting: an op forced
+  off the accelerator materializes its operands on the host and back.
+* :class:`SyncInsertionPass` — data-dependent ops stall the pipeline with a
+  device-to-host round trip to read their result size.
+* :class:`MetadataElisionPass` — shape-only ops cost nothing at runtime
+  unless something (a sync, a fallback) forces their data to materialize.
+
+All four skip fused drafts and fallback drafts where the pre-pass planner's
+early returns did, so pipelines composed of any subset stay kernel-for-kernel
+identical to it.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.device import DeviceKind
+from repro.ops.base import OpCost
+from repro.flows.passes.manager import LoweringPass
+from repro.flows.passes.state import LoweringState
+
+
+class CompositeExpansionPass(LoweringPass):
+    """Split composite Python ops into their eager kernel launches.
+
+    Only non-collapsing flows (PyTorch eager) include this pass: each
+    full-size sub-kernel of a composite re-streams the tensor, so traffic
+    scales with the op's ``traffic_passes`` and the dispatch model charges
+    one launch per sub-kernel.
+    """
+
+    name = "composite-expansion"
+
+    def run(self, state: LoweringState) -> None:
+        assert state.drafts is not None, "composite expansion requires drafts"
+        nodes = state.graph.nodes
+        record = state.record_provenance
+        expanded = 0
+        for draft in state.drafts:
+            if draft.fallback or len(draft.node_ids) != 1:
+                continue
+            op = nodes[draft.node_ids[0]].op
+            if op.eager_kernels <= 1:
+                continue
+            draft.launch_count = op.eager_kernels
+            passes = op.traffic_passes
+            cost = draft.cost
+            draft.cost = OpCost(
+                flops=cost.flops,
+                bytes_read=cost.bytes_read * passes,
+                bytes_written=cost.bytes_written * passes,
+            )
+            expanded += 1
+            if record:
+                draft.tag(f"composite[{op.eager_kernels} launches]")
+        state.note(self.name, expanded=expanded)
+
+
+class TransferInsertionPass(LoweringPass):
+    """Charge PCIe round trips to CPU-fallback kernels.
+
+    A fallback op's compute is negligible next to the forced materialization:
+    its cost becomes pure traffic (inputs cross PCIe down, outputs cross back
+    up), mirroring the paper's ORT unsupported-operator study.
+    """
+
+    name = "transfer-insertion"
+
+    def run(self, state: LoweringState) -> None:
+        assert state.drafts is not None, "transfer insertion requires drafts"
+        nodes = state.graph.nodes
+        record = state.record_provenance
+        inserted = 0
+        for draft in state.drafts:
+            if not draft.fallback:
+                continue
+            node = nodes[draft.node_ids[0]]
+            in_bytes = sum(v.spec.nbytes for v in node.inputs)
+            out_bytes = sum(s.nbytes for s in node.outputs)
+            draft.cost = OpCost(flops=0, bytes_read=in_bytes, bytes_written=out_bytes)
+            draft.transfer_bytes_in = in_bytes
+            draft.transfer_bytes_out = out_bytes
+            inserted += 1
+            if record:
+                draft.tag(f"cpu-fallback[{in_bytes + out_bytes}B transfer]")
+        state.note(self.name, fallback_kernels=inserted)
+
+
+class SyncInsertionPass(LoweringPass):
+    """Insert device-to-host round trips after data-dependent GPU ops."""
+
+    name = "sync-insertion"
+
+    def run(self, state: LoweringState) -> None:
+        assert state.drafts is not None, "sync insertion requires drafts"
+        nodes = state.graph.nodes
+        record = state.record_provenance
+        inserted = 0
+        for draft in state.drafts:
+            if (
+                draft.fallback
+                or len(draft.node_ids) != 1
+                or draft.device is not DeviceKind.GPU
+            ):
+                continue
+            node = nodes[draft.node_ids[0]]
+            if not node.op.forces_sync:
+                continue
+            draft.transfer_bytes_out = sum(s.nbytes for s in node.outputs)
+            inserted += 1
+            if record:
+                draft.tag("sync[device->host round trip]")
+        state.note(self.name, syncs=inserted)
+
+
+class MetadataElisionPass(LoweringPass):
+    """Mark shape-only kernels that the runtime never actually launches.
+
+    View/reshape-style ops cost nothing unless a sync round-trip (or a CPU
+    fallback) forces their data to exist; runs after SyncInsertionPass so a
+    synced metadata op stays a real kernel.
+    """
+
+    name = "metadata-elision"
+
+    def run(self, state: LoweringState) -> None:
+        assert state.drafts is not None, "metadata elision requires drafts"
+        nodes = state.graph.nodes
+        record = state.record_provenance
+        elided = 0
+        for draft in state.drafts:
+            if draft.fallback or len(draft.node_ids) != 1 or draft.transfer_bytes_out:
+                continue
+            if not nodes[draft.node_ids[0]].op.is_metadata_only:
+                continue
+            draft.metadata_only = True
+            elided += 1
+            if record:
+                draft.tag("metadata-elided")
+        state.note(self.name, elided=elided)

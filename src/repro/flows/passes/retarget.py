@@ -1,0 +1,56 @@
+"""RetargetPass: seed drafts from an existing plan instead of re-lowering.
+
+``DeploymentFlow.derive_plan`` runs a short pipeline — retarget, sync
+insertion, metadata elision — over the kernels of an already-lowered plan.
+For uniform-placement flows the kernel partition, fused costs, dtypes, and
+launch counts are all device-independent, so re-targeting reuses them
+verbatim and only the device-sensitive refinements re-run.  This replaces
+the pre-pass planner's hand-copied ``PlannedKernel`` duplication with the
+same draft-and-refine machinery every full lowering uses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hardware.device import DeviceKind
+from repro.flows.passes.manager import LoweringPass
+from repro.flows.passes.state import KernelDraft, LoweringState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flows.plan import ExecutionPlan
+
+
+class RetargetPass(LoweringPass):
+    """Copy a source plan's kernels onto the other device class as drafts.
+
+    Device-dependent fields (placement, sync transfers, metadata elision) are
+    reset here and re-derived by the refinement passes that follow.
+    """
+
+    name = "retarget"
+
+    def __init__(self, source: "ExecutionPlan"):
+        self.source = source
+
+    def describe(self) -> str:
+        return self.source.flow
+
+    def run(self, state: LoweringState) -> None:
+        device = DeviceKind.GPU if state.use_gpu else DeviceKind.CPU
+        drafts: list[KernelDraft] = []
+        for kernel in self.source.kernels:
+            draft = KernelDraft(
+                name=kernel.name,
+                node_ids=kernel.node_ids,
+                op_kinds=kernel.op_kinds,
+                category=kernel.category,
+                device=device,
+                cost=kernel.cost,
+                dtype=kernel.dtype,
+                is_custom=kernel.is_custom,
+            )
+            draft.launch_count = kernel.launch_count
+            drafts.append(draft)
+        state.drafts = drafts
+        state.note(self.name, kernels=len(drafts), source_flow=self.source.flow)

@@ -4,6 +4,10 @@ No fusion at all: every graph op is its own kernel (or several — composite
 Python implementations such as HuggingFace's NewGELU launch one kernel per
 tensor expression), and every op pays full framework dispatch overhead.
 This is the paper's baseline flow for Figs. 1 and 6.
+
+Pipeline (assembled by ``DeploymentFlow.build_pipeline`` from the knobs
+below): fusion -> placement(uniform) -> construct(collapse=0) ->
+composite-expansion -> sync-insertion -> metadata-elision.
 """
 
 from __future__ import annotations
@@ -16,4 +20,4 @@ class PyTorchEagerFlow(DeploymentFlow):
     name = "pytorch"
     dispatch_profile = "eager"
     fusion = FusionConfig()  # nothing fuses
-    collapses_composites = False
+    collapses_composites = False  # adds CompositeExpansionPass to the pipeline

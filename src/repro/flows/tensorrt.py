@@ -8,6 +8,10 @@ The most aggressive optimizer in the study: builds an engine with
   paper's Table V analysis);
 * pointwise chain fusion for everything the epilogues don't absorb;
 * minimal per-kernel dispatch (a prebuilt engine, not a framework).
+
+Pipeline (assembled by ``DeploymentFlow.build_pipeline`` from the knobs
+below): fusion -> placement(uniform) -> construct(collapse=1) ->
+sync-insertion -> metadata-elision.
 """
 
 from __future__ import annotations

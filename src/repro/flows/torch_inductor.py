@@ -4,6 +4,10 @@ Inductor generates fused Triton kernels for pointwise/normalization chains
 and removes eager dispatch overhead, but — as the paper's Fig. 8 middle bars
 show — it does not fold normalization into GEMM kernels the way TensorRT's
 CONV+BN+ReLU pattern does, so a substantial non-GEMM share survives.
+
+Pipeline (assembled by ``DeploymentFlow.build_pipeline`` from the knobs
+below): fusion -> placement(uniform) -> construct(collapse=1) ->
+sync-insertion -> metadata-elision.
 """
 
 from __future__ import annotations

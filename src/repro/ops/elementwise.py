@@ -11,7 +11,6 @@ from typing import Callable, ClassVar, Sequence
 
 import numpy as np
 
-from repro.errors import ShapeError
 from repro.ir.tensor import TensorSpec, broadcast_shapes
 from repro.ops.base import OpCategory, OpCost, Operator
 

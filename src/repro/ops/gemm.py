@@ -7,7 +7,6 @@ family on the GEMM side.  FLOP counts follow the 1 MAC = 2 FLOPs convention.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 import numpy as np

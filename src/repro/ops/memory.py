@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.ir.tensor import TensorSpec, normalize_axis
-from repro.ops.base import OpCategory, OpCost, Operator
+from repro.ops.base import OpCategory, Operator
 
 
 class _MemoryBase(Operator):

@@ -7,7 +7,8 @@ liveness walk repeated per profile.  :class:`PlanCache` memoizes the four
 expensive, structurally-pure stages behind explicit, size-bounded LRU maps:
 
 * ``build_model``       keyed by ``(model, batch_size, overrides)``
-* ``DeploymentFlow.lower`` keyed by ``(flow, graph.content_hash(), use_gpu)``
+* ``DeploymentFlow.lower`` keyed by
+  ``(flow.pipeline_signature(), graph.content_hash(), use_gpu)``
 * ``profile_memory``    keyed by ``graph.content_hash()``
 * graph transforms (e.g. LLM.int8()) keyed by ``(name, graph.content_hash())``
 
@@ -176,21 +177,27 @@ class PlanCache:
         return cached
 
     def plan(self, flow: "DeploymentFlow", graph: "Graph", use_gpu: bool) -> "ExecutionPlan":
-        """Memoized ``flow.lower(graph, use_gpu)`` keyed by graph content hash.
+        """Memoized ``flow.lower(graph, use_gpu)``.
 
-        When the sibling plan (same flow/graph, other device class) is
+        Keyed by the flow's :meth:`~repro.flows.base.DeploymentFlow.pipeline_signature`
+        and the graph's content hash: the signature is a stable content hash
+        over the flow's pass pipeline and tuning knobs, so cache entries
+        survive pass-internal refactors but can never be served to a flow
+        variant whose knobs differ (e.g. a subclass that keeps the name).
+        When the sibling plan (same pipeline/graph, other device class) is
         already cached and the flow places uniformly, the miss is served by
         re-targeting that plan instead of a full fusion + cost re-lowering.
         """
         if not self._enabled:
             return flow.lower(graph, use_gpu=use_gpu)
         graph_hash = graph.content_hash()
-        key = ("plan", flow.name, graph_hash, use_gpu)
+        pipeline_sig = flow.pipeline_signature()
+        key = ("plan", pipeline_sig, graph_hash, use_gpu)
         cached = self._get(key)
         if cached is None:
             sibling = None
-            if flow.uniform_placement:
-                sibling = self._peek(("plan", flow.name, graph_hash, not use_gpu))
+            if flow.supports_derivation():
+                sibling = self._peek(("plan", pipeline_sig, graph_hash, not use_gpu))
             if sibling is not None:
                 cached = flow.derive_plan(sibling, use_gpu)
             else:

@@ -12,7 +12,7 @@ from repro.data import (
     dataset_for,
     prepare_inputs,
 )
-from repro.models import build_model, get_model
+from repro.models import get_model
 from repro.runtime import run_graph
 from repro.viz.ascii import render_stacked_bar, render_stacked_chart, render_table
 from repro.viz.csvout import write_csv

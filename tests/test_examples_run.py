@@ -36,6 +36,16 @@ def test_custom_model_registration(capsys):
     assert "greedy next-token predictions" in out
 
 
+def test_custom_flow_passes(capsys):
+    import re
+
+    out = _run_example("custom_flow_passes.py", capsys)
+    assert "small-kernel-offload" in out
+    assert "pipeline signature:" in out
+    offloaded = re.search(r"offloaded kernels:\s+(\d+) of", out)
+    assert offloaded and int(offloaded.group(1)) > 0
+
+
 @pytest.mark.slow
 def test_llm_deployment_flows(capsys):
     out = _run_example("llm_deployment_flows.py", capsys)

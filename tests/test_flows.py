@@ -16,7 +16,7 @@ from repro.flows import (
     group_cost,
 )
 from repro.hardware import DeviceKind
-from repro.ir import Graph, TensorSpec
+from repro.ir import DType, Graph, TensorSpec
 from repro.ops.base import OpCategory
 
 
@@ -105,6 +105,86 @@ class TestFusionEngine:
             seen = [n for g_ in result.groups for n in g_]
             expected = [n.node_id for n in tiny_transformer_graph.compute_nodes()]
             assert sorted(seen) == sorted(expected)
+
+
+class TestFusionBoundaries:
+    """Edge cases of the fuser: exact limits, breaks, QDQ at group edges."""
+
+    @staticmethod
+    def _linear_chain(num_pointwise: int) -> Graph:
+        g = Graph("epi")
+        h = g.call(ops.Linear(16, 16), g.input(TensorSpec((4, 16)), "x"))
+        for _ in range(num_pointwise):
+            h = g.call(ops.ReLU(), h)
+        g.set_outputs(h)
+        return g
+
+    def test_epilogue_exactly_at_limit_fuses_completely(self):
+        config = FusionConfig(gemm_epilogue=True, max_epilogue=3)
+        result = fuse_graph(self._linear_chain(3), config)
+        assert [len(group) for group in result.groups] == [4]  # GEMM + 3
+
+    def test_epilogue_one_past_limit_leaves_a_singleton(self):
+        config = FusionConfig(gemm_epilogue=True, max_epilogue=3)
+        result = fuse_graph(self._linear_chain(4), config)
+        assert [len(group) for group in result.groups] == [4, 1]
+
+    @staticmethod
+    def _pointwise_chain(length: int) -> Graph:
+        g = Graph("chain")
+        h = g.input(TensorSpec((4, 16)), "x")
+        for _ in range(length):
+            h = g.call(ops.ReLU(), h)
+        g.set_outputs(h)
+        return g
+
+    def test_chain_exactly_at_limit_fuses_completely(self):
+        config = FusionConfig(pointwise_chains=True, max_chain=3)
+        result = fuse_graph(self._pointwise_chain(3), config)
+        assert [len(group) for group in result.groups] == [3]
+
+    def test_chain_one_past_limit_starts_a_new_group(self):
+        config = FusionConfig(pointwise_chains=True, max_chain=3)
+        result = fuse_graph(self._pointwise_chain(4), config)
+        assert [len(group) for group in result.groups] == [3, 1]
+
+    def test_chain_breaks_after_multi_consumer_node(self):
+        g = Graph("fork")
+        x = g.input(TensorSpec((4, 4)), "x")
+        a = g.call(ops.ReLU(), x)
+        b = g.call(ops.Sigmoid(), a)  # two consumers below
+        g.set_outputs(g.call(ops.Add(), g.call(ops.Tanh(), b), g.call(ops.Sigmoid(), b)))
+        result = fuse_graph(g, FusionConfig(pointwise_chains=True, max_chain=8))
+        # the fork node itself joins the chain; growth stops right after it
+        assert (a.node_id, b.node_id) in result.groups
+
+    def test_quantize_fuses_as_epilogue_edge(self):
+        g = Graph("qdq-epilogue")
+        h = g.call(ops.Linear(16, 16), g.input(TensorSpec((4, 16)), "x"))
+        h = g.call(ops.ReLU(), h)
+        q, scales = g.call(ops.Quantize(), h)
+        g.set_outputs(q, scales)
+        result = fuse_graph(g, FusionConfig(gemm_epilogue=True, max_epilogue=3))
+        # Quantize (QDQ) rides the epilogue; its two outputs end the chain
+        assert [len(group) for group in result.groups] == [3]
+
+    def test_dequantize_starts_a_chain(self):
+        g = Graph("qdq-chain")
+        acc = g.input(TensorSpec((4, 16), DType.I32), "acc")
+        scales = g.input(TensorSpec((4, 1)), "scales")
+        h = g.call(ops.Dequantize(DType.F32), acc, scales)
+        g.set_outputs(g.call(ops.ReLU(), h))
+        result = fuse_graph(g, FusionConfig(pointwise_chains=True))
+        assert any(len(group) == 2 for group in result.groups)
+
+    def test_dequantize_fuses_behind_int8_gemm(self):
+        g = Graph("int8-epilogue")
+        x = g.input(TensorSpec((4, 16), DType.I8), "x")
+        scales = g.input(TensorSpec((4, 1)), "scales")
+        acc = g.call(ops.Int8Linear(16, 16), x)
+        g.set_outputs(g.call(ops.Dequantize(DType.F16), acc, scales))
+        result = fuse_graph(g, FusionConfig(gemm_epilogue=True))
+        assert result.fused_groups == [(acc.node_id, g.outputs[0].node_id)]
 
 
 class TestGroupCost:

@@ -5,7 +5,7 @@ import pytest
 
 from repro import ops
 from repro.errors import ShapeError
-from repro.ir import DType, TensorSpec
+from repro.ir import TensorSpec
 from tests.conftest import make_weights, run_op
 
 

@@ -1,7 +1,6 @@
 """Tests for the LLM.int8() quantization pass."""
 
 import numpy as np
-import pytest
 
 from repro import ops
 from repro.ir import DType, Graph, TensorSpec
