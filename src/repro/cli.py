@@ -11,6 +11,8 @@ Subcommands mirror the paper artifact's scripts:
 * ``inspect <model>``        — dump a lowered execution plan with per-pass
   provenance (which pass fused/placed/refined each kernel).
 * ``workload <model>``       — static workload report (op mix, params).
+* ``cache info|clear|warm``  — manage the persistent artifact store
+  (``REPRO_CACHE_DIR``) that makes fresh processes start warm.
 """
 
 from __future__ import annotations
@@ -101,6 +103,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p_work.add_argument("model")
     p_work.add_argument("--batch", type=int, default=1)
     p_work.set_defaults(handler=_cmd_workload)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or manage the persistent artifact store"
+    )
+    p_cache.add_argument(
+        "action", choices=("info", "clear", "warm"),
+        help="info: show store state; clear: delete all entries;"
+        " warm: pre-populate by running every figure/table harness",
+    )
+    p_cache.set_defaults(handler=_cmd_cache)
 
     return parser
 
@@ -202,10 +214,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         rows.append(row)
     print(render_table(rows))
     hits = sum(result.cache_info.get("hits", {}).values())
+    disk_hits = sum(result.cache_info.get("disk_hits", {}).values())
     misses = sum(result.cache_info.get("misses", {}).values())
+    # pool runs (--workers > 1) hit per-worker caches: the parent-side
+    # delta printed here is legitimately all zeros for them.
     print(
         f"\n{len(result.records)} points in {result.wall_s:.2f}s"
-        f" (cache: {hits} hits, {misses} misses)"
+        f" (cache: {hits} hits, {disk_hits} disk hits, {misses} misses)"
     )
     if args.csv:
         path = write_csv(rows, "sweep", args.csv)
@@ -274,6 +289,57 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     print()
     print("non-GEMM variants:")
     print(render_table(report.variant_rows()))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.sweep.cache import PLAN_CACHE
+
+    store = PLAN_CACHE.store
+    if store is None:
+        print(
+            "persistent artifact store disabled"
+            " (REPRO_CACHE_DIR is set to 0/off/empty)"
+        )
+        return 0 if args.action == "info" else 2
+
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.directory}")
+        return 0
+
+    if args.action == "warm":
+        started = time.perf_counter()
+        for name in sorted(EXPERIMENTS):
+            step = time.perf_counter()
+            EXPERIMENTS[name]()
+            print(f"  {name}: {time.perf_counter() - step:.2f}s")
+        print(f"warmed in {time.perf_counter() - started:.2f}s")
+
+    info = store.info()
+    print(
+        render_table(
+            [
+                {
+                    "directory": info.directory,
+                    "schema": f"v{info.schema_version}",
+                    "code": info.fingerprint[:12],
+                    "entries": info.entries,
+                    "size_mb": round(info.total_bytes / 1e6, 1),
+                    "cap_mb": round(info.max_bytes / 1e6, 1),
+                }
+            ]
+        )
+    )
+    if info.entries_by_kind:
+        print()
+        print(
+            render_table(
+                [{"kind": k, "entries": v} for k, v in info.entries_by_kind.items()]
+            )
+        )
     return 0
 
 

@@ -190,7 +190,9 @@ class DeploymentFlow(abc.ABC):
         manager = PassManager(
             (RetargetPass(source), SyncInsertionPass(), MetadataElisionPass())
         )
-        state = manager.run(source.graph, use_gpu)
+        # a plan served from the persistent store may hold a lazy GraphRef;
+        # re-targeting walks graph structure, so resolve it here.
+        state = manager.run(source.graph.materialize(), use_gpu)
         return self._finalize(state)
 
     def _finalize(self, state: LoweringState) -> ExecutionPlan:

@@ -16,7 +16,7 @@ from repro.ir.node import Node
 from repro.flows.fusion import group_category
 from repro.flows.passes.manager import LoweringPass
 from repro.flows.passes.state import KernelDraft, LoweringState
-from repro.flows.plan import group_cost
+from repro.flows.plan import group_costs_batch
 
 
 class KernelConstructionPass(LoweringPass):
@@ -47,6 +47,10 @@ class KernelConstructionPass(LoweringPass):
         collapse = self.collapse
         use_gpu = state.use_gpu
         record = state.record_provenance
+        # fused groups need boundary-aware costs; evaluate them all in one
+        # batched graph walk instead of a per-group membership analysis.
+        fused_groups = [group for group in state.groups if len(group) > 1]
+        fused_costs = iter(group_costs_batch(graph, fused_groups))
         drafts: list[KernelDraft] = []
         for group, device in zip(state.groups, state.devices):
             if len(group) == 1:
@@ -74,7 +78,7 @@ class KernelConstructionPass(LoweringPass):
                     op_kinds=tuple(nodes[i].op.kind for i in group),
                     category=group_category(graph, group),
                     device=device,
-                    cost=group_cost(graph, group),
+                    cost=next(fused_costs),
                     dtype=node_dtype(first),
                     # fused kernels are generated, not hand-written
                     is_custom=False,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import NamedTuple
+from typing import NamedTuple, Sequence
 
 from repro.errors import PlanError
 from repro.hardware.device import DeviceKind
@@ -53,9 +53,16 @@ class PlannedKernel(NamedTuple):
 
 @dataclass
 class ExecutionPlan:
-    """A lowered graph, ready for simulation."""
+    """A lowered graph, ready for simulation.
 
-    graph: Graph
+    ``graph`` is normally the :class:`~repro.ir.graph.Graph` the plan was
+    lowered from; plans served by the persistent artifact store may instead
+    carry a lazy :class:`~repro.sweep.cache.GraphRef` (same ``content_hash``
+    /``materialize``/``name`` surface), which the rare structure-walking
+    paths resolve on demand — the profiling hot path never does.
+    """
+
+    graph: Graph  # or a lazy GraphRef (see docstring)
     flow: str
     dispatch_profile: str  # key into hardware.calibration.DISPATCH_PROFILES
     kernels: list[PlannedKernel]
@@ -94,6 +101,24 @@ class ExecutionPlan:
             )
         return digest.hexdigest()
 
+    def covered_node_count(self) -> int:
+        """Number of graph nodes the kernels cover, memoized.
+
+        Equals ``len(graph.compute_nodes())`` for any validated plan (the
+        kernels partition the compute nodes exactly), which lets profiling
+        report the graph's op count without touching graph structure — and,
+        for store-loaded plans, without decoding the kernel list.
+        """
+        cached = self.__dict__.get("_covered_node_count")
+        if cached is None:
+            counter = getattr(self.kernels, "covered_node_count", None)
+            if counter is not None:  # LazyKernelList: answered undecoded
+                cached = counter()
+            else:
+                cached = sum(len(k.node_ids) for k in self.kernels)
+            self.__dict__["_covered_node_count"] = cached
+        return cached
+
     def covered_node_ids(self) -> set[int]:
         covered: set[int] = set()
         for kernel in self.kernels:
@@ -102,19 +127,20 @@ class ExecutionPlan:
 
     def validate(self) -> None:
         """Every compute node appears in exactly one kernel; order respects deps."""
+        graph = self.graph.materialize()
         seen: set[int] = set()
         for kernel in self.kernels:
             for node_id in kernel.node_ids:
                 if node_id in seen:
                     raise PlanError(f"node {node_id} planned twice in {self.flow}")
                 seen.add(node_id)
-        expected = {n.node_id for n in self.graph.compute_nodes()}
+        expected = {n.node_id for n in graph.compute_nodes()}
         missing = expected - seen
         extra = seen - expected
         if missing:
-            raise PlanError(f"plan for {self.graph.name} misses nodes {sorted(missing)[:8]}")
+            raise PlanError(f"plan for {graph.name} misses nodes {sorted(missing)[:8]}")
         if extra:
-            raise PlanError(f"plan for {self.graph.name} has unknown nodes {sorted(extra)[:8]}")
+            raise PlanError(f"plan for {graph.name} has unknown nodes {sorted(extra)[:8]}")
 
     def non_gemm_fusion_rate(self) -> float:
         """Fraction of non-GEMM graph ops that were fused away (paper Table V).
@@ -130,11 +156,12 @@ class ExecutionPlan:
         return rate
 
     def _compute_non_gemm_fusion_rate(self) -> float:
+        nodes = self.graph.materialize().nodes
         non_gemm_total = 0
         non_gemm_fused = 0
         for kernel in self.kernels:
             for node_id in kernel.node_ids:
-                node = self.graph.nodes[node_id]
+                node = nodes[node_id]
                 if node.op.category is OpCategory.GEMM:
                     continue
                 non_gemm_total += 1
@@ -178,6 +205,64 @@ def group_cost(graph: Graph, node_ids: tuple[int, ...]) -> OpCost:
             if escapes:
                 written += spec.nbytes
     return OpCost(flops=flops, bytes_read=read + weight_bytes, bytes_written=written)
+
+
+def group_costs_batch(graph: Graph, groups: Sequence[tuple[int, ...]]) -> list[OpCost]:
+    """Fusion-adjusted cost of every group in one walk of the graph.
+
+    Produces exactly :func:`group_cost` of each group (integer sums are
+    exact regardless of association order), but amortizes the boundary
+    analysis: instead of per-group member sets and consumer-map probes, one
+    pass over the graph's edges classifies every value as internal or
+    escaping.  Kernel construction calls this once per lowering, which is
+    where profiling shows the cold path's per-group set arithmetic.
+    """
+    owner: dict[int, int] = {}
+    for index, group in enumerate(groups):
+        for node_id in group:
+            owner[node_id] = index
+    node_costs = graph.node_costs()
+    nodes = graph.nodes
+    count = len(groups)
+    flops = [0] * count
+    read = [0] * count
+    weights = [0] * count
+    written = [0] * count
+    #: (group, producer, port) pairs already charged as reads — a group
+    #: streams each external value once however many members consume it.
+    seen_reads: set[tuple[int, int, int]] = set()
+    #: (producer, port) values consumed outside their producer's group.
+    escapes: set[tuple[int, int]] = set()
+    get_owner = owner.get
+    for node in nodes:
+        group_index = get_owner(node.node_id)
+        if group_index is None:
+            # not in any costed group: only relevant as an outside consumer.
+            for value in node.inputs:
+                if get_owner(value.node_id) is not None:
+                    escapes.add((value.node_id, value.port))
+            continue
+        base = node_costs[node.node_id]
+        flops[group_index] += base.flops
+        weights[group_index] += node.op.weight_bytes()
+        for value in node.inputs:
+            producer = value.node_id
+            if get_owner(producer) != group_index:
+                key = (group_index, producer, value.port)
+                if key not in seen_reads:
+                    seen_reads.add(key)
+                    read[group_index] += value.spec.nbytes
+                if producer in owner:
+                    escapes.add((producer, value.port))
+    for value in graph.outputs:
+        if get_owner(value.node_id) is not None:
+            escapes.add((value.node_id, value.port))
+    for producer, port in escapes:
+        written[owner[producer]] += nodes[producer].outputs[port].nbytes
+    return [
+        OpCost(flops=flops[i], bytes_read=read[i] + weights[i], bytes_written=written[i])
+        for i in range(count)
+    ]
 
 
 def _is_graph_output(graph: Graph, node_id: int, port: int) -> bool:

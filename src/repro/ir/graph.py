@@ -18,7 +18,20 @@ from typing import Iterator, Sequence
 from repro.errors import GraphError
 from repro.ir.node import Node, Value
 from repro.ir.tensor import TensorSpec
-from repro.ops.base import InputOp, OpCategory, Operator
+from repro.ops.base import InputOp, OpCategory, OpCost, Operator
+
+#: shared zero cost for metadata-only nodes (OpCost is immutable).
+_ZERO_COST = OpCost()
+
+
+def derived_hash(tag: str, parent_hash: str) -> str:
+    """The content hash of a graph produced by deterministic derivation.
+
+    Shared by :meth:`Graph.derive_content_hash` and the sweep cache's lazy
+    :class:`~repro.sweep.cache.GraphRef`, which must be able to name a
+    registry build's hash *without* building the graph.
+    """
+    return hashlib.blake2b(f"{tag}:{parent_hash}".encode(), digest_size=16).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -55,8 +68,12 @@ class Graph:
         self.outputs: list[Value] = []
         self._scope_parts: list[str] = []
         self._scope_str = ""
-        self._name_counts: Counter[str] = Counter()
+        self._name_counts: Counter[tuple[str, str]] = Counter()
         #: memoized structural state; any mutation resets all (see _mutated).
+        #: ``_has_memo`` tracks whether any of it is populated, so the
+        #: per-append invalidation during bulk construction is one flag read
+        #: instead of five attribute writes.
+        self._has_memo = False
         self._validated = False
         self._content_hash: str | None = None
         self._consumers: dict[tuple[int, int], list[int]] | None = None
@@ -74,8 +91,10 @@ class Graph:
     def call(self, op: Operator, *args: Value, name: str | None = None) -> Value | tuple[Value, ...]:
         """Apply ``op`` to ``args``; returns one Value, or a tuple for multi-output ops."""
         node = self._append(op, args, name or op.kind)
-        values = node.values()
-        return values[0] if len(values) == 1 else values
+        outputs = node.outputs
+        if len(outputs) == 1:  # overwhelmingly common: skip the tuple round trip
+            return Value(node.node_id, 0, outputs[0])
+        return node.values()
 
     def set_outputs(self, *values: Value) -> None:
         for value in values:
@@ -95,22 +114,37 @@ class Graph:
             self._scope_str = ".".join(self._scope_parts)
 
     def _append(self, op: Operator, args: Sequence[Value], name: str) -> Node:
+        nodes = self.nodes
+        count = len(nodes)
         for value in args:
+            # inline fast path of _check_value: values minted by Node.value()
+            # share the producer's spec object, so bounds + one identity
+            # comparison settle the overwhelmingly common case.
+            if (
+                0 <= value.node_id < count
+                and 0 <= value.port < len(nodes[value.node_id].outputs)
+                and nodes[value.node_id].outputs[value.port] is value.spec
+            ):
+                continue
             self._check_value(value)
         out_specs = op.infer_spec([v.spec for v in args])
         node = Node(
-            node_id=len(self.nodes),
+            node_id=count,
             op=op,
             inputs=tuple(args),
             outputs=tuple(out_specs),
             name=self._unique_name(name),
             scope=self._scope_str,
         )
-        self.nodes.append(node)
-        self._mutated()
+        nodes.append(node)
+        if self._has_memo:
+            self._mutated()
         return node
 
     def _mutated(self) -> None:
+        if not self._has_memo:
+            return
+        self._has_memo = False
         self._validated = False
         self._content_hash = None
         self._consumers = None
@@ -118,9 +152,9 @@ class Graph:
         self._compute_nodes = None
 
     def _unique_name(self, base: str) -> str:
-        key = self._scope_str + "/" + base
-        self._name_counts[key] += 1
-        count = self._name_counts[key]
+        key = (self._scope_str, base)
+        count = self._name_counts[key] + 1
+        self._name_counts[key] = count
         return base if count == 1 else f"{base}_{count}"
 
     def _check_value(self, value: Value) -> None:
@@ -146,10 +180,16 @@ class Graph:
     def input_nodes(self) -> list[Node]:
         return [self.nodes[i] for i in self.input_ids]
 
+    def materialize(self) -> "Graph":
+        """This graph; mirrors :class:`~repro.sweep.cache.GraphRef` so cache
+        consumers can handle built graphs and lazy references uniformly."""
+        return self
+
     def compute_nodes(self) -> list[Node]:
         """All nodes except input placeholders (memoized; treat as read-only)."""
         if self._compute_nodes is None:
             self._compute_nodes = [n for n in self.nodes if not n.is_placeholder]
+            self._has_memo = True
         return self._compute_nodes
 
     def consumers(self) -> dict[tuple[int, int], list[int]]:
@@ -164,6 +204,7 @@ class Graph:
                 for value in node.inputs:
                     uses.setdefault((value.node_id, value.port), []).append(node.node_id)
             self._consumers = uses
+            self._has_memo = True
         return self._consumers
 
     def node_costs(self) -> list:
@@ -173,12 +214,34 @@ class Graph:
         every flow lowering the graph (placement, fusion grouping, kernel
         construction), so computing them once per structural version removes
         the dominant repeated work of multi-flow/multi-device sweeps.
+
+        Most operators use the stock streaming cost model (inputs in, outputs
+        out, zero flops); those are evaluated inline against the memoized
+        per-spec byte counts, skipping the method dispatch and the temporary
+        spec lists that a generic ``op.cost(...)`` call pays for every node.
+        The values are identical to the generic path's — integer sums in a
+        different association order.
         """
         if self._node_costs is None:
-            self._node_costs = [
-                node.op.cost([v.spec for v in node.inputs], list(node.outputs))
-                for node in self.nodes
-            ]
+            default_cost = Operator.cost
+            costs: list = []
+            append = costs.append
+            for node in self.nodes:
+                op = node.op
+                if type(op).cost is not default_cost:
+                    append(op.cost([v.spec for v in node.inputs], list(node.outputs)))
+                elif op.is_metadata_only:
+                    append(_ZERO_COST)
+                else:
+                    read = op.weight_bytes()
+                    for value in node.inputs:
+                        read += value.spec.nbytes
+                    written = 0
+                    for spec in node.outputs:
+                        written += spec.nbytes
+                    append(OpCost(0, read, written))
+            self._node_costs = costs
+            self._has_memo = True
         return self._node_costs
 
     def validate(self) -> None:
@@ -203,6 +266,7 @@ class Graph:
         for value in self.outputs:
             self._check_value(value)
         self._validated = True
+        self._has_memo = True
 
     def content_hash(self) -> str:
         """Structural fingerprint of the graph, memoized until mutation.
@@ -231,6 +295,7 @@ class Graph:
             parts.append(str([(v[0], v[1]) for v in self.outputs]))
             digest = hashlib.blake2b("\x00".join(parts).encode(), digest_size=16)
             self._content_hash = digest.hexdigest()
+            self._has_memo = True
         return self._content_hash
 
     def derive_content_hash(self, tag: str, parent_hash: str) -> str:
@@ -240,8 +305,8 @@ class Graph:
         (e.g. the LLM.int8() rewrite), ``hash(tag, parent)`` identifies the
         structure exactly as well as re-walking it, at none of the cost.
         """
-        digest = hashlib.blake2b(f"{tag}:{parent_hash}".encode(), digest_size=16)
-        self._content_hash = digest.hexdigest()
+        self._content_hash = derived_hash(tag, parent_hash)
+        self._has_memo = True
         return self._content_hash
 
     def stats(self) -> GraphStats:

@@ -70,7 +70,12 @@ def profile_graph(
     seed: int = 0,
     model_name: str | None = None,
 ) -> ProfileResult:
-    """Profile one model graph under one deployment flow on one platform."""
+    """Profile one model graph under one deployment flow on one platform.
+
+    ``graph`` may also be a lazy :class:`~repro.sweep.cache.GraphRef`: the
+    whole profile is derivable from the cached/stored plan and memory
+    profile, so when both tiers are warm the graph is never built.
+    """
     if use_gpu and not platform.has_gpu:
         use_gpu = False
     plan = cached_lower(flow, graph, use_gpu)
@@ -113,7 +118,10 @@ def profile_graph(
         gpu_energy_j=baseline.gpu_energy_j * scale,
         cpu_energy_j=baseline.cpu_energy_j * scale,
         peak_memory_bytes=memory.peak_total_bytes,
-        num_graph_ops=len(graph.compute_nodes()),
+        # the kernels partition the graph's compute nodes exactly (enforced
+        # by ExecutionPlan.validate at lowering time), so this equals
+        # len(graph.compute_nodes()) without touching graph structure.
+        num_graph_ops=plan.covered_node_count(),
         num_kernels=plan.num_kernels,
         non_gemm_fusion_rate=plan.non_gemm_fusion_rate(),
         plan=plan,

@@ -152,6 +152,28 @@ class ProfileResult:
             ]
         return self._records
 
+    def detach(self) -> "ProfileResult":
+        """Materialize the records and drop the plan/array backrefs.
+
+        A ProfileResult lazily references its ExecutionPlan (and through it
+        the whole Graph); shipping one independent copy per record over IPC
+        — or pinning one per record in a long-lived result set — grows with
+        the grid.  ``detach`` forces the per-kernel :class:`OpRecord` list
+        into existence while the plan is at hand, then clears every lazy
+        field so the result is self-contained.  Aggregations fall back to
+        the record-order loops, which are bit-identical to the array paths.
+        Returns ``self`` for chaining.  New lazy fields must be cleared here
+        rather than at call sites.
+        """
+        self.records  # force materialization while the plan is available
+        self._plan = None
+        self._kernel_latency_s = None
+        self._kernel_latency_std_s = None
+        self._bound_code = None
+        self._gemm_mask = None
+        self._group_pos = None
+        return self
+
     # -- aggregation -----------------------------------------------------------
 
     @property

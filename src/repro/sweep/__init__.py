@@ -4,6 +4,8 @@ Layers (see the README architecture section):
 
 * :mod:`repro.sweep.cache`  — :class:`PlanCache`, the LRU memoization of
   model builds, plan lowerings, graph transforms, and memory profiles.
+* :mod:`repro.sweep.store`  — :class:`ArtifactStore`, the persistent
+  content-addressed disk tier behind the PlanCache (``REPRO_CACHE_DIR``).
 * :mod:`repro.sweep.spec`   — :class:`SweepSpec`/:class:`SweepPoint`,
   declarative cross-product grids with explicit nesting order.
 * :mod:`repro.sweep.runner` — :class:`SweepRunner`, serial or
@@ -17,6 +19,7 @@ indirection keeps that dependency chain acyclic at import time.
 from repro.sweep.cache import (
     PLAN_CACHE,
     CacheStats,
+    GraphRef,
     PlanCache,
     cached_build_model,
     cached_lower,
@@ -24,6 +27,13 @@ from repro.sweep.cache import (
     cached_transform,
     get_transform,
     register_transform,
+)
+from repro.sweep.store import (
+    STORE_SCHEMA_VERSION,
+    ArtifactStore,
+    StoreInfo,
+    code_fingerprint,
+    default_cache_dir,
 )
 
 _LAZY = {
@@ -51,12 +61,18 @@ def __getattr__(name: str):
 
 __all__ = [
     "PLAN_CACHE",
+    "STORE_SCHEMA_VERSION",
+    "ArtifactStore",
     "CacheStats",
+    "GraphRef",
     "PlanCache",
+    "StoreInfo",
     "cached_build_model",
     "cached_lower",
     "cached_profile_memory",
     "cached_transform",
+    "code_fingerprint",
+    "default_cache_dir",
     "get_transform",
     "register_transform",
     *sorted(_LAZY),

@@ -4,20 +4,35 @@ The figure/table harnesses sweep large cross-products in which most of the
 per-point work is identical: the same model graph is rebuilt for every
 platform, the same plan re-lowered for every device combination, and the same
 liveness walk repeated per profile.  :class:`PlanCache` memoizes the four
-expensive, structurally-pure stages behind explicit, size-bounded LRU maps:
+expensive, structurally-pure stages behind a **two-tier cache**:
 
-* ``build_model``       keyed by ``(model, batch_size, overrides)``
-* ``DeploymentFlow.lower`` keyed by
-  ``(flow.pipeline_signature(), graph.content_hash(), use_gpu)``
-* ``profile_memory``    keyed by ``graph.content_hash()``
-* graph transforms (e.g. LLM.int8()) keyed by ``(name, graph.content_hash())``
+* an in-memory, size-bounded LRU (always on) over
+
+  - ``build_model``       keyed by ``(model, batch_size, overrides)``
+  - ``DeploymentFlow.lower`` keyed by
+    ``(flow.pipeline_signature(), graph.content_hash(), use_gpu)``
+  - ``profile_memory``    keyed by ``graph.content_hash()``
+  - graph transforms (e.g. LLM.int8()) keyed by ``(name, graph.content_hash())``
+
+* an optional persistent :class:`~repro.sweep.store.ArtifactStore` consulted
+  on LRU misses for plans, memory profiles, and transform outputs, so fresh
+  processes (pytest runs, CLI calls, CI jobs) start warm instead of cold.
 
 Correctness rests on :meth:`repro.ir.graph.Graph.content_hash`: any mutation
 of a graph changes its hash, so stale plan/memory entries can never be
-returned for a modified graph (they simply age out of the LRU).
+returned for a modified graph (they simply age out of the LRU).  Disk
+entries additionally fold the store schema version and a fingerprint of the
+``repro`` source tree into every key, so entries written by different code
+are unreachable rather than wrong.
+
+Because registry builds are deterministic, a build key *is* a content
+identity; :class:`GraphRef` exploits that to name a graph's hash without
+building it, which lets a warm store serve a whole profiling sweep without
+constructing a single node.
 
 A process-global :data:`PLAN_CACHE` serves the profiler and the sweep runner;
-worker processes of a parallel sweep each get their own instance.
+worker processes of a parallel sweep each get their own in-memory instance
+but share the persistent store directory (writes are atomic).
 """
 
 from __future__ import annotations
@@ -26,14 +41,22 @@ import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
+from repro.ir.graph import Graph, derived_hash
 from repro.models import build_model
+from repro.sweep.store import (
+    ArtifactStore,
+    StoredTransformResult,
+    external_fingerprint,
+    plan_from_payload,
+    plan_payload,
+    transform_payload,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.flows.base import DeploymentFlow
     from repro.flows.plan import ExecutionPlan
-    from repro.ir.graph import Graph
     from repro.runtime.memory import MemoryProfile
 
 #: registered graph transforms usable from sweep specs (name -> callable
@@ -63,12 +86,52 @@ def _register_builtin_transforms() -> None:
     register_transform("llm-int8", quantize_llm_int8, replace=True)
 
 
+class GraphRef:
+    """A lazy handle to a registry-built graph.
+
+    Registry builders are deterministic, so the build key identifies the
+    structure exactly: the content hash is the same derivation
+    :meth:`PlanCache.graph` stamps on built graphs, computable without
+    constructing a single node.  Consumers that only need the hash (plan and
+    memory lookups against a warm store) never trigger the build;
+    :meth:`materialize` builds — and memoizes via the cache — on first
+    structural access.  :class:`~repro.ir.graph.Graph` exposes the same
+    ``content_hash``/``materialize``/``name`` surface, so cache consumers
+    handle both uniformly.
+    """
+
+    __slots__ = ("name", "_content_hash", "_builder", "_graph")
+
+    def __init__(self, name: str, content_hash: str, builder: Callable[[], Graph]):
+        self.name = name
+        self._content_hash = content_hash
+        self._builder = builder
+        self._graph: Graph | None = None
+
+    def content_hash(self) -> str:
+        return self._content_hash
+
+    def materialize(self) -> Graph:
+        if self._graph is None:
+            self._graph = self._builder()
+        return self._graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "built" if self._graph is not None else "lazy"
+        return f"<GraphRef {self.name} {self._content_hash[:8]} {state}>"
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss counters per memoized stage."""
+    """Hit/miss counters per memoized stage.
+
+    ``hits`` are served from the in-memory LRU, ``disk_hits`` from the
+    persistent store, ``misses`` were computed from scratch.
+    """
 
     hits: dict[str, int] = field(default_factory=dict)
     misses: dict[str, int] = field(default_factory=dict)
+    disk_hits: dict[str, int] = field(default_factory=dict)
     evictions: int = 0
 
     def hit(self, kind: str) -> None:
@@ -77,10 +140,14 @@ class CacheStats:
     def miss(self, kind: str) -> None:
         self.misses[kind] = self.misses.get(kind, 0) + 1
 
+    def disk_hit(self, kind: str) -> None:
+        self.disk_hits[kind] = self.disk_hits.get(kind, 0) + 1
+
     def snapshot(self) -> dict[str, object]:
         return {
             "hits": dict(self.hits),
             "misses": dict(self.misses),
+            "disk_hits": dict(self.disk_hits),
             "evictions": self.evictions,
         }
 
@@ -97,16 +164,24 @@ class CacheStats:
         return {
             "hits": diff("hits"),
             "misses": diff("misses"),
+            "disk_hits": diff("disk_hits"),
             "evictions": current["evictions"] - int(before.get("evictions", 0)),  # type: ignore[arg-type]
         }
 
 
 class PlanCache:
-    """Size-bounded LRU cache over the build -> lower -> profile pipeline."""
+    """Two-tier cache over the build -> lower -> profile pipeline.
 
-    def __init__(self, max_entries: int = 256):
+    Tier 1 is a size-bounded in-memory LRU; tier 2 (``store``, optional) is
+    a content-addressed on-disk :class:`~repro.sweep.store.ArtifactStore`
+    consulted on LRU misses for plans, memory profiles, and transform
+    outputs.  Every disk hit is promoted into the LRU.
+    """
+
+    def __init__(self, max_entries: int = 256, store: ArtifactStore | None = None):
         self.max_entries = max_entries
         self.stats = CacheStats()
+        self.store = store
         self._entries: OrderedDict[tuple, object] = OrderedDict()
         self._lock = threading.Lock()
         self._enabled = True
@@ -114,12 +189,13 @@ class PlanCache:
     # -- generic LRU plumbing ----------------------------------------------
 
     def _get(self, key: tuple) -> object | None:
+        """LRU lookup; counts a hit when present (misses are counted by the
+        compute sites, so a disk hit is never recorded as a miss)."""
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.stats.hit(key[0])
                 return self._entries[key]
-            self.stats.miss(key[0])
             return None
 
     def _peek(self, key: tuple) -> object | None:
@@ -135,17 +211,32 @@ class PlanCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
 
+    def _store_get(self, key: tuple) -> object | None:
+        """Disk-tier lookup; counts and promotes on hit."""
+        if self.store is None:
+            return None
+        value = self.store.get(key)
+        if value is not None:
+            self.stats.disk_hit(key[0])
+        return value
+
+    def _store_put(self, key: tuple, value: object) -> None:
+        if self.store is not None:
+            self.store.put(key, value)
+
     def __len__(self) -> int:
         return len(self._entries)
 
     def clear(self) -> None:
+        """Reset the in-memory tier and counters (the disk store is untouched;
+        use ``self.store.clear()`` for that)."""
         with self._lock:
             self._entries.clear()
             self.stats = CacheStats()
 
     @contextmanager
     def disabled(self) -> Iterator[None]:
-        """Temporarily bypass the cache (used by benchmarks to measure cold paths)."""
+        """Temporarily bypass both tiers (benchmarks measure cold paths this way)."""
         previous = self._enabled
         self._enabled = False
         try:
@@ -155,11 +246,40 @@ class PlanCache:
 
     # -- memoized stages ----------------------------------------------------
 
-    def graph(self, model: str, batch_size: int = 1, **overrides) -> "Graph":
+    @staticmethod
+    def _build_key(model: str, batch_size: int, overrides: dict) -> tuple:
+        return ("graph", model, batch_size, tuple(sorted(overrides.items())))
+
+    @staticmethod
+    def _build_identity(model: str, key: tuple) -> str:
+        """The derivation string a build stamp hashes.
+
+        Folds the fingerprint of an *out-of-tree* builder's source file, so a
+        user-registered model whose builder code changes gets a new content
+        hash (and thus fresh plan/memory entries in the persistent store)
+        even though the build key is unchanged.  In-tree builders contribute
+        nothing — the store's source-tree fingerprint already covers them.
+        """
+        from repro.models import get_model
+
+        external = external_fingerprint(get_model(model).builder)
+        return f"{key}|{external}" if external else f"{key}"
+
+    @staticmethod
+    def _flow_identity(flow: "DeploymentFlow") -> str:
+        """Out-of-tree code fingerprint of a flow and its passes (see above);
+        "" for fully in-tree flows.  Memoized on the flow instance."""
+        cached = flow.__dict__.get("_external_fingerprint")
+        if cached is None:
+            cached = external_fingerprint(flow, *flow.pipeline.passes)
+            flow.__dict__["_external_fingerprint"] = cached
+        return cached
+
+    def graph(self, model: str, batch_size: int = 1, **overrides) -> Graph:
         """Memoized ``build_model``; overrides must be hashable (e.g. seq_len)."""
         if not self._enabled:
             return build_model(model, batch_size=batch_size, **overrides)
-        key = ("graph", model, batch_size, tuple(sorted(overrides.items())))
+        key = self._build_key(model, batch_size, overrides)
         entry = self._get(key)
         if entry is not None:
             cached, stamp = entry
@@ -168,15 +288,41 @@ class PlanCache:
             # rebuild fresh instead of handing out the modified structure.
             if cached.content_hash() == stamp:
                 return cached
+        self.stats.miss("graph")
         cached = build_model(model, batch_size=batch_size, **overrides)
         # registry builders are deterministic, so the build key identifies
         # the structure exactly; stamping it as the content hash spares a
         # full structural walk per graph (any later mutation clears it).
-        stamp = cached.derive_content_hash("build", f"{key}")
+        stamp = cached.derive_content_hash("build", self._build_identity(model, key))
         self._put(key, (cached, stamp))
         return cached
 
-    def plan(self, flow: "DeploymentFlow", graph: "Graph", use_gpu: bool) -> "ExecutionPlan":
+    def graph_ref(self, model: str, batch_size: int = 1, **overrides) -> Graph | GraphRef:
+        """A graph handle that defers building until structure is touched.
+
+        Returns the built graph directly when the LRU already holds it;
+        otherwise a :class:`GraphRef` carrying the build key's derived
+        content hash.  Sweep points resolve graphs through this, so a warm
+        persistent store can serve their plans and memory profiles while the
+        graph itself is never constructed.
+        """
+        if not self._enabled:
+            return build_model(model, batch_size=batch_size, **overrides)
+        key = self._build_key(model, batch_size, overrides)
+        entry = self._get(key)
+        if entry is not None:
+            cached, stamp = entry
+            if cached.content_hash() == stamp:
+                return cached
+        return GraphRef(
+            model,
+            derived_hash("build", self._build_identity(model, key)),
+            lambda: self.graph(model, batch_size=batch_size, **overrides),
+        )
+
+    def plan(
+        self, flow: "DeploymentFlow", graph: Graph | GraphRef, use_gpu: bool
+    ) -> "ExecutionPlan":
         """Memoized ``flow.lower(graph, use_gpu)``.
 
         Keyed by the flow's :meth:`~repro.flows.base.DeploymentFlow.pipeline_signature`
@@ -184,77 +330,128 @@ class PlanCache:
         over the flow's pass pipeline and tuning knobs, so cache entries
         survive pass-internal refactors but can never be served to a flow
         variant whose knobs differ (e.g. a subclass that keeps the name).
-        When the sibling plan (same pipeline/graph, other device class) is
-        already cached and the flow places uniformly, the miss is served by
-        re-targeting that plan instead of a full fusion + cost re-lowering.
+        Misses fall through to the persistent store (the plan is rebuilt
+        around the caller's graph handle without lowering); a full miss is
+        served by re-targeting the sibling device's plan when the flow
+        places uniformly, else by a fresh lowering — and the result is
+        persisted for future processes.
         """
         if not self._enabled:
-            return flow.lower(graph, use_gpu=use_gpu)
+            return flow.lower(graph.materialize(), use_gpu=use_gpu)
         graph_hash = graph.content_hash()
-        pipeline_sig = flow.pipeline_signature()
+        # the pipeline signature covers declared knobs; the flow identity
+        # additionally pins the *source* of any out-of-tree flow or pass, so
+        # editing custom lowering code can never reuse a stale store entry.
+        pipeline_sig = flow.pipeline_signature() + self._flow_identity(flow)
         key = ("plan", pipeline_sig, graph_hash, use_gpu)
         cached = self._get(key)
-        if cached is None:
-            sibling = None
-            if flow.supports_derivation():
-                sibling = self._peek(("plan", pipeline_sig, graph_hash, not use_gpu))
-            if sibling is not None:
-                cached = flow.derive_plan(sibling, use_gpu)
-            else:
-                cached = flow.lower(graph, use_gpu=use_gpu)
-            self._put(key, cached)
-        return cached  # type: ignore[return-value]
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        payload = self._store_get(key)
+        if payload is not None:
+            plan = plan_from_payload(payload, graph)
+            self._put(key, plan)
+            return plan
+        self.stats.miss("plan")
+        sibling = None
+        if flow.supports_derivation():
+            sibling = self._peek(("plan", pipeline_sig, graph_hash, not use_gpu))
+        if sibling is not None:
+            plan = flow.derive_plan(sibling, use_gpu)
+        else:
+            plan = flow.lower(graph.materialize(), use_gpu=use_gpu)
+        if self.store is not None:  # don't pay the columnar encoding for a no-op
+            self.store.put(key, plan_payload(plan))
+        self._put(key, plan)
+        return plan
 
-    def memory(self, graph: "Graph") -> "MemoryProfile":
+    def memory(self, graph: Graph | GraphRef) -> "MemoryProfile":
         """Memoized liveness analysis keyed by graph content hash."""
         from repro.runtime.memory import profile_memory
 
         if not self._enabled:
-            return profile_memory(graph)
+            return profile_memory(graph.materialize())
         key = ("memory", graph.content_hash())
         cached = self._get(key)
         if cached is None:
-            cached = profile_memory(graph)
+            cached = self._store_get(key)
+            if cached is None:
+                self.stats.miss("memory")
+                cached = profile_memory(graph.materialize())
+                self._store_put(key, cached)
             self._put(key, cached)
         return cached  # type: ignore[return-value]
 
-    def transform(self, name: str, graph: "Graph") -> Any:
-        """Memoized registered graph transform (returns the transform's result)."""
+    def transform(self, name: str, graph: Graph | GraphRef) -> Any:
+        """Memoized registered graph transform (returns the transform's result).
+
+        The persistent tier stores only the transform's *stats*: the
+        rewritten graph's content hash is a deterministic derivation of the
+        parent's, which is everything the plan and memory caches key on, so
+        a disk hit yields a :class:`~repro.sweep.store.StoredTransformResult`
+        whose graph is a lazy ref that re-runs the transform only if
+        something actually walks the rewritten structure.
+        """
         fn = get_transform(name)
         if not self._enabled:
-            return fn(graph)
+            return fn(graph.materialize())
         parent_hash = graph.content_hash()
-        key = ("transform", name, parent_hash)
+        key = ("transform", name, parent_hash, external_fingerprint(fn))
         cached = self._get(key)
-        if cached is None:
-            cached = fn(graph)
-            result_graph = getattr(cached, "graph", None)
-            if result_graph is not None:
-                # registered transforms are deterministic, so the rewritten
-                # graph's identity derives from the parent's — skip re-hashing
-                # the (often much larger) transformed structure.
-                result_graph.derive_content_hash(name, parent_hash)
+        if cached is not None:
+            return cached
+        transformed_hash = derived_hash(name, parent_hash)
+
+        def rebuild() -> Graph:
+            result = fn(graph.materialize())
+            rebuilt = result.graph
+            rebuilt.derive_content_hash(name, parent_hash)
+            return rebuilt
+
+        payload = self._store_get(key)
+        if payload is not None:
+            if payload["full"] is not None:
+                cached = payload["full"]
+            else:
+                cached = StoredTransformResult(
+                    graph=GraphRef(f"{name}", transformed_hash, rebuild),
+                    stats=payload["stats"],
+                )
             self._put(key, cached)
+            return cached
+        self.stats.miss("transform")
+        cached = fn(graph.materialize())
+        result_graph = getattr(cached, "graph", None)
+        if result_graph is not None:
+            # registered transforms are deterministic, so the rewritten
+            # graph's identity derives from the parent's — skip re-hashing
+            # the (often much larger) transformed structure.
+            result_graph.derive_content_hash(name, parent_hash)
+        self._store_put(key, transform_payload(cached))
+        self._put(key, cached)
         return cached
 
 
-#: the process-global cache used by the profiler and sweep runner.
-PLAN_CACHE = PlanCache()
+#: the process-global cache used by the profiler and sweep runner; its disk
+#: tier follows REPRO_CACHE_DIR (set to 0/off/empty to disable).
+PLAN_CACHE = PlanCache(store=ArtifactStore.from_env())
 
 
-def cached_build_model(model: str, batch_size: int = 1, **overrides) -> "Graph":
+def cached_build_model(model: str, batch_size: int = 1, **overrides) -> Graph:
     return PLAN_CACHE.graph(model, batch_size=batch_size, **overrides)
 
 
-def cached_lower(flow: "DeploymentFlow", graph: "Graph", use_gpu: bool) -> "ExecutionPlan":
+def cached_lower(
+    flow: "DeploymentFlow", graph: Graph | GraphRef, use_gpu: bool
+) -> "ExecutionPlan":
     return PLAN_CACHE.plan(flow, graph, use_gpu)
 
 
-def cached_profile_memory(graph: "Graph") -> "MemoryProfile":
+def cached_profile_memory(graph: Graph | GraphRef) -> "MemoryProfile":
     return PLAN_CACHE.memory(graph)
 
 
-def cached_transform(name: str, graph: "Graph") -> Any:
+def cached_transform(name: str, graph: Graph | GraphRef) -> Any:
     return PLAN_CACHE.transform(name, graph)
 
 

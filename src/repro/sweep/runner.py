@@ -24,7 +24,7 @@ from repro.flows import get_flow
 from repro.hardware import get_platform
 from repro.profiler.profiler import profile_graph
 from repro.profiler.records import ProfileResult
-from repro.sweep.cache import PLAN_CACHE, cached_build_model, cached_transform
+from repro.sweep.cache import PLAN_CACHE, cached_transform
 from repro.sweep.spec import SweepPoint, SweepSpec
 
 
@@ -41,7 +41,15 @@ class SweepRecord:
 
 @dataclass
 class SweepResult:
-    """All records of one sweep run, in grid order."""
+    """All records of one sweep run, in grid order.
+
+    ``cache_info`` is the :class:`~repro.sweep.cache.CacheStats` delta this
+    run produced on the process-global cache: per-stage ``hits`` (in-memory
+    LRU), ``disk_hits`` (persistent artifact store), and ``misses``
+    (computed from scratch).  Worker-pool runs (``workers > 1``) hit each
+    worker's own per-process cache, so the parent-side delta is empty for
+    them — only serial runs report meaningful counters.
+    """
 
     spec: SweepSpec
     records: list[SweepRecord] = field(default_factory=list)
@@ -62,30 +70,41 @@ def run_point(point: SweepPoint) -> SweepRecord:
     if not point.use_gpu:
         platform = platform.cpu_only()
     overrides = {} if point.seq_len is None else {"seq_len": point.seq_len}
+    transform_stats = None
+    model_name = point.model
     try:
-        graph = cached_build_model(point.model, point.batch_size, **overrides)
+        # a lazy handle: the build key alone names the graph's content hash,
+        # so when the plan and memory caches (either tier) are warm the model
+        # is never actually constructed.  Builders reject unknown overrides
+        # with a TypeError, which surfaces at materialization — immediately
+        # with the cache disabled, or anywhere inside the transform or
+        # profile otherwise — hence the wide try.
+        graph = PLAN_CACHE.graph_ref(point.model, point.batch_size, **overrides)
+        if point.transform:
+            transformed = cached_transform(point.transform, graph)
+            graph = transformed.graph
+            transform_stats = getattr(transformed, "stats", None)
+            model_name = f"{point.model}-{point.transform}"
+        profile = profile_graph(
+            graph,
+            get_flow(point.flow),
+            platform,
+            use_gpu=point.use_gpu,
+            batch_size=point.batch_size,
+            iterations=point.iterations,
+            seed=point.seed,
+            model_name=model_name,
+        )
     except TypeError as exc:
+        # only translate the builder's rejection of a sweep override (the
+        # build is lazy, so it surfaces mid-profile); an unrelated TypeError
+        # from a transform or the simulator keeps its own traceback.
+        if not overrides or not any(key in str(exc) for key in overrides):
+            raise
         raise RegistryError(
             f"model {point.model!r} does not accept sweep overrides {overrides}"
             f" ({exc}); drop the seq_len axis or restrict it to sequence models"
         ) from None
-    transform_stats = None
-    model_name = point.model
-    if point.transform:
-        transformed = cached_transform(point.transform, graph)
-        graph = transformed.graph
-        transform_stats = getattr(transformed, "stats", None)
-        model_name = f"{point.model}-{point.transform}"
-    profile = profile_graph(
-        graph,
-        get_flow(point.flow),
-        platform,
-        use_gpu=point.use_gpu,
-        batch_size=point.batch_size,
-        iterations=point.iterations,
-        seed=point.seed,
-        model_name=model_name,
-    )
     return SweepRecord(point=point, profile=profile, transform_stats=transform_stats)
 
 
@@ -94,18 +113,12 @@ def _run_point_for_pool(point: SweepPoint) -> SweepRecord:
 
     A ProfileResult lazily references its ExecutionPlan (and through it the
     whole Graph); shipping one independent copy per record back over IPC
-    would grow linearly with the grid.  Materialize the per-kernel records
-    (still needed by reports) and drop the plan/array backrefs.
+    would grow linearly with the grid.  ``detach`` materializes the
+    per-kernel records (still needed by reports) and drops every lazy
+    backref — including any added after this wrapper was written.
     """
     record = run_point(point)
-    profile = record.profile
-    profile.records  # force materialization while the plan is at hand
-    profile._plan = None
-    profile._kernel_latency_s = None
-    profile._kernel_latency_std_s = None
-    profile._bound_code = None
-    profile._gemm_mask = None
-    profile._group_pos = None
+    record.profile.detach()
     return record
 
 

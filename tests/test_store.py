@@ -1,0 +1,349 @@
+"""Persistent artifact store tests: correctness under every failure mode.
+
+The product invariant is that the disk tier can make runs faster but never
+different: outputs must be byte-identical with the store cold, warm,
+disabled, or corrupted, across processes, schema versions, and code
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.flows import get_flow
+from repro.hardware import PLATFORM_A
+from repro.models import build_model
+from repro.profiler import profile_graph
+from repro.profiler.profiler import profile_graph as profile_graph_direct
+from repro.sweep.cache import GraphRef, PlanCache
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import ArtifactStore, LazyKernelList, plan_from_payload, plan_payload
+
+MODEL = "segformer"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_store(tmp_path, **kwargs) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store", **kwargs)
+
+
+def profile_with(cache: PlanCache, model: str = MODEL, seed: int = 3):
+    graph = cache.graph_ref(model, batch_size=1)
+    flow = get_flow("pytorch")
+    plan = cache.plan(flow, graph, use_gpu=True)
+    memory = cache.memory(graph)
+    return plan, memory
+
+
+class TestRoundTrip:
+    def test_plan_served_from_disk_is_equivalent(self, tmp_path):
+        store = make_store(tmp_path)
+        writer = PlanCache(store=store)
+        plan, memory = profile_with(writer)
+
+        reader = PlanCache(store=make_store(tmp_path))
+        loaded_plan, loaded_memory = profile_with(reader)
+        assert reader.stats.disk_hits.get("plan") == 1
+        assert reader.stats.disk_hits.get("memory") == 1
+        assert reader.stats.misses == {}
+        assert loaded_memory == memory
+        assert loaded_plan.content_hash() == plan.content_hash()
+        # lazily-decoded kernels reconstruct the exact PlannedKernel list
+        assert isinstance(loaded_plan.kernels, LazyKernelList)
+        assert loaded_plan.kernels == plan.kernels
+        assert loaded_plan.covered_node_count() == plan.covered_node_count()
+        loaded_plan.validate()
+
+    def test_simulation_identical_with_and_without_store(self, tmp_path):
+        import numpy as np
+
+        from repro.runtime.simulator import simulate
+
+        flow = get_flow("pytorch")
+        graph = build_model(MODEL, batch_size=1)
+        direct = simulate(flow.lower(graph, use_gpu=True), PLATFORM_A)
+
+        profile_with(PlanCache(store=make_store(tmp_path)))
+        reader = PlanCache(store=make_store(tmp_path))
+        loaded_plan = reader.plan(flow, reader.graph_ref(MODEL, batch_size=1), True)
+        loaded = simulate(loaded_plan, PLATFORM_A)
+        assert loaded.total_latency_s == direct.total_latency_s
+        assert loaded.gpu_energy_j == direct.gpu_energy_j
+        assert np.array_equal(loaded.latencies, direct.latencies)
+
+    def test_transform_round_trip_keeps_stats_and_hash(self, tmp_path):
+        writer = PlanCache(store=make_store(tmp_path))
+        parent = writer.graph_ref("gpt2", batch_size=1)
+        first = writer.transform("llm-int8", parent)
+
+        reader = PlanCache(store=make_store(tmp_path))
+        loaded = reader.transform("llm-int8", reader.graph_ref("gpt2", batch_size=1))
+        assert reader.stats.disk_hits.get("transform") == 1
+        assert loaded.stats == first.stats
+        # the lazy graph ref names the same derived content hash without
+        # re-running the transform...
+        assert isinstance(loaded.graph, GraphRef)
+        assert loaded.graph.content_hash() == first.graph.content_hash()
+        # ...and materializes to the same structure if actually walked
+        assert len(loaded.graph.materialize()) == len(first.graph.materialize())
+
+
+class TestCorruption:
+    def corrupt(self, store: ArtifactStore, mutate) -> int:
+        entries = list(store.directory.glob("*.pkl"))
+        for path in entries:
+            mutate(path)
+        return len(entries)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.write_bytes(p.read_bytes()[: len(p.read_bytes()) // 2]),
+            lambda p: p.write_bytes(b"not a pickle"),
+            lambda p: p.write_bytes(b""),
+            lambda p: p.write_bytes(pickle.dumps(("wrong", "key"))),
+        ],
+        ids=["truncated", "garbage", "empty", "wrong-shape"],
+    )
+    def test_corrupt_entries_recompute_not_crash(self, tmp_path, mutate):
+        store = make_store(tmp_path)
+        plan, memory = profile_with(PlanCache(store=store))
+        assert self.corrupt(store, mutate) > 0
+
+        reader = PlanCache(store=make_store(tmp_path))
+        loaded_plan, loaded_memory = profile_with(reader)
+        assert reader.stats.disk_hits == {}
+        assert reader.stats.misses.get("plan") == 1
+        assert loaded_memory == memory
+        assert loaded_plan.kernels == plan.kernels
+
+    def test_unreadable_entries_are_removed(self, tmp_path):
+        store = make_store(tmp_path)
+        profile_with(PlanCache(store=store))
+        self.corrupt(store, lambda p: p.write_bytes(b"junk"))
+        profile_with(PlanCache(store=make_store(tmp_path)))
+        # the poisoned files were dropped and replaced by fresh writes
+        for path in store.directory.glob("*.pkl"):
+            assert path.read_bytes() != b"junk"
+
+
+class TestInvalidation:
+    def test_schema_version_mismatch_misses(self, tmp_path):
+        old = make_store(tmp_path, schema_version=1)
+        profile_with(PlanCache(store=old))
+
+        bumped = make_store(tmp_path, schema_version=2)
+        reader = PlanCache(store=bumped)
+        profile_with(reader)
+        assert reader.stats.disk_hits == {}
+        assert reader.stats.misses.get("plan") == 1
+
+    def test_code_fingerprint_mismatch_misses(self, tmp_path):
+        current = make_store(tmp_path)
+        profile_with(PlanCache(store=current))
+
+        other_code = make_store(tmp_path, fingerprint="deadbeef")
+        reader = PlanCache(store=other_code)
+        profile_with(reader)
+        assert reader.stats.disk_hits == {}
+        assert reader.stats.misses.get("plan") == 1
+
+
+class TestEviction:
+    def test_size_cap_evicts_oldest(self, tmp_path):
+        store = make_store(tmp_path, max_bytes=4096)
+        blob = b"x" * 1200
+        for index in range(8):  # sequential puts: mtimes strictly ordered
+            store.put(("blob", index), blob)
+        info = store.info()
+        assert info.total_bytes <= 4096
+        assert info.entries < 8
+        # the most recent entries survived, the oldest were evicted
+        assert store.get(("blob", 7)) == blob
+        assert store.get(("blob", 0)) is None
+
+    def test_oversized_value_is_not_stored(self, tmp_path):
+        store = make_store(tmp_path, max_bytes=64)
+        store.put(("blob", 0), b"y" * 4096)
+        assert store.info().entries == 0
+
+
+class TestSharedStore:
+    def test_two_processes_share_one_directory(self, tmp_path):
+        store_dir = tmp_path / "store"
+        script = (
+            "from repro.sweep.cache import PlanCache\n"
+            "from repro.sweep.store import ArtifactStore\n"
+            "from repro.flows import get_flow\n"
+            f"cache = PlanCache(store=ArtifactStore({str(store_dir)!r}))\n"
+            f"ref = cache.graph_ref({MODEL!r}, batch_size=1)\n"
+            "cache.plan(get_flow('pytorch'), ref, use_gpu=True)\n"
+            "cache.memory(ref)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        subprocess.run(
+            [sys.executable, "-c", script], check=True, env=env, cwd=REPO_ROOT
+        )
+        reader = PlanCache(store=ArtifactStore(store_dir))
+        profile_with(reader)
+        assert reader.stats.disk_hits.get("plan") == 1
+        assert reader.stats.misses == {}
+
+
+class TestLazyGraphs:
+    def test_warm_store_never_builds_the_graph(self, tmp_path, monkeypatch):
+        flow = get_flow("pytorch")
+        writer = PlanCache(store=make_store(tmp_path))
+        profile_with(writer)
+
+        from repro.models import registry
+
+        def forbidden(name, batch_size=1, **overrides):
+            raise AssertionError("graph was built despite a warm store")
+
+        reader = PlanCache(store=make_store(tmp_path))
+        ref = reader.graph_ref(MODEL, batch_size=1)
+        monkeypatch.setattr(registry, "build_model", forbidden)
+        monkeypatch.setattr("repro.sweep.cache.build_model", forbidden)
+        profile = profile_graph_with_cache(reader, ref, flow)
+        assert profile.num_graph_ops > 0
+        assert profile.peak_memory_bytes > 0
+
+    def test_graph_ref_hash_matches_built_graph(self):
+        cache = PlanCache()
+        ref = cache.graph_ref(MODEL, batch_size=1)
+        assert isinstance(ref, GraphRef)
+        lazy_hash = ref.content_hash()
+        built = cache.graph(MODEL, batch_size=1)
+        assert built.content_hash() == lazy_hash
+        assert ref.materialize() is built
+        # once the LRU holds the build, the ref shortcut returns it directly
+        assert cache.graph_ref(MODEL, batch_size=1) is built
+
+
+def profile_graph_with_cache(cache: PlanCache, graph, flow):
+    """profile_graph but routed through an isolated cache instance."""
+    import repro.profiler.profiler as profiler_module
+
+    original_lower = profiler_module.cached_lower
+    original_memory = profiler_module.cached_profile_memory
+    profiler_module.cached_lower = cache.plan
+    profiler_module.cached_profile_memory = cache.memory
+    try:
+        return profile_graph_direct(
+            graph, flow, PLATFORM_A, use_gpu=True, iterations=2, seed=1,
+            model_name=MODEL,
+        )
+    finally:
+        profiler_module.cached_lower = original_lower
+        profiler_module.cached_profile_memory = original_memory
+
+
+class TestExternalCode:
+    """Out-of-tree lowering code must invalidate its store entries on edit."""
+
+    FLOW_SOURCE = (
+        "from repro.flows.base import DeploymentFlow\n"
+        "class ExtFlow(DeploymentFlow):\n"
+        "    name = 'ext-flow'\n"
+        "    dispatch_profile = 'pytorch-eager'\n"
+    )
+
+    def test_in_tree_flows_contribute_nothing(self):
+        from repro.sweep.store import external_fingerprint
+
+        flow = get_flow("pytorch")
+        assert PlanCache._flow_identity(flow) == ""
+        from repro.models import get_model
+
+        assert external_fingerprint(get_model(MODEL).builder) == ""
+
+    def test_edited_external_flow_changes_identity(self, tmp_path, monkeypatch):
+        import importlib
+
+        module_dir = tmp_path / "ext"
+        module_dir.mkdir()
+        module_file = module_dir / "ext_flow_mod.py"
+        module_file.write_text(self.FLOW_SOURCE)
+        monkeypatch.syspath_prepend(str(module_dir))
+        import ext_flow_mod  # noqa: F401  (dynamic test module)
+
+        first = PlanCache._flow_identity(ext_flow_mod.ExtFlow())
+        assert first != ""
+
+        module_file.write_text(self.FLOW_SOURCE + "# behavior edited\n")
+        os.utime(module_file, (os.path.getmtime(module_file) + 2,) * 2)
+        importlib.reload(ext_flow_mod)
+        second = PlanCache._flow_identity(ext_flow_mod.ExtFlow())
+        assert second != "" and second != first
+
+
+class TestDetach:
+    def test_detach_materializes_records_and_drops_backrefs(self):
+        graph = build_model(MODEL, batch_size=1)
+        profile = profile_graph(
+            graph, get_flow("pytorch"), PLATFORM_A, use_gpu=True, iterations=2, seed=4
+        )
+        reference = profile_graph(
+            graph, get_flow("pytorch"), PLATFORM_A, use_gpu=True, iterations=2, seed=4
+        )
+        detached = profile.detach()
+        assert detached is profile
+        assert profile._plan is None
+        assert profile._kernel_latency_s is None
+        assert profile._gemm_mask is None
+        assert profile._group_pos is None
+        # aggregates fall back to record-order loops, bit-identically
+        assert profile.records == reference.records
+        assert profile.latency_by_group() == reference.latency_by_group()
+        assert profile.non_gemm_latency_s == reference.non_gemm_latency_s
+
+    def test_detached_profile_pickles_small(self):
+        graph = build_model(MODEL, batch_size=1)
+        profile = profile_graph(
+            graph, get_flow("pytorch"), PLATFORM_A, use_gpu=True, iterations=2, seed=4
+        )
+        attached = len(pickle.dumps(profile))
+        detached = len(pickle.dumps(profile.detach()))
+        assert detached < attached
+
+
+class TestPayloads:
+    def test_plan_payload_round_trips_exactly(self):
+        graph = build_model("swin-t", batch_size=1)
+        for flow_name in ("pytorch", "tensorrt", "onnxruntime"):
+            plan = get_flow(flow_name).lower(graph, use_gpu=True)
+            restored = plan_from_payload(
+                pickle.loads(pickle.dumps(plan_payload(plan))), graph
+            )
+            assert list(restored.kernels) == plan.kernels
+            assert restored.content_hash() == plan.content_hash()
+            assert restored.non_gemm_fusion_rate() == plan.non_gemm_fusion_rate()
+
+    def test_sweep_result_reports_disk_hits(self, tmp_path, monkeypatch):
+        from repro.sweep import cache as cache_module
+        from repro.sweep.runner import SweepRunner
+
+        spec = SweepSpec(models=(MODEL,), batch_sizes=(1,), iterations=2)
+        monkeypatch.setattr(
+            cache_module, "PLAN_CACHE", PlanCache(store=make_store(tmp_path))
+        )
+        monkeypatch.setattr(
+            "repro.sweep.runner.PLAN_CACHE", cache_module.PLAN_CACHE
+        )
+        first = SweepRunner().run(spec)
+        assert first.cache_info["misses"].get("plan") == 1
+        assert "disk_hits" in first.cache_info
+
+        fresh = PlanCache(store=make_store(tmp_path))
+        monkeypatch.setattr(cache_module, "PLAN_CACHE", fresh)
+        monkeypatch.setattr("repro.sweep.runner.PLAN_CACHE", fresh)
+        second = SweepRunner().run(spec)
+        assert second.cache_info["disk_hits"].get("plan") == 1
+        assert second.cache_info["misses"].get("plan") is None
