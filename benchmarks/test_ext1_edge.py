@@ -1,0 +1,46 @@
+"""Extension 1 bench: the non-GEMM horizon across platform classes A/B/C.
+
+The paper's thesis measured beyond its own Table III: the paper models on
+the data-center, workstation, and edge-SoC platforms, plus the GEMM-only
+``npu-offload`` flow on the edge NPU — the narrower the accelerated
+fraction, the wider the non-GEMM share of end-to-end latency.
+"""
+
+from benchmarks.conftest import save_experiment
+from repro.analysis import run_ext1
+
+
+def _avg(rows, **filters):
+    rows = [r for r in rows if all(r[k] == v for k, v in filters.items())]
+    return sum(r["non_gemm_pct"] for r in rows) / len(rows)
+
+
+def test_ext1_edge_horizon(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_ext1(iterations=2), rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)
+
+    # 17 models x 3 platforms x {cpu, gpu} + 17 models on the C NPU
+    assert len(result.rows) == 17 * 3 * 2 + 17
+
+    # the paper's direction holds on every platform class: accelerating the
+    # GEMMs raises the non-GEMM share of what remains.
+    for platform in ("A", "B", "C"):
+        assert _avg(result.rows, platform=platform, device="gpu") > _avg(
+            result.rows, platform=platform, device="cpu"
+        )
+
+    # the horizon widens as the accelerator narrows: the edge NPU offloads
+    # *only* GEMM-family groups, so its non-GEMM share exceeds both the same
+    # platform's general-purpose iGPU and the data-center platform.
+    npu_avg = _avg(result.rows, platform="C", device="npu")
+    assert npu_avg > _avg(result.rows, platform="C", device="gpu") + 10
+    assert npu_avg > _avg(result.rows, platform="A", device="gpu")
+    assert 40 <= npu_avg <= 80
+
+    # every NPU row actually offloaded: GEMM share is nonzero but the
+    # offload tax keeps non-GEMM above the CPU-only baseline per model.
+    npu_rows = [r for r in result.rows if r["device"] == "npu"]
+    assert all(r["flow"] == "npu-offload" for r in npu_rows)
+    assert all(r["gemm_pct"] > 0 for r in npu_rows)

@@ -55,6 +55,7 @@ SUITE = {
     "table1": lambda: analysis.run_table1(),
     "table4": lambda: analysis.run_table4(iterations=2),
     "table5": lambda: analysis.run_table5(iterations=2),
+    "ext1": lambda: analysis.run_ext1(iterations=2),
 }
 
 
@@ -120,6 +121,18 @@ def bench_fig6(models: tuple[str, ...] | None = None) -> dict:
     return payload
 
 
+def bench_platform_c(models: tuple[str, ...] | None = None) -> dict:
+    """Perf-gate the N-device simulator path: the ext1 edge grid on the
+    3-device Platform C (CPU/iGPU pytorch columns plus the NPU offload
+    column), through the same five tiers as fig6."""
+    runner = lambda: analysis.run_ext1(  # noqa: E731
+        platform_ids=("C",), models=models, iterations=2
+    )
+    rows, payload = bench_tiers(runner, lambda result: result.rows)
+    payload["rows"] = len(rows)
+    return payload
+
+
 def bench_suite() -> dict:
     def runner():
         return {name: fn() for name, fn in SUITE.items()}
@@ -149,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
         "python": sys.version.split()[0],
         "machine": platform_mod.machine(),
         "fig6": bench_fig6(models),
+        "platform_c": bench_platform_c(models),
     }
     if args.full:
         payload["suite"] = bench_suite()
@@ -161,6 +175,12 @@ def main(argv: list[str] | None = None) -> int:
         f" ({fig6['speedup_cold']}x), disk-warm {fig6['engine_disk_warm_s']}s"
         f" ({fig6['speedup_disk_warm']}x vs cold), warm {fig6['engine_warm_s']}s"
         f" ({fig6['speedup_warm']}x); rows byte-identical"
+    )
+    plat_c = payload["platform_c"]
+    print(
+        f"platform C (N-device): reference {plat_c['reference_s']}s ->"
+        f" cold {plat_c['engine_cold_s']}s ({plat_c['speedup_cold']}x),"
+        f" disk-warm {plat_c['engine_disk_warm_s']}s, warm {plat_c['engine_warm_s']}s"
     )
     if args.full:
         suite = payload["suite"]

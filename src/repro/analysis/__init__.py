@@ -1,6 +1,7 @@
 """Experiment harnesses regenerating every figure and table of the paper."""
 
 from repro.analysis.common import ExperimentResult
+from repro.analysis.ext1_edge import run_ext1
 from repro.analysis.fig1 import run_fig1
 from repro.analysis.fig5 import run_fig5
 from repro.analysis.fig6 import run_fig6
@@ -19,11 +20,13 @@ EXPERIMENTS = {
     "table1": run_table1,
     "table4": run_table4,
     "table5": run_table5,
+    "ext1": run_ext1,
 }
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
+    "run_ext1",
     "run_fig1",
     "run_fig5",
     "run_fig6",

@@ -11,6 +11,7 @@ Subcommands mirror the paper artifact's scripts:
 * ``inspect <model>``        — dump a lowered execution plan with per-pass
   provenance (which pass fused/placed/refined each kernel).
 * ``workload <model>``       — static workload report (op mix, params).
+* ``platforms``              — list registered platforms, devices, links.
 * ``cache info|clear|warm``  — manage the persistent artifact store
   (``REPRO_CACHE_DIR``) that makes fresh processes start warm.
 """
@@ -71,7 +72,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--platforms", default="A", help="comma-separated platform ids")
     p_sweep.add_argument("--batches", default="1", help="comma-separated batch sizes")
     p_sweep.add_argument(
-        "--devices", default="gpu", help="comma-separated device modes (gpu,cpu)"
+        "--devices", default="gpu",
+        help="comma-separated placement targets (cpu,gpu,npu)",
     )
     p_sweep.add_argument(
         "--seq-lens", default="", help="comma-separated sequence lengths (optional)"
@@ -103,6 +105,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_work.add_argument("model")
     p_work.add_argument("--batch", type=int, default=1)
     p_work.set_defaults(handler=_cmd_workload)
+
+    p_plat = sub.add_parser(
+        "platforms", help="list registered platforms, their devices and links"
+    )
+    p_plat.set_defaults(handler=_cmd_platforms)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or manage the persistent artifact store"
@@ -273,6 +280,51 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             }
         )
     print(render_table(kernel_rows))
+    return 0
+
+
+def _cmd_platforms(args: argparse.Namespace) -> int:
+    from repro.hardware import list_platforms
+
+    platforms = list_platforms()
+    print(
+        render_table(
+            [
+                {
+                    "platform": p.platform_id,
+                    "description": p.description,
+                    "devices": " + ".join(
+                        f"{spec.kind.value}:{spec.name}" for spec in p.devices
+                    ),
+                }
+                for p in platforms
+            ]
+        )
+    )
+    link_rows = []
+    for p in platforms:
+        for (src, dst), link in sorted(
+            p.links.items(), key=lambda item: (item[0][0].value, item[0][1].value)
+        ):
+            link_rows.append(
+                {
+                    "platform": p.platform_id,
+                    "link": f"{src.value} -> {dst.value}",
+                    "bandwidth_gbs": round(link.bandwidth / 1e9, 1),
+                    "latency_us": round(link.latency_s * 1e6, 1),
+                }
+            )
+        link_rows.append(
+            {
+                "platform": p.platform_id,
+                "link": "(default host link)",
+                "bandwidth_gbs": round(p.pcie_bandwidth / 1e9, 1),
+                "latency_us": round(p.pcie_latency_s * 1e6, 1),
+            }
+        )
+    print()
+    print("interconnect links (unlisted pairs use the default host link):")
+    print(render_table(link_rows))
     return 0
 
 

@@ -8,9 +8,11 @@ from repro.flows.fusion import (
     fuse_graph,
     group_category,
 )
+from repro.flows.npu_offload import NPUOffloadFlow
 from repro.flows.onnxruntime import ONNXRuntimeFlow
 from repro.flows.ort_cpu import ORTCpuEpFlow
 from repro.flows.passes import (
+    CategoryRoutePlacement,
     CompositeExpansionPass,
     FusionPass,
     KernelConstructionPass,
@@ -41,6 +43,7 @@ _ALIASES = {
     "trt": "tensorrt",
     "ort": "onnxruntime",
     "ortcpu": "ort-cpu-ep",
+    "npu": "npu-offload",
 }
 
 
@@ -77,6 +80,7 @@ for _cls in (
     TensorRTFlow,
     ONNXRuntimeFlow,
     ORTCpuEpFlow,
+    NPUOffloadFlow,
 ):
     register_flow(_cls)
 
@@ -108,6 +112,7 @@ def list_flows() -> list[str]:
 
 
 __all__ = [
+    "CategoryRoutePlacement",
     "CompositeExpansionPass",
     "DeploymentFlow",
     "ExecutionPlan",
@@ -118,6 +123,7 @@ __all__ = [
     "LoweringPass",
     "LoweringState",
     "MetadataElisionPass",
+    "NPUOffloadFlow",
     "ONNXRuntimeFlow",
     "ORTCpuEpFlow",
     "PassManager",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import abc
 import hashlib
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
 
 from repro.errors import PlanError
 from repro.ir.graph import Graph
@@ -37,6 +37,9 @@ from repro.flows.passes import (
 )
 from repro.flows.passes.state import LoweringState
 from repro.flows.plan import ExecutionPlan, PlannedKernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.device import DeviceKind
 
 
 class DeploymentFlow(abc.ABC):
@@ -120,10 +123,16 @@ class DeploymentFlow(abc.ABC):
     # -- lowering --------------------------------------------------------------
 
     def lower(
-        self, graph: Graph, use_gpu: bool = True, record_provenance: bool = False
+        self,
+        graph: Graph,
+        use_gpu: "bool | str | DeviceKind" = True,
+        record_provenance: bool = False,
     ) -> ExecutionPlan:
         """Lower ``graph`` into an execution plan for simulation.
 
+        ``use_gpu`` keeps its historical name and booleans but accepts any
+        :class:`~repro.hardware.device.DeviceKind` (or device-mode string)
+        as the lowering target — e.g. ``DeviceKind.NPU`` for the edge flows.
         With ``record_provenance``, the plan's ``notes`` carry a per-pass
         trace and per-kernel provenance tags (``nongemm-bench inspect``).
         """
@@ -168,8 +177,10 @@ class DeploymentFlow(abc.ABC):
                 return False
         return True
 
-    def derive_plan(self, source: ExecutionPlan, use_gpu: bool) -> ExecutionPlan:
-        """Re-target an already-lowered plan to the other device class.
+    def derive_plan(
+        self, source: ExecutionPlan, use_gpu: "bool | str | DeviceKind"
+    ) -> ExecutionPlan:
+        """Re-target an already-lowered plan to another device class.
 
         Valid only when :meth:`supports_derivation` holds: the kernel
         partition, fused costs, dtypes, and launch counts are all
@@ -220,6 +231,7 @@ class DeploymentFlow(abc.ABC):
             flow=self.name,
             dispatch_profile=self.dispatch_profile,
             kernels=kernels,
+            target=state.target,
             gemm_peak_scale_f32=self.gemm_peak_scale_f32,
             gemm_saturation_scale=self.gemm_saturation_scale,
         )

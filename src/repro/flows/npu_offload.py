@@ -1,0 +1,74 @@
+"""NPU offload flow: GEMM-family groups on the matrix engine, rest on host.
+
+Edge NPUs (AMD XDNA, Apple ANE, Arm Ethos) are matrix engines first and
+general accelerators a distant second: their runtimes compile the GEMM-family
+subgraphs onto the systolic arrays and leave every other operator to the host
+CPU (or iGPU).  That is exactly the paper's horizon pushed to its limit —
+the accelerated fraction of the graph is *only* GEMM, so the non-GEMM share
+of end-to-end latency explodes, amplified by fabric-DMA transfers around
+every offloaded group.
+
+Assembled **purely from existing passes**: the default
+:meth:`~repro.flows.base.DeploymentFlow.build_pipeline` assembly with a
+:class:`~repro.flows.passes.CategoryRoutePlacement` policy (GEMM to the
+target device, everything else to the CPU) produces
+fusion -> placement(category-route) -> construct -> transfer-insertion ->
+sync-insertion -> metadata-elision.  Sweep it with ``devices=("npu",)`` on
+Platform C; on ``gpu`` targets it degrades gracefully to a GEMM-only GPU
+offload, and on ``cpu`` to a host-only run.
+"""
+
+from __future__ import annotations
+
+from repro.flows.base import DeploymentFlow
+from repro.flows.fusion import FusionConfig
+from repro.flows.passes import (
+    CategoryRoutePlacement,
+    FusionPass,
+    KernelConstructionPass,
+    MetadataElisionPass,
+    PassManager,
+    PlacementPass,
+    PlacementPolicy,
+    SyncInsertionPass,
+    TransferInsertionPass,
+)
+from repro.ops.base import OpCategory
+
+
+class NPUOffloadFlow(DeploymentFlow):
+    name = "npu-offload"
+    #: NPU runtimes dispatch through an ORT-style session (graph handed to a
+    #: vendor execution provider, host driver round trip per offload).
+    dispatch_profile = "ort"
+    #: the host side keeps conservative ORT-style chain fusion; the NPU side
+    #: is GEMM-only anyway, so epilogue fusion would just create mixed groups.
+    fusion = FusionConfig(
+        gemm_epilogue=False,
+        pointwise_chains=True,
+        chain_norms=True,
+        max_chain=4,
+    )
+    collapses_composites = True
+    #: NPU compilers tile GEMMs explicitly and hit saturation earlier than
+    #: stock GPU library heuristics.
+    gemm_saturation_scale = 0.8
+    uniform_placement = False  # per-category routing (see placement_policy)
+
+    def placement_policy(self) -> PlacementPolicy:
+        return CategoryRoutePlacement((OpCategory.GEMM,))
+
+    def build_pipeline(self) -> PassManager:
+        # the default non-uniform assembly, with mixed fusion groups split
+        # rather than aborting: a host-side chain that picked up a GEMM stays
+        # fused on the NPU side while the host members become singletons.
+        return PassManager(
+            (
+                FusionPass(self.fusion),
+                PlacementPass(self.placement_policy(), split_mixed_groups=True),
+                KernelConstructionPass(collapse=True),
+                TransferInsertionPass(),
+                SyncInsertionPass(),
+                MetadataElisionPass(),
+            )
+        )

@@ -18,6 +18,7 @@ from repro.flows.passes.construct import KernelConstructionPass, node_dtype
 from repro.flows.passes.fusion_pass import FusionPass
 from repro.flows.passes.manager import LoweringPass, PassManager
 from repro.flows.passes.placement import (
+    CategoryRoutePlacement,
     PerOpFallbackPlacement,
     PlacementPass,
     PlacementPolicy,
@@ -33,6 +34,7 @@ from repro.flows.passes.retarget import RetargetPass
 from repro.flows.passes.state import KernelDraft, LoweringState, PassTrace
 
 __all__ = [
+    "CategoryRoutePlacement",
     "CompositeExpansionPass",
     "FusionPass",
     "KernelConstructionPass",

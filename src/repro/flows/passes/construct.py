@@ -45,7 +45,8 @@ class KernelConstructionPass(LoweringPass):
         nodes = graph.nodes
         node_costs = graph.node_costs()
         collapse = self.collapse
-        use_gpu = state.use_gpu
+        target = state.target
+        accelerated = target is not DeviceKind.CPU
         record = state.record_provenance
         # fused groups need boundary-aware costs; evaluate them all in one
         # batched graph walk instead of a per-group membership analysis.
@@ -56,7 +57,9 @@ class KernelConstructionPass(LoweringPass):
             if len(group) == 1:
                 node = nodes[group[0]]
                 op = node.op
-                fallback = use_gpu and device is DeviceKind.CPU
+                # a kernel forced off the lowering target is a fallback: it
+                # pays interconnect transfers and skips refinement rewrites.
+                fallback = accelerated and device is not target
                 draft = KernelDraft(
                     name=node.qualified_name,
                     node_ids=group,

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, ClassVar, Iterable
 from repro.flows.passes.state import LoweringState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.device import DeviceKind
     from repro.ir.graph import Graph
 
 
@@ -64,11 +65,21 @@ class PassManager:
     def run(
         self,
         graph: "Graph",
-        use_gpu: bool,
+        use_gpu: "bool | str | DeviceKind",
         record_provenance: bool = False,
     ) -> LoweringState:
+        """Run the pipeline for one lowering target.
+
+        ``use_gpu`` keeps its historical name and booleans (True -> GPU,
+        False -> CPU) but now accepts any :class:`DeviceKind` or device-mode
+        string, normalized via :func:`~repro.hardware.device.as_device_kind`.
+        """
+        from repro.hardware.device import as_device_kind
+
         state = LoweringState(
-            graph=graph, use_gpu=use_gpu, record_provenance=record_provenance
+            graph=graph,
+            target=as_device_kind(use_gpu),
+            record_provenance=record_provenance,
         )
         for lowering_pass in self.passes:
             lowering_pass.run(state)

@@ -1,46 +1,54 @@
 """PlacementPass: assign every fusion group to a device.
 
-Placement is a *policy* plugged into one pass:
+Placement is a *policy* plugged into one pass; policies speak the N-device
+model: they map ``(node, target)`` to a :class:`DeviceKind`, where ``target``
+is the device class the lowering aims at (historical booleans still work —
+``True`` is GPU, ``False`` is CPU).
 
-* :class:`UniformPlacement` — all flows except ORT: the whole plan lands on
-  one device, resolved once per lowering (never per node — re-deriving the
-  device for every member of every fused group was redundant work on the hot
-  lowering path of the pre-pass planner).
+* :class:`UniformPlacement` — all flows except the per-op ones: the whole
+  plan lands on the target device, resolved once per lowering (never per
+  node — re-deriving the device for every member of every fused group was
+  redundant work on the hot lowering path of the pre-pass planner).
 * :class:`PerOpFallbackPlacement` — ORT-style: ops whose kind the accelerator
-  provider lacks fall back to the CPU provider.  Groups whose members
+  provider lacks fall back to the host CPU provider.  Groups whose members
   disagree either abort lowering (the historical contract) or, with
   ``split_mixed_groups``, are split: accelerator members stay fused in
   contiguous runs, while CPU members become singleton kernels (the host
-  provider runs fallback ops one by one, and each must pay its PCIe
+  provider runs fallback ops one by one, and each must pay its interconnect
   transfers) — so aggressive fusion configs can coexist with per-op fallback.
+* :class:`CategoryRoutePlacement` — NPU-offload-style: node categories in the
+  accelerated set go to the target device, everything else stays on the
+  host.  This is how matrix engines with no general op coverage (edge NPUs)
+  are modelled: GEMM-family work offloads, non-GEMM work cannot.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import PlanError
-from repro.hardware.device import DeviceKind
+from repro.hardware.device import DeviceKind, as_device_kind
 from repro.flows.passes.manager import LoweringPass
 from repro.flows.passes.state import LoweringState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ir.node import Node
+    from repro.ops.base import OpCategory
 
 
 class PlacementPolicy(abc.ABC):
-    """Where nodes run for a given device mode."""
+    """Where nodes run for a given lowering target."""
 
-    #: True when the policy maps every node to one device per device mode;
+    #: True when the policy maps every node to one device per target;
     #: decides the pipeline's shape (uniform pipelines skip transfer passes).
     is_uniform: bool = False
 
     @abc.abstractmethod
-    def device_for(self, node: "Node", use_gpu: bool) -> DeviceKind:
-        """Device for one node."""
+    def device_for(self, node: "Node", target: "bool | DeviceKind") -> DeviceKind:
+        """Device for one node (``target`` accepts legacy ``use_gpu`` booleans)."""
 
-    def resolve_uniform(self, use_gpu: bool) -> DeviceKind | None:
+    def resolve_uniform(self, target: "bool | DeviceKind") -> DeviceKind | None:
         """The single device every node maps to, or None for per-op policies."""
         return None
 
@@ -50,15 +58,15 @@ class PlacementPolicy(abc.ABC):
 
 
 class UniformPlacement(PlacementPolicy):
-    """Every node on the same device; resolved once per lowering."""
+    """Every node on the target device; resolved once per lowering."""
 
     is_uniform = True
 
-    def device_for(self, node: "Node", use_gpu: bool) -> DeviceKind:
-        return DeviceKind.GPU if use_gpu else DeviceKind.CPU
+    def device_for(self, node: "Node", target: "bool | DeviceKind") -> DeviceKind:
+        return as_device_kind(target)
 
-    def resolve_uniform(self, use_gpu: bool) -> DeviceKind | None:
-        return DeviceKind.GPU if use_gpu else DeviceKind.CPU
+    def resolve_uniform(self, target: "bool | DeviceKind") -> DeviceKind | None:
+        return as_device_kind(target)
 
     def signature(self) -> str:
         return "uniform"
@@ -70,15 +78,41 @@ class PerOpFallbackPlacement(PlacementPolicy):
     def __init__(self, cpu_fallback_kinds: frozenset[str]):
         self.cpu_fallback_kinds = frozenset(cpu_fallback_kinds)
 
-    def device_for(self, node: "Node", use_gpu: bool) -> DeviceKind:
-        if not use_gpu:
+    def device_for(self, node: "Node", target: "bool | DeviceKind") -> DeviceKind:
+        resolved = as_device_kind(target)
+        if resolved is DeviceKind.CPU:
             return DeviceKind.CPU
         if node.op.kind in self.cpu_fallback_kinds:
             return DeviceKind.CPU
-        return DeviceKind.GPU
+        return resolved
 
     def signature(self) -> str:
         return f"per-op-fallback({','.join(sorted(self.cpu_fallback_kinds))})"
+
+
+class CategoryRoutePlacement(PlacementPolicy):
+    """Route accelerated op categories to the target, the rest to the host.
+
+    The inverse of :class:`PerOpFallbackPlacement`: instead of enumerating
+    what the accelerator *lacks*, enumerate the categories it *has* — the
+    natural description of matrix engines (edge NPUs) whose coverage is a
+    short allowlist rather than a short denylist.
+    """
+
+    def __init__(self, accelerated_categories: "Iterable[OpCategory]"):
+        self.accelerated_categories = frozenset(accelerated_categories)
+
+    def device_for(self, node: "Node", target: "bool | DeviceKind") -> DeviceKind:
+        resolved = as_device_kind(target)
+        if resolved is DeviceKind.CPU:
+            return DeviceKind.CPU
+        if node.op.category in self.accelerated_categories:
+            return resolved
+        return DeviceKind.CPU
+
+    def signature(self) -> str:
+        names = ",".join(sorted(c.name for c in self.accelerated_categories))
+        return f"category-route({names})"
 
 
 class PlacementPass(LoweringPass):
@@ -95,23 +129,23 @@ class PlacementPass(LoweringPass):
 
     def run(self, state: LoweringState) -> None:
         assert state.groups is not None, "placement requires fusion groups"
-        uniform = self.policy.resolve_uniform(state.use_gpu)
+        target = state.target
+        uniform = self.policy.resolve_uniform(target)
         if uniform is not None:
             # uniform flows resolve the device once, not per node or group
             state.devices = [uniform] * len(state.groups)
             state.note(self.name, device=uniform.value, groups=len(state.groups))
             return
         nodes = state.graph.nodes
-        use_gpu = state.use_gpu
         groups: list[tuple[int, ...]] = []
         devices: list[DeviceKind] = []
         splits = 0
         for group in state.groups:
             if len(group) == 1:
                 groups.append(group)
-                devices.append(self.policy.device_for(nodes[group[0]], use_gpu))
+                devices.append(self.policy.device_for(nodes[group[0]], target))
                 continue
-            member_devices = [self.policy.device_for(nodes[i], use_gpu) for i in group]
+            member_devices = [self.policy.device_for(nodes[i], target) for i in group]
             distinct = set(member_devices)
             if len(distinct) == 1:
                 groups.append(group)
@@ -121,10 +155,10 @@ class PlacementPass(LoweringPass):
                 raise PlanError(f"fused group {group} spans devices {distinct}")
             splits += 1
             for run_ids, run_device in _split_runs(group, member_devices):
-                if run_device is DeviceKind.CPU:
-                    # the host provider runs fallback ops one by one, not as a
-                    # fused generated kernel: emit singletons so each gets the
-                    # standard fallback transfer accounting downstream.
+                if run_device is not target:
+                    # the host provider runs off-target ops one by one, not as
+                    # a fused generated kernel: emit singletons so each gets
+                    # the standard fallback transfer accounting downstream.
                     for node_id in run_ids:
                         groups.append((node_id,))
                         devices.append(run_device)
@@ -134,11 +168,15 @@ class PlacementPass(LoweringPass):
         state.groups = groups
         state.devices = devices
         if state.record_provenance:
-            cpu_placed = sum(1 for d in devices if d is DeviceKind.CPU) if use_gpu else 0
+            off_target = (
+                sum(1 for d in devices if d is not target)
+                if target is not DeviceKind.CPU
+                else 0
+            )
             state.note(
                 self.name,
                 groups=len(groups),
-                cpu_placed_kernels=cpu_placed,
+                cpu_placed_kernels=off_target,
                 split_groups=splits,
             )
 

@@ -62,11 +62,14 @@ class CompositeExpansionPass(LoweringPass):
 
 
 class TransferInsertionPass(LoweringPass):
-    """Charge PCIe round trips to CPU-fallback kernels.
+    """Charge interconnect round trips to kernels forced off the target.
 
     A fallback op's compute is negligible next to the forced materialization:
-    its cost becomes pure traffic (inputs cross PCIe down, outputs cross back
-    up), mirroring the paper's ORT unsupported-operator study.
+    its cost becomes pure traffic (inputs cross the link down, outputs cross
+    back up), mirroring the paper's ORT unsupported-operator study.  The
+    simulator prices the traffic on the platform's link between the kernel's
+    device and the plan's target (PCIe on the paper platforms, fabric DMA on
+    the edge SoC).
     """
 
     name = "transfer-insertion"
@@ -92,7 +95,11 @@ class TransferInsertionPass(LoweringPass):
 
 
 class SyncInsertionPass(LoweringPass):
-    """Insert device-to-host round trips after data-dependent GPU ops."""
+    """Insert device-to-host round trips after data-dependent accelerator ops.
+
+    Applies to any async device (GPU, NPU): the host must read the result
+    size back before it can continue.  CPU kernels run inline and never sync.
+    """
 
     name = "sync-insertion"
 
@@ -105,7 +112,7 @@ class SyncInsertionPass(LoweringPass):
             if (
                 draft.fallback
                 or len(draft.node_ids) != 1
-                or draft.device is not DeviceKind.GPU
+                or draft.device is DeviceKind.CPU
             ):
                 continue
             node = nodes[draft.node_ids[0]]

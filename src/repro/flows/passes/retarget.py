@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.hardware.device import DeviceKind
 from repro.flows.passes.manager import LoweringPass
 from repro.flows.passes.state import KernelDraft, LoweringState
 
@@ -37,7 +36,7 @@ class RetargetPass(LoweringPass):
         return self.source.flow
 
     def run(self, state: LoweringState) -> None:
-        device = DeviceKind.GPU if state.use_gpu else DeviceKind.CPU
+        device = state.target
         drafts: list[KernelDraft] = []
         for kernel in self.source.kernels:
             draft = KernelDraft(

@@ -66,6 +66,10 @@ class ExecutionPlan:
     flow: str
     dispatch_profile: str  # key into hardware.calibration.DISPATCH_PROFILES
     kernels: list[PlannedKernel]
+    #: the device class this lowering targeted; the simulator routes
+    #: transfers of kernels forced off it over the platform's link table.
+    #: (Defaults to GPU — the only accelerator the pre-N-device model knew.)
+    target: DeviceKind = DeviceKind.GPU
     #: flow-level GEMM rate adjustments (see DeploymentFlow)
     gemm_peak_scale_f32: float = 1.0
     gemm_saturation_scale: float = 1.0
@@ -89,7 +93,7 @@ class ExecutionPlan:
         digest = hashlib.blake2b(digest_size=16)
         digest.update(self.graph.content_hash().encode())
         digest.update(
-            f"|{self.flow}|{self.dispatch_profile}"
+            f"|{self.flow}|{self.dispatch_profile}|{self.target.value}"
             f"|{self.gemm_peak_scale_f32!r}|{self.gemm_saturation_scale!r}".encode()
         )
         for kernel in self.kernels:

@@ -53,6 +53,7 @@ def reference_lower(
         flow=flow.name,
         dispatch_profile=flow.dispatch_profile,
         kernels=kernels,
+        target=DeviceKind.GPU if use_gpu else DeviceKind.CPU,
         gemm_peak_scale_f32=flow.gemm_peak_scale_f32,
         gemm_saturation_scale=flow.gemm_saturation_scale,
     )

@@ -23,9 +23,13 @@ so that per-model GEMM/non-GEMM shares land in the paper's reported ranges
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import PlanError
 from repro.ops.base import OpCategory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.device import DeviceKind
 
 
 @dataclass(frozen=True)
@@ -68,6 +72,28 @@ _CPU_EFFICIENCY: dict[OpCategory, Efficiency] = {
     OpCategory.MISC: Efficiency(compute=0.50, memory=0.60),
 }
 
+#: NPU efficiencies: systolic matrix engines run GEMMs close to peak, but
+#: everything else limps — the AIE-style scalar/vector units are an
+#: afterthought, gathers and data-dependent ops map terribly onto tiled
+#: dataflow, and operands stream over a fabric DMA.  This is the calibrated
+#: form of the observation in the Ryzen-AI NPU literature that non-GEMM
+#: offload is rarely profitable.
+_NPU_EFFICIENCY: dict[OpCategory, Efficiency] = {
+    OpCategory.GEMM: Efficiency(compute=0.80, memory=0.70),
+    OpCategory.ACTIVATION: Efficiency(compute=0.30, memory=0.45),
+    OpCategory.NORMALIZATION: Efficiency(compute=0.15, memory=0.30),
+    OpCategory.MEMORY: Efficiency(compute=0.30, memory=0.40),
+    OpCategory.ELEMENTWISE: Efficiency(compute=0.35, memory=0.50),
+    OpCategory.LOGIT: Efficiency(compute=0.15, memory=0.30),
+    OpCategory.ROI: Efficiency(compute=0.02, memory=0.20),
+    OpCategory.INTERPOLATION: Efficiency(compute=0.15, memory=0.30),
+    OpCategory.POOLING: Efficiency(compute=0.30, memory=0.45),
+    OpCategory.REDUCTION: Efficiency(compute=0.25, memory=0.40),
+    OpCategory.EMBEDDING: Efficiency(compute=0.20, memory=0.25),
+    OpCategory.QDQ: Efficiency(compute=0.50, memory=0.55),
+    OpCategory.MISC: Efficiency(compute=0.20, memory=0.35),
+}
+
 #: Custom (non vendor-library) kernels achieve a fraction of the tabulated
 #: efficiency — the DETR FrozenBatchNorm effect.
 CUSTOM_KERNEL_PENALTY = 0.45
@@ -75,17 +101,38 @@ CUSTOM_KERNEL_PENALTY = 0.45
 
 @dataclass(frozen=True)
 class DispatchProfile:
-    """Host-side per-operator overheads (seconds) of one deployment flow."""
+    """Host-side per-operator overheads (seconds) of one deployment flow.
+
+    ``npu_kernel``/``npu_metadata`` default to the GPU values: NPU runtimes
+    dispatch through the same host-driver machinery as discrete accelerators,
+    and profiles that never target an NPU need not declare them.
+    """
 
     gpu_kernel: float
     gpu_metadata: float
     cpu_kernel: float
     cpu_metadata: float
+    npu_kernel: float | None = None
+    npu_metadata: float | None = None
 
     def dispatch_s(self, is_gpu: bool, metadata_only: bool) -> float:
         if is_gpu:
             return self.gpu_metadata if metadata_only else self.gpu_kernel
         return self.cpu_metadata if metadata_only else self.cpu_kernel
+
+    def dispatch_for(self, kind: "DeviceKind", metadata_only: bool) -> float:
+        """Per-kind dispatch overhead (the N-device form of ``dispatch_s``)."""
+        from repro.hardware.device import DeviceKind
+
+        if kind is DeviceKind.CPU:
+            return self.cpu_metadata if metadata_only else self.cpu_kernel
+        if kind is DeviceKind.NPU:
+            kernel = self.npu_kernel if self.npu_kernel is not None else self.gpu_kernel
+            metadata = (
+                self.npu_metadata if self.npu_metadata is not None else self.gpu_metadata
+            )
+            return metadata if metadata_only else kernel
+        return self.gpu_metadata if metadata_only else self.gpu_kernel
 
 
 #: Per-flow dispatch overheads.  The eager GPU value reflects end-to-end
@@ -122,6 +169,16 @@ FALLBACK_SYNC_S = 45e-6
 def efficiency_for(category: OpCategory, is_gpu: bool) -> Efficiency:
     table = _GPU_EFFICIENCY if is_gpu else _CPU_EFFICIENCY
     return table[category]
+
+
+def efficiency_for_kind(category: OpCategory, kind: "DeviceKind") -> Efficiency:
+    """Per-device-kind achieved efficiency (the N-device form of
+    :func:`efficiency_for`; CPU and GPU read the exact same tables)."""
+    from repro.hardware.device import DeviceKind
+
+    if kind is DeviceKind.NPU:
+        return _NPU_EFFICIENCY[category]
+    return _GPU_EFFICIENCY[category] if kind is DeviceKind.GPU else _CPU_EFFICIENCY[category]
 
 
 def dispatch_profile(name: str) -> DispatchProfile:

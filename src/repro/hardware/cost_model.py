@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.hardware.calibration import (
     CUSTOM_KERNEL_PENALTY,
-    efficiency_for,
+    efficiency_for_kind,
     gemm_saturation,
 )
 from repro.hardware.device import DeviceSpec
@@ -86,13 +86,14 @@ def estimate_kernel(
             bound="dispatch",
         )
 
-    eff = efficiency_for(category, device.is_gpu)
+    eff = efficiency_for_kind(category, device.kind)
     scale = CUSTOM_KERNEL_PENALTY if is_custom else 1.0
     if category is OpCategory.GEMM:
         saturation = gemm_saturation(
             cost.flops, device.gemm_saturation_flops * gemm_saturation_scale
         )
         peak = device.gemm_peak(dtype)
+        # the f32 scale models TF32 tensor cores — GPU-only hardware
         if dtype == DType.F32 and device.is_gpu:
             peak *= gemm_peak_scale_f32
         peak_flops = peak * saturation
@@ -108,16 +109,19 @@ def estimate_kernel(
     launch_s = device.kernel_launch_s * launch_count
     device_s = launch_s + work_s
 
-    if device.is_gpu:
+    # async accelerators (GPU/NPU command queues) overlap host dispatch with
+    # device work; CPUs run the kernel inline on the dispatching thread.
+    is_async = device.async_dispatch
+    if is_async:
         total_s = max(host_s, device_s)
     else:
         total_s = host_s + work_s
 
     if work_s <= 0.0:
-        bound = "launch" if device.is_gpu and launch_s >= host_s else "dispatch"
-    elif device.is_gpu and host_s >= device_s:
+        bound = "launch" if is_async and launch_s >= host_s else "dispatch"
+    elif is_async and host_s >= device_s:
         bound = "dispatch"
-    elif device.is_gpu and launch_s >= work_s:
+    elif is_async and launch_s >= work_s:
         bound = "launch"
     elif compute_s >= memory_s:
         bound = "compute"
@@ -179,7 +183,7 @@ class BatchEstimates:
 
 def estimate_kernels_batch(
     *,
-    is_gpu: np.ndarray,
+    is_async: np.ndarray,
     is_gemm: np.ndarray,
     flops: np.ndarray,
     total_bytes: np.ndarray,
@@ -199,7 +203,9 @@ def estimate_kernels_batch(
 
     All inputs are per-kernel arrays with device- and flow-level parameters
     already resolved (``gemm_peak`` includes the TF32 f32 scale, and
-    ``gemm_saturation_flops`` the flow's saturation scale).  The arithmetic
+    ``gemm_saturation_flops`` the flow's saturation scale; ``is_async`` is
+    the per-kernel async-dispatch flag of the kernel's device — True for
+    GPU/NPU command queues, False for inline CPU execution).  The arithmetic
     mirrors :func:`estimate_kernel` expression-for-expression so results are
     bit-identical; the scalar function remains the reference implementation
     that the equivalence tests check against.
@@ -226,16 +232,16 @@ def estimate_kernels_batch(
     work_s = np.maximum(compute_s, memory_s)
     launch_s = kernel_launch_s * launch_count
     device_s = launch_s + work_s
-    total_s = np.where(is_gpu, np.maximum(host_s, device_s), host_s + work_s)
+    total_s = np.where(is_async, np.maximum(host_s, device_s), host_s + work_s)
 
     no_work = work_s <= 0.0
     bound_code = np.select(
         [
             metadata_only,
-            no_work & is_gpu & (launch_s >= host_s),
+            no_work & is_async & (launch_s >= host_s),
             no_work,
-            is_gpu & (host_s >= device_s),
-            is_gpu & (launch_s >= work_s),
+            is_async & (host_s >= device_s),
+            is_async & (launch_s >= work_s),
             compute_s >= memory_s,
         ],
         [0, 1, 0, 0, 1, 2],

@@ -3,7 +3,13 @@
 Each :class:`DeviceSpec` captures the handful of published numbers the
 roofline model needs: peak GEMM throughput per precision, vector (non-GEMM)
 throughput, memory bandwidth, kernel-launch latency, and power envelope.
-The four devices of the paper's Table III ship as presets.
+The four devices of the paper's Table III ship as presets, plus the three
+devices of the edge SoC Platform C (big-core CPU + NPU + integrated GPU).
+
+Devices are grouped into :class:`DeviceKind` classes — CPU, GPU, NPU — which
+is what placement policies, the sweep ``device`` axis, and the simulator's
+per-kind parameter tables speak.  :func:`register_device` adds presets to the
+registry the same way :func:`repro.flows.register_flow` does for flows.
 """
 
 from __future__ import annotations
@@ -16,8 +22,35 @@ from repro.ir.dtype import DType
 
 
 class DeviceKind(enum.Enum):
+    """Device classes the placement and simulation layers can target.
+
+    The member order is load-bearing: it defines the row order of the
+    simulator's per-kind parameter tables and the integer codes in the plan
+    arrays, so new kinds must be appended, never inserted.
+    """
+
     CPU = "cpu"
     GPU = "gpu"
+    NPU = "npu"
+
+
+def as_device_kind(value: "bool | str | DeviceKind") -> DeviceKind:
+    """Normalize a lowering/profiling target to a :class:`DeviceKind`.
+
+    Accepts the historical ``use_gpu`` booleans (``True`` -> GPU, ``False``
+    -> CPU), device-mode strings from the sweep axis (``"npu"``), and kinds
+    themselves, so every API that grew out of the binary CPU/GPU model keeps
+    its call sites working.
+    """
+    if isinstance(value, DeviceKind):
+        return value
+    if isinstance(value, bool):
+        return DeviceKind.GPU if value else DeviceKind.CPU
+    try:
+        return DeviceKind(str(value).lower())
+    except ValueError:
+        known = ", ".join(kind.value for kind in DeviceKind)
+        raise RegistryError(f"unknown device kind {value!r}; known: {known}") from None
 
 
 @dataclass(frozen=True)
@@ -55,6 +88,12 @@ class DeviceSpec:
     @property
     def is_gpu(self) -> bool:
         return self.kind is DeviceKind.GPU
+
+    @property
+    def async_dispatch(self) -> bool:
+        """True when host dispatch overlaps device work (GPU/NPU command
+        queues); CPUs run kernels inline on the dispatching thread."""
+        return self.kind is not DeviceKind.CPU
 
 
 # -- presets (Table III of the paper) ---------------------------------------
@@ -124,7 +163,85 @@ I9_13900K = DeviceSpec(
     gemm_saturation_flops=80e6,
 )
 
-_DEVICES = {spec.name: spec for spec in (A100, RTX4090, EPYC_7763, I9_13900K)}
+
+# -- edge SoC presets (Platform C) ------------------------------------------
+
+#: AMD Ryzen 9 7940HS (Phoenix): 8 Zen4 cores @ 4.0 GHz sustained, AVX-512
+#: via double-pumped 256-bit datapaths (32 f32 flops/cycle/core ~= 1.0 Tflop/s
+#: all-core) with AVX-512 VNNI for int8; 2-channel DDR5-5600 shared with the
+#: iGPU and NPU.  35-54 W configurable TDP.
+RYZEN_7940HS = DeviceSpec(
+    name="amd-ryzen-9-7940hs",
+    kind=DeviceKind.CPU,
+    gemm_flops_f32=1.0e12,
+    gemm_flops_f16=1.0e12,  # no fast fp16 FMA path; runs at f32 rate
+    gemm_flops_i8=4.0e12,   # AVX-512 VNNI
+    vector_flops=0.35e12,
+    mem_bandwidth=89.6e9,
+    kernel_launch_s=0.0,
+    idle_power_w=8.0,
+    peak_power_w=54.0,
+    # 8 mobile cores saturate on much smaller GEMMs than a 64-core EPYC
+    gemm_saturation_flops=40e6,
+)
+
+#: AMD XDNA NPU (Phoenix): 10 TOPS int8 published, bf16 at half rate.  There
+#: is no fp32 datapath — NPU deployment toolchains cast fp32 GEMMs to bf16
+#: (the standard Vitis-AI / ONNX-EP path), so the f32 entry is the bf16
+#: rate.  A pure matrix engine otherwise: the AIE tiles' scalar/vector units
+#: are tiny next to the systolic arrays, kernel dispatch goes through a
+#: driver round trip, and operands stream over a fabric DMA — exactly the
+#: profile that makes non-GEMM offload unprofitable.
+XDNA_NPU = DeviceSpec(
+    name="amd-xdna-npu",
+    kind=DeviceKind.NPU,
+    gemm_flops_f32=5.0e12,
+    gemm_flops_f16=5.0e12,
+    gemm_flops_i8=10.0e12,
+    vector_flops=0.15e12,
+    mem_bandwidth=35e9,
+    kernel_launch_s=30e-6,
+    idle_power_w=0.3,
+    peak_power_w=10.0,
+    gemm_saturation_flops=150e6,
+)
+
+#: AMD Radeon 780M (RDNA3 iGPU): 12 CUs / 768 shaders @ 2.7 GHz — ~4.1
+#: Tflop/s f32 (8.3 with dual-issue, rarely achieved), double-rate fp16,
+#: WMMA int8.  No dedicated VRAM: it shares the SoC's DDR5 bandwidth, which
+#: is the edge squeeze next to an A100's 2 TB/s of HBM.
+RADEON_780M = DeviceSpec(
+    name="amd-radeon-780m",
+    kind=DeviceKind.GPU,
+    gemm_flops_f32=4.1e12,
+    gemm_flops_f16=8.3e12,
+    gemm_flops_i8=16.6e12,
+    vector_flops=2.0e12,
+    mem_bandwidth=89.6e9,
+    kernel_launch_s=6.0e-6,
+    idle_power_w=2.0,
+    peak_power_w=45.0,
+    gemm_saturation_flops=200e6,
+)
+
+
+_DEVICES: dict[str, DeviceSpec] = {}
+
+
+def register_device(spec: DeviceSpec, replace: bool = False) -> DeviceSpec:
+    """Register a device preset for :func:`get_device` lookup.
+
+    Mirrors :func:`repro.flows.register_flow`: returns the spec so it can be
+    used as-is after registration.
+    """
+    if spec.name in _DEVICES and not replace:
+        raise RegistryError(f"device {spec.name!r} already registered")
+    _DEVICES[spec.name] = spec
+    return spec
+
+
+for _spec in (A100, RTX4090, EPYC_7763, I9_13900K, RYZEN_7940HS, XDNA_NPU, RADEON_780M):
+    register_device(_spec)
 
 
 def get_device(name: str) -> DeviceSpec:
@@ -134,3 +251,8 @@ def get_device(name: str) -> DeviceSpec:
     except KeyError:
         known = ", ".join(sorted(_DEVICES))
         raise RegistryError(f"unknown device {name!r}; known: {known}") from None
+
+
+def list_devices() -> list[DeviceSpec]:
+    """All registered device presets, sorted by name."""
+    return [_DEVICES[name] for name in sorted(_DEVICES)]

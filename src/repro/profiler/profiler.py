@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.flows.base import DeploymentFlow
 from repro.flows.plan import ExecutionPlan
+from repro.hardware.device import DeviceKind, as_device_kind
 from repro.hardware.platform import Platform
 from repro.ir.graph import Graph
 from repro.hardware.cost_model import BOUND_LABELS
@@ -64,7 +65,7 @@ def profile_graph(
     graph: Graph,
     flow: DeploymentFlow,
     platform: Platform,
-    use_gpu: bool = True,
+    use_gpu: "bool | str | DeviceKind" = True,
     batch_size: int = 1,
     iterations: int = 5,
     seed: int = 0,
@@ -72,13 +73,20 @@ def profile_graph(
 ) -> ProfileResult:
     """Profile one model graph under one deployment flow on one platform.
 
+    ``use_gpu`` keeps its historical name and booleans but accepts any
+    :class:`~repro.hardware.device.DeviceKind` (or device-mode string) as
+    the placement target; targets the platform lacks fall back to the host
+    CPU, exactly as missing GPUs always have.
+
     ``graph`` may also be a lazy :class:`~repro.sweep.cache.GraphRef`: the
     whole profile is derivable from the cached/stored plan and memory
     profile, so when both tiers are warm the graph is never built.
     """
-    if use_gpu and not platform.has_gpu:
-        use_gpu = False
-    plan = cached_lower(flow, graph, use_gpu)
+    target = as_device_kind(use_gpu)
+    if target is not DeviceKind.CPU and not platform.has_device(target):
+        target = DeviceKind.CPU
+    use_gpu = target is not DeviceKind.CPU
+    plan = cached_lower(flow, graph, target)
     baseline = simulate(plan, platform)
     rng = np.random.default_rng(seed)
 
@@ -111,12 +119,12 @@ def profile_graph(
         flow=flow.name,
         platform=platform,
         use_gpu=use_gpu,
+        target=target,
         batch_size=batch_size,
         iterations=iterations,
         total_latency_s=float(totals.mean()),
         total_latency_std_s=float(totals.std()) / math.sqrt(max(iterations, 1)),
-        gpu_energy_j=baseline.gpu_energy_j * scale,
-        cpu_energy_j=baseline.cpu_energy_j * scale,
+        energy_j={kind: joules * scale for kind, joules in baseline.energy_j.items()},
         peak_memory_bytes=memory.peak_total_bytes,
         # the kernels partition the graph's compute nodes exactly (enforced
         # by ExecutionPlan.validate at lowering time), so this equals

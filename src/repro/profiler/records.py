@@ -88,6 +88,8 @@ class ProfileResult:
         total_latency_std_s: float = 0.0,
         gpu_energy_j: float = 0.0,
         cpu_energy_j: float = 0.0,
+        energy_j: dict[DeviceKind, float] | None = None,
+        target: DeviceKind | None = None,
         peak_memory_bytes: int = 0,
         num_graph_ops: int = 0,
         num_kernels: int = 0,
@@ -104,12 +106,24 @@ class ProfileResult:
         self.flow = flow
         self.platform = platform
         self.use_gpu = use_gpu
+        #: the placement target this profile ran against (None when the
+        #: caller used the legacy boolean API and didn't name a device).
+        self.target = target if target is not None else (
+            DeviceKind.GPU if use_gpu else DeviceKind.CPU
+        )
         self.batch_size = batch_size
         self.iterations = iterations
         self.total_latency_s = total_latency_s
         self.total_latency_std_s = total_latency_std_s
-        self.gpu_energy_j = gpu_energy_j
-        self.cpu_energy_j = cpu_energy_j
+        if energy_j is None:
+            # legacy two-field construction: fold into the per-device dict
+            energy_j = {}
+            if gpu_energy_j:
+                energy_j[DeviceKind.GPU] = gpu_energy_j
+            if cpu_energy_j:
+                energy_j[DeviceKind.CPU] = cpu_energy_j
+        #: joules per device kind over the simulated run (idle + dynamic).
+        self.energy_j: dict[DeviceKind, float] = dict(energy_j)
         self.peak_memory_bytes = peak_memory_bytes
         self.num_graph_ops = num_graph_ops
         self.num_kernels = num_kernels
@@ -175,6 +189,14 @@ class ProfileResult:
         return self
 
     # -- aggregation -----------------------------------------------------------
+
+    @property
+    def gpu_energy_j(self) -> float:
+        return self.energy_j.get(DeviceKind.GPU, 0.0)
+
+    @property
+    def cpu_energy_j(self) -> float:
+        return self.energy_j.get(DeviceKind.CPU, 0.0)
 
     @property
     def total_latency_ms(self) -> float:
@@ -253,7 +275,7 @@ class ProfileResult:
         return sorted(records, key=lambda r: r.latency_s, reverse=True)[:n]
 
     def describe(self) -> str:
-        device = "CPU+GPU" if self.use_gpu else "CPU"
+        device = f"CPU+{self.target.value.upper()}" if self.use_gpu else "CPU"
         return (
             f"{self.model} b{self.batch_size} [{self.flow}, platform {self.platform.platform_id},"
             f" {device}]: {self.total_latency_ms:.2f} ms,"

@@ -13,7 +13,8 @@ from pathlib import Path
 from repro.hardware.device import DeviceKind
 from repro.profiler.records import ProfileResult
 
-_PID = {"cpu": 1, "gpu": 2}
+#: one trace track per device kind, in DeviceKind declaration order.
+_PID = {kind.value: pid for pid, kind in enumerate(DeviceKind, start=1)}
 
 
 def trace_events(profile: ProfileResult) -> list[dict]:
@@ -30,7 +31,7 @@ def trace_events(profile: ProfileResult) -> list[dict]:
     cursor = 0.0  # microseconds; kernels laid out serially as simulated
     for record in profile.records:
         duration_us = record.latency_s * 1e6
-        device = "gpu" if record.device is DeviceKind.GPU else "cpu"
+        device = record.device.value
         events.append(
             {
                 "name": record.name,

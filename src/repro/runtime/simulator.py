@@ -2,8 +2,16 @@
 
 Walks a lowered :class:`~repro.flows.plan.ExecutionPlan` on a
 :class:`~repro.hardware.platform.Platform`, estimating each kernel with the
-roofline cost model, adding PCIe transfers for CPU-fallback kernels, and
-integrating the power model for energy.
+roofline cost model, adding interconnect transfers for kernels forced off the
+plan's target device, and integrating the power model for energy.
+
+The hardware model is N-device: kernels carry a :class:`DeviceKind`, the
+platform contributes one parameter table per device kind plus a directed
+link table, and energy is accounted per device.  Transfers are priced on the
+link between the kernel's device and its *peer* — the plan's target device
+for host kernels (fallback ops pull operands off the accelerator), the host
+CPU for accelerator kernels (sync readbacks) — which reduces to the historic
+single PCIe hop on two-device platforms.
 
 Two implementations produce bit-identical results:
 
@@ -15,7 +23,7 @@ Two implementations produce bit-identical results:
 * :func:`simulate_reference` — the original kernel-by-kernel loop over the
   scalar :func:`~repro.hardware.cost_model.estimate_kernel`.  It is kept as
   the executable specification; the equivalence tests assert the vectorized
-  path matches it exactly.
+  path matches it exactly on every registered platform.
 """
 
 from __future__ import annotations
@@ -26,12 +34,13 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.errors import RegistryError
 from repro.flows.plan import ExecutionPlan, PlannedKernel
 from repro.hardware.calibration import (
     FALLBACK_SYNC_S,
-    PCIE_LATENCY_S,
+    DispatchProfile,
     dispatch_profile,
-    efficiency_for,
+    efficiency_for_kind,
 )
 from repro.hardware.cost_model import (
     BatchEstimates,
@@ -49,6 +58,11 @@ from repro.ops.base import OpCategory
 _CATEGORIES = tuple(OpCategory)
 _CATEGORY_INDEX = {category: i for i, category in enumerate(_CATEGORIES)}
 
+#: stable device-kind order for the per-kind parameter tables and the plan
+#: arrays' device column (rows: CPU, GPU, NPU — DeviceKind declaration order).
+_DEVICE_KINDS = tuple(DeviceKind)
+_KIND_INDEX = {kind: i for i, kind in enumerate(_DEVICE_KINDS)}
+
 #: dtype codes for GEMM peak selection: f32 (TF32-scalable), f16/bf16, i8,
 #: and "other" (falls back to the f32 pipe rate but never gets the TF32 scale).
 _DTYPE_F32, _DTYPE_F16, _DTYPE_I8, _DTYPE_OTHER = 0, 1, 2, 3
@@ -62,9 +76,14 @@ _DTYPE_CODE = {
 #: attribute used to cache the platform-independent arrays on a plan.
 _PLAN_ARRAYS_ATTR = "_simulator_arrays"
 
-#: lazily-built efficiency lookup tables indexed [is_gpu, category]; the
+#: lazily-built efficiency lookup tables indexed [device_kind, category]; the
 #: calibration data is static, so they are computed once per process.
 _EFF_TABLES: tuple[np.ndarray, np.ndarray] | None = None
+
+#: per-DispatchProfile [device_kind, is_metadata] overhead tables, keyed by
+#: the (frozen, hashable) profile itself so replaced registry entries can
+#: never alias a recycled object id.
+_DISPATCH_TABLES: dict[DispatchProfile, np.ndarray] = {}
 
 
 def _efficiency_tables() -> tuple[np.ndarray, np.ndarray]:
@@ -73,18 +92,32 @@ def _efficiency_tables() -> tuple[np.ndarray, np.ndarray]:
         _EFF_TABLES = (
             np.array(
                 [
-                    [efficiency_for(c, is_gpu=False).compute for c in _CATEGORIES],
-                    [efficiency_for(c, is_gpu=True).compute for c in _CATEGORIES],
+                    [efficiency_for_kind(c, kind).compute for c in _CATEGORIES]
+                    for kind in _DEVICE_KINDS
                 ]
             ),
             np.array(
                 [
-                    [efficiency_for(c, is_gpu=False).memory for c in _CATEGORIES],
-                    [efficiency_for(c, is_gpu=True).memory for c in _CATEGORIES],
+                    [efficiency_for_kind(c, kind).memory for c in _CATEGORIES]
+                    for kind in _DEVICE_KINDS
                 ]
             ),
         )
     return _EFF_TABLES
+
+
+def _dispatch_table(profile: DispatchProfile) -> np.ndarray:
+    """[device_kind, metadata_only] dispatch overheads for one profile."""
+    table = _DISPATCH_TABLES.get(profile)
+    if table is None:
+        table = np.array(
+            [
+                [profile.dispatch_for(kind, False), profile.dispatch_for(kind, True)]
+                for kind in _DEVICE_KINDS
+            ]
+        )
+        _DISPATCH_TABLES[profile] = table
+    return table
 
 
 @dataclass(frozen=True)
@@ -105,7 +138,7 @@ class PlanArrays:
     """Platform-independent per-kernel arrays lifted from a plan once."""
 
     category_idx: np.ndarray  # int index into _CATEGORIES
-    on_gpu: np.ndarray  # bool: kernel.device is GPU
+    device_idx: np.ndarray  # int index into _DEVICE_KINDS (kernel.device)
     is_gemm: np.ndarray
     flops: np.ndarray
     total_bytes: np.ndarray
@@ -122,12 +155,12 @@ def plan_arrays(plan: ExecutionPlan) -> PlanArrays:
     cached = getattr(plan, _PLAN_ARRAYS_ATTR, None)
     if cached is not None:
         return cached
-    gpu = DeviceKind.GPU
     gemm = OpCategory.GEMM
+    kind_index = _KIND_INDEX
     columns = [
         (
             _CATEGORY_INDEX[k.category],
-            k.device is gpu,
+            kind_index[k.device],
             k.category is gemm,
             k.cost.flops,
             k.cost.total_bytes,
@@ -141,13 +174,13 @@ def plan_arrays(plan: ExecutionPlan) -> PlanArrays:
         for k in plan.kernels
     ]
     if columns:
-        (cat, on_gpu, is_gemm, flops, nbytes, meta, custom, launches, dcode,
+        (cat, didx, is_gemm, flops, nbytes, meta, custom, launches, dcode,
          tin, tout) = zip(*columns)
     else:
-        cat = on_gpu = is_gemm = flops = nbytes = meta = custom = launches = dcode = tin = tout = ()
+        cat = didx = is_gemm = flops = nbytes = meta = custom = launches = dcode = tin = tout = ()
     arrays = PlanArrays(
         category_idx=np.array(cat, dtype=np.int64),
-        on_gpu=np.array(on_gpu, dtype=bool),
+        device_idx=np.array(didx, dtype=np.int64),
         is_gemm=np.array(is_gemm, dtype=bool),
         flops=np.array(flops, dtype=np.float64),
         total_bytes=np.array(nbytes, dtype=np.float64),
@@ -162,8 +195,106 @@ def plan_arrays(plan: ExecutionPlan) -> PlanArrays:
     return arrays
 
 
+@dataclass(frozen=True)
+class DeviceTables:
+    """Per-device-kind simulation parameters of one platform.
+
+    Every array has one row per :class:`DeviceKind`; rows for kinds the
+    platform lacks hold inert fill values and are guarded by ``present`` —
+    the simulator raises before ever gathering through an absent row.
+    """
+
+    present: np.ndarray  # bool: platform has a device of this kind
+    is_gpu: np.ndarray  # bool: kind is GPU (gates the TF32 f32 scale)
+    is_async: np.ndarray  # bool: dispatch overlaps device work
+    gemm_peak: np.ndarray  # [kind, dtype_code] peak GEMM flops
+    gemm_saturation: np.ndarray
+    vector_flops: np.ndarray
+    mem_bandwidth: np.ndarray
+    kernel_launch_s: np.ndarray
+
+
+def _device_tables(platform: Platform) -> DeviceTables:
+    """``platform``'s per-kind parameter tables, built once and cached."""
+    cache: dict = platform.__dict__.setdefault("_sim_tables", {})
+    tables = cache.get("device")
+    if tables is None:
+        n = len(_DEVICE_KINDS)
+        present = np.zeros(n, dtype=bool)
+        is_gpu = np.zeros(n, dtype=bool)
+        is_async = np.zeros(n, dtype=bool)
+        gemm_peak = np.zeros((n, 4), dtype=np.float64)
+        saturation = np.zeros(n, dtype=np.float64)
+        vector = np.full(n, 1.0, dtype=np.float64)
+        bandwidth = np.full(n, 1.0, dtype=np.float64)
+        launch = np.zeros(n, dtype=np.float64)
+        for spec in platform.devices:
+            row = _KIND_INDEX[spec.kind]
+            present[row] = True
+            is_gpu[row] = spec.is_gpu
+            is_async[row] = spec.async_dispatch
+            gemm_peak[row] = (
+                spec.gemm_flops_f32,
+                spec.gemm_flops_f16,
+                spec.gemm_flops_i8,
+                spec.gemm_flops_f32,
+            )
+            saturation[row] = spec.gemm_saturation_flops
+            vector[row] = spec.vector_flops
+            bandwidth[row] = spec.mem_bandwidth
+            launch[row] = spec.kernel_launch_s
+        tables = DeviceTables(
+            present=present,
+            is_gpu=is_gpu,
+            is_async=is_async,
+            gemm_peak=gemm_peak,
+            gemm_saturation=saturation,
+            vector_flops=vector,
+            mem_bandwidth=bandwidth,
+            kernel_launch_s=launch,
+        )
+        cache["device"] = tables
+    return tables
+
+
+def _transfer_peer(target: DeviceKind, kind: DeviceKind) -> DeviceKind:
+    """The other end of a kernel's transfers.
+
+    Host kernels exchange data with the plan's target accelerator (fallback
+    ops pull operands off it and push results back); accelerator kernels
+    exchange with the host (sync readbacks).  On a CPU+GPU platform this is
+    the historic single PCIe hop in both cases.
+    """
+    return target if kind is DeviceKind.CPU else DeviceKind.CPU
+
+
+def _transfer_tables(platform: Platform, target: DeviceKind) -> np.ndarray:
+    """[kind, 4] link parameters: in-latency, in-bandwidth (peer -> kind)
+    and out-latency, out-bandwidth (kind -> peer).  Same-device rows price
+    to zero (latency 0, infinite bandwidth)."""
+    cache: dict = platform.__dict__.setdefault("_sim_tables", {})
+    key = ("transfer", target)
+    table = cache.get(key)
+    if table is None:
+        table = np.zeros((len(_DEVICE_KINDS), 4), dtype=np.float64)
+        for row, kind in enumerate(_DEVICE_KINDS):
+            peer = _transfer_peer(target, kind)
+            inbound = platform.link(peer, kind)
+            outbound = platform.link(kind, peer)
+            table[row, 0] = 0.0 if inbound is None else inbound.latency_s
+            table[row, 1] = np.inf if inbound is None else inbound.bandwidth
+            table[row, 2] = 0.0 if outbound is None else outbound.latency_s
+            table[row, 3] = np.inf if outbound is None else outbound.bandwidth
+        cache[key] = table
+    return table
+
+
 class SimulationResult:
     """Timeline of one simulated inference.
+
+    Energy is accounted per device: :attr:`energy_j` maps each of the
+    platform's device kinds to joules; the historical ``gpu_energy_j`` /
+    ``cpu_energy_j`` fields remain as read-only views into it.
 
     The vectorized simulator stores per-kernel latencies and bound labels as
     arrays; the :attr:`records` list of :class:`KernelRecord` objects is
@@ -176,20 +307,26 @@ class SimulationResult:
         platform: Platform,
         records: list[KernelRecord] | None = None,
         total_latency_s: float = 0.0,
-        gpu_energy_j: float = 0.0,
-        cpu_energy_j: float = 0.0,
+        energy_j: dict[DeviceKind, float] | None = None,
         estimates: BatchEstimates | None = None,
         transfer_s: np.ndarray | None = None,
     ):
         self.plan = plan
         self.platform = platform
         self.total_latency_s = total_latency_s
-        self.gpu_energy_j = gpu_energy_j
-        self.cpu_energy_j = cpu_energy_j
+        self.energy_j: dict[DeviceKind, float] = dict(energy_j or {})
         self._records = records
         self._estimates = estimates
         self._transfer_s = transfer_s
         self._latencies: np.ndarray | None = None
+
+    @property
+    def gpu_energy_j(self) -> float:
+        return self.energy_j.get(DeviceKind.GPU, 0.0)
+
+    @property
+    def cpu_energy_j(self) -> float:
+        return self.energy_j.get(DeviceKind.CPU, 0.0)
 
     @property
     def total_latency_ms(self) -> float:
@@ -255,6 +392,28 @@ def use_reference_backend() -> Iterator[None]:
         _BACKEND = previous
 
 
+def _raise_missing_devices(
+    plan: ExecutionPlan, platform: Platform, missing_mask: np.ndarray
+) -> None:
+    """Raise a :class:`RegistryError` naming the kernels placed on device
+    kinds the platform lacks (the old path re-called ``platform.device``
+    solely to re-raise its error, losing the offending kernels)."""
+    rows = np.unique(plan_arrays(plan).device_idx[missing_mask])
+    kinds = sorted(_DEVICE_KINDS[row].value.upper() for row in rows)
+    offenders = [
+        kernel.name
+        for kernel, absent in zip(plan.kernels, missing_mask)
+        if absent
+    ]
+    shown = ", ".join(offenders[:5])
+    if len(offenders) > 5:
+        shown += f", ... ({len(offenders)} total)"
+    raise RegistryError(
+        f"platform {platform.platform_id} has no {'/'.join(kinds)},"
+        f" required by plan {plan.flow!r} kernels: {shown}"
+    )
+
+
 def simulate(plan: ExecutionPlan, platform: Platform) -> SimulationResult:
     """Estimate the wall-clock timeline of ``plan`` on ``platform``.
 
@@ -263,49 +422,28 @@ def simulate(plan: ExecutionPlan, platform: Platform) -> SimulationResult:
     if _BACKEND == "reference":
         return simulate_reference(plan, platform)
     arrays = plan_arrays(plan)
-    if arrays.on_gpu.any() and not platform.has_gpu:
-        platform.device(DeviceKind.GPU)  # raises the same RegistryError
+    tables = _device_tables(platform)
+    didx = arrays.device_idx
+    present = tables.present[didx]
+    if not present.all():
+        _raise_missing_devices(plan, platform, ~present)
     profile = dispatch_profile(plan.dispatch_profile)
-    cpu = platform.cpu
-    gpu = platform.gpu if platform.has_gpu else platform.cpu
-    on_gpu = arrays.on_gpu
-
-    def per_device(gpu_value: float, cpu_value: float) -> np.ndarray:
-        return np.where(on_gpu, gpu_value, cpu_value)
+    is_gpu = tables.is_gpu[didx]
 
     eff_compute_table, eff_memory_table = _efficiency_tables()
-    gpu_row = on_gpu.astype(np.int64)
-    eff_compute = eff_compute_table[gpu_row, arrays.category_idx]
-    eff_memory = eff_memory_table[gpu_row, arrays.category_idx]
+    eff_compute = eff_compute_table[didx, arrays.category_idx]
+    eff_memory = eff_memory_table[didx, arrays.category_idx]
 
-    dispatch_s = np.where(
-        on_gpu,
-        np.where(arrays.metadata_only, profile.gpu_metadata, profile.gpu_kernel),
-        np.where(arrays.metadata_only, profile.cpu_metadata, profile.cpu_kernel),
-    )
+    dispatch_s = _dispatch_table(profile)[didx, arrays.metadata_only.astype(np.int64)]
 
-    def gemm_peak_for(device: DeviceSpec) -> np.ndarray:
-        peaks = np.array(
-            [
-                device.gemm_flops_f32,
-                device.gemm_flops_f16,
-                device.gemm_flops_i8,
-                device.gemm_flops_f32,
-            ]
-        )
-        return peaks[arrays.dtype_code]
-
-    gemm_peak = np.where(on_gpu, gemm_peak_for(gpu), gemm_peak_for(cpu))
+    gemm_peak = tables.gemm_peak[didx, arrays.dtype_code]
     # eager PyTorch ships with TF32 disabled; engine flows scale the f32 pipe.
-    f32_on_gpu = (arrays.dtype_code == _DTYPE_F32) & on_gpu
+    f32_on_gpu = (arrays.dtype_code == _DTYPE_F32) & is_gpu
     gemm_peak = np.where(f32_on_gpu, gemm_peak * plan.gemm_peak_scale_f32, gemm_peak)
-    saturation_flops = (
-        per_device(gpu.gemm_saturation_flops, cpu.gemm_saturation_flops)
-        * plan.gemm_saturation_scale
-    )
+    saturation_flops = tables.gemm_saturation[didx] * plan.gemm_saturation_scale
 
     estimates = estimate_kernels_batch(
-        is_gpu=on_gpu,
+        is_async=tables.is_async[didx],
         is_gemm=arrays.is_gemm,
         flops=arrays.flops,
         total_bytes=arrays.total_bytes,
@@ -317,18 +455,19 @@ def simulate(plan: ExecutionPlan, platform: Platform) -> SimulationResult:
         eff_memory=eff_memory,
         gemm_peak=gemm_peak,
         gemm_saturation_flops=saturation_flops,
-        vector_flops=per_device(gpu.vector_flops, cpu.vector_flops),
-        mem_bandwidth=per_device(gpu.mem_bandwidth, cpu.mem_bandwidth),
-        kernel_launch_s=per_device(gpu.kernel_launch_s, cpu.kernel_launch_s),
+        vector_flops=tables.vector_flops[didx],
+        mem_bandwidth=tables.mem_bandwidth[didx],
+        kernel_launch_s=tables.kernel_launch_s[didx],
     )
 
+    links = _transfer_tables(platform, plan.target)[didx]
     transfer_s = np.where(
         arrays.transfer_in > 0.0,
-        (PCIE_LATENCY_S + arrays.transfer_in / platform.pcie_bandwidth) + FALLBACK_SYNC_S,
+        (links[:, 0] + arrays.transfer_in / links[:, 1]) + FALLBACK_SYNC_S,
         0.0,
     ) + np.where(
         arrays.transfer_out > 0.0,
-        (PCIE_LATENCY_S + arrays.transfer_out / platform.pcie_bandwidth) + FALLBACK_SYNC_S,
+        (links[:, 2] + arrays.transfer_out / links[:, 3]) + FALLBACK_SYNC_S,
         0.0,
     )
 
@@ -339,22 +478,18 @@ def simulate(plan: ExecutionPlan, platform: Platform) -> SimulationResult:
     wall = float(np.cumsum(latencies)[-1]) if len(latencies) else 0.0
 
     utilization = estimates.utilization
-    cpu_energy = _device_energy(
-        cpu, ~on_gpu, utilization, estimates.device_s, wall
-    )
-    if platform.has_gpu:
-        gpu_energy = _device_energy(
-            platform.gpu, on_gpu, utilization, estimates.device_s, wall
+    energy = {
+        spec.kind: _device_energy(
+            spec, didx == _KIND_INDEX[spec.kind], utilization, estimates.device_s, wall
         )
-    else:
-        gpu_energy = 0.0
+        for spec in platform.devices
+    }
 
     return SimulationResult(
         plan=plan,
         platform=platform,
         total_latency_s=wall,
-        gpu_energy_j=gpu_energy,
-        cpu_energy_j=cpu_energy,
+        energy_j=energy,
         estimates=estimates,
         transfer_s=transfer_s,
     )
@@ -382,8 +517,8 @@ def simulate_reference(plan: ExecutionPlan, platform: Platform) -> SimulationRes
     """
     profile = dispatch_profile(plan.dispatch_profile)
     result = SimulationResult(plan=plan, platform=platform, records=[])
-    gpu_acc = EnergyAccumulator(platform.gpu) if platform.has_gpu else None
-    cpu_acc = EnergyAccumulator(platform.cpu)
+    accumulators = {spec.kind: EnergyAccumulator(spec) for spec in platform.devices}
+    target = plan.target
 
     for kernel in plan.kernels:
         device = platform.device(kernel.device)
@@ -392,27 +527,34 @@ def simulate_reference(plan: ExecutionPlan, platform: Platform) -> SimulationRes
             category=kernel.category,
             cost=kernel.cost,
             dtype=kernel.dtype,
-            dispatch_s=profile.dispatch_s(device.is_gpu, kernel.metadata_only),
+            dispatch_s=profile.dispatch_for(device.kind, kernel.metadata_only),
             is_custom=kernel.is_custom,
             metadata_only=kernel.metadata_only,
             launch_count=kernel.launch_count,
             gemm_peak_scale_f32=plan.gemm_peak_scale_f32,
             gemm_saturation_scale=plan.gemm_saturation_scale,
         )
+        peer = _transfer_peer(target, kernel.device)
         transfer_s = 0.0
         if kernel.transfer_bytes_in:
-            transfer_s += platform.transfer_time(kernel.transfer_bytes_in) + FALLBACK_SYNC_S
+            transfer_s += (
+                platform.transfer_time(peer, kernel.device, kernel.transfer_bytes_in)
+                + FALLBACK_SYNC_S
+            )
         if kernel.transfer_bytes_out:
-            transfer_s += platform.transfer_time(kernel.transfer_bytes_out) + FALLBACK_SYNC_S
+            transfer_s += (
+                platform.transfer_time(kernel.device, peer, kernel.transfer_bytes_out)
+                + FALLBACK_SYNC_S
+            )
         record = KernelRecord(kernel=kernel, estimate=estimate, transfer_s=transfer_s)
         result.records.append(record)
         result.total_latency_s += record.latency_s
-        if kernel.device is DeviceKind.GPU and gpu_acc is not None:
-            gpu_acc.add_kernel(estimate)
-        elif kernel.device is DeviceKind.CPU:
-            cpu_acc.add_kernel(estimate)
+        accumulator = accumulators.get(kernel.device)
+        if accumulator is not None:
+            accumulator.add_kernel(estimate)
 
     wall = result.total_latency_s
-    result.cpu_energy_j = cpu_acc.total_j(wall)
-    result.gpu_energy_j = gpu_acc.total_j(wall) if gpu_acc is not None else 0.0
+    result.energy_j = {
+        kind: accumulator.total_j(wall) for kind, accumulator in accumulators.items()
+    }
     return result

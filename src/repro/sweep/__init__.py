@@ -42,6 +42,7 @@ _LAZY = {
     "DIMENSIONS": "repro.sweep.spec",
     "DEVICE_GPU": "repro.sweep.spec",
     "DEVICE_CPU": "repro.sweep.spec",
+    "DEVICE_MODES": "repro.sweep.spec",
     "SweepRecord": "repro.sweep.runner",
     "SweepResult": "repro.sweep.runner",
     "SweepRunner": "repro.sweep.runner",

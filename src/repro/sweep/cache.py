@@ -10,7 +10,7 @@ expensive, structurally-pure stages behind a **two-tier cache**:
 
   - ``build_model``       keyed by ``(model, batch_size, overrides)``
   - ``DeploymentFlow.lower`` keyed by
-    ``(flow.pipeline_signature(), graph.content_hash(), use_gpu)``
+    ``(flow.pipeline_signature(), graph.content_hash(), device_mode)``
   - ``profile_memory``    keyed by ``graph.content_hash()``
   - graph transforms (e.g. LLM.int8()) keyed by ``(name, graph.content_hash())``
 
@@ -43,6 +43,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
+from repro.hardware.device import DeviceKind, as_device_kind
 from repro.ir.graph import Graph, derived_hash
 from repro.models import build_model
 from repro.sweep.store import (
@@ -321,29 +322,32 @@ class PlanCache:
         )
 
     def plan(
-        self, flow: "DeploymentFlow", graph: Graph | GraphRef, use_gpu: bool
+        self, flow: "DeploymentFlow", graph: Graph | GraphRef, use_gpu: "bool | str | DeviceKind"
     ) -> "ExecutionPlan":
         """Memoized ``flow.lower(graph, use_gpu)``.
 
-        Keyed by the flow's :meth:`~repro.flows.base.DeploymentFlow.pipeline_signature`
-        and the graph's content hash: the signature is a stable content hash
-        over the flow's pass pipeline and tuning knobs, so cache entries
-        survive pass-internal refactors but can never be served to a flow
-        variant whose knobs differ (e.g. a subclass that keeps the name).
-        Misses fall through to the persistent store (the plan is rebuilt
-        around the caller's graph handle without lowering); a full miss is
-        served by re-targeting the sibling device's plan when the flow
-        places uniformly, else by a fresh lowering — and the result is
-        persisted for future processes.
+        Keyed by the flow's :meth:`~repro.flows.base.DeploymentFlow.pipeline_signature`,
+        the graph's content hash, and the lowering target's device-mode
+        encoding (``use_gpu`` accepts the historical booleans, device-mode
+        strings, and :class:`~repro.hardware.device.DeviceKind` values): the
+        signature is a stable content hash over the flow's pass pipeline and
+        tuning knobs, so cache entries survive pass-internal refactors but
+        can never be served to a flow variant whose knobs differ (e.g. a
+        subclass that keeps the name).  Misses fall through to the persistent
+        store (the plan is rebuilt around the caller's graph handle without
+        lowering); a full miss is served by re-targeting a sibling target's
+        plan when the flow places uniformly, else by a fresh lowering — and
+        the result is persisted for future processes.
         """
+        target = as_device_kind(use_gpu)
         if not self._enabled:
-            return flow.lower(graph.materialize(), use_gpu=use_gpu)
+            return flow.lower(graph.materialize(), use_gpu=target)
         graph_hash = graph.content_hash()
         # the pipeline signature covers declared knobs; the flow identity
         # additionally pins the *source* of any out-of-tree flow or pass, so
         # editing custom lowering code can never reuse a stale store entry.
         pipeline_sig = flow.pipeline_signature() + self._flow_identity(flow)
-        key = ("plan", pipeline_sig, graph_hash, use_gpu)
+        key = ("plan", pipeline_sig, graph_hash, target.value)
         cached = self._get(key)
         if cached is not None:
             return cached  # type: ignore[return-value]
@@ -355,11 +359,17 @@ class PlanCache:
         self.stats.miss("plan")
         sibling = None
         if flow.supports_derivation():
-            sibling = self._peek(("plan", pipeline_sig, graph_hash, not use_gpu))
+            # any other target's plan derives this one for uniform flows
+            for other in DeviceKind:
+                if other is target:
+                    continue
+                sibling = self._peek(("plan", pipeline_sig, graph_hash, other.value))
+                if sibling is not None:
+                    break
         if sibling is not None:
-            plan = flow.derive_plan(sibling, use_gpu)
+            plan = flow.derive_plan(sibling, target)
         else:
-            plan = flow.lower(graph.materialize(), use_gpu=use_gpu)
+            plan = flow.lower(graph.materialize(), use_gpu=target)
         if self.store is not None:  # don't pay the columnar encoding for a no-op
             self.store.put(key, plan_payload(plan))
         self._put(key, plan)
@@ -442,7 +452,7 @@ def cached_build_model(model: str, batch_size: int = 1, **overrides) -> Graph:
 
 
 def cached_lower(
-    flow: "DeploymentFlow", graph: Graph | GraphRef, use_gpu: bool
+    flow: "DeploymentFlow", graph: Graph | GraphRef, use_gpu: "bool | str | DeviceKind"
 ) -> "ExecutionPlan":
     return PLAN_CACHE.plan(flow, graph, use_gpu)
 

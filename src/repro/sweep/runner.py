@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import RegistryError
 from repro.flows import get_flow
-from repro.hardware import get_platform
+from repro.hardware import DeviceKind, get_platform
 from repro.profiler.profiler import profile_graph
 from repro.profiler.records import ProfileResult
 from repro.sweep.cache import PLAN_CACHE, cached_transform
@@ -66,8 +66,9 @@ class SweepResult:
 
 def run_point(point: SweepPoint) -> SweepRecord:
     """Profile one sweep point through the memoizing pipeline."""
+    target = point.target
     platform = get_platform(point.platform)
-    if not point.use_gpu:
+    if target is DeviceKind.CPU:
         platform = platform.cpu_only()
     overrides = {} if point.seq_len is None else {"seq_len": point.seq_len}
     transform_stats = None
@@ -89,7 +90,7 @@ def run_point(point: SweepPoint) -> SweepRecord:
             graph,
             get_flow(point.flow),
             platform,
-            use_gpu=point.use_gpu,
+            use_gpu=target,
             batch_size=point.batch_size,
             iterations=point.iterations,
             seed=point.seed,

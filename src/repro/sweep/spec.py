@@ -14,13 +14,18 @@ import itertools
 from dataclasses import dataclass, field, replace
 
 from repro.errors import RegistryError
+from repro.hardware.device import DeviceKind, as_device_kind
 
 #: canonical dimension nesting order; specs may reorder any prefix subset.
 DIMENSIONS = ("platform", "model", "seq_len", "batch_size", "flow", "device", "transform")
 
-#: device axis values: profile with the platform's GPU, or CPU-only.
+#: legacy device axis values (the axis now accepts any registered
+#: :class:`~repro.hardware.device.DeviceKind` value, e.g. ``"npu"``).
 DEVICE_GPU = "gpu"
 DEVICE_CPU = "cpu"
+
+#: every named placement target the ``device`` axis accepts.
+DEVICE_MODES = tuple(kind.value for kind in DeviceKind)
 
 
 @dataclass(frozen=True)
@@ -36,10 +41,20 @@ class SweepPoint:
     transform: str | None = None
     iterations: int = 3
     seed: int = 0
+    #: named placement target from the sweep's ``device`` axis; None means
+    #: the legacy ``use_gpu`` boolean decides (gpu/cpu).
+    device_mode: str | None = None
 
     @property
     def device(self) -> str:
+        if self.device_mode is not None:
+            return self.device_mode
         return DEVICE_GPU if self.use_gpu else DEVICE_CPU
+
+    @property
+    def target(self) -> DeviceKind:
+        """The placement target as a :class:`DeviceKind`."""
+        return as_device_kind(self.device)
 
     def describe(self) -> str:
         parts = [self.model, f"b{self.batch_size}", self.flow, self.platform, self.device]
@@ -104,9 +119,9 @@ class SweepSpec:
             if not self._values(dimension):
                 return []
         for device in self.devices:
-            if device not in (DEVICE_GPU, DEVICE_CPU):
+            if device not in DEVICE_MODES:
                 raise RegistryError(
-                    f"unknown device {device!r}; use {DEVICE_GPU!r} or {DEVICE_CPU!r}"
+                    f"unknown device {device!r}; known modes: {DEVICE_MODES}"
                 )
         points = []
         for combo in itertools.product(*(self._values(d) for d in order)):
@@ -117,11 +132,12 @@ class SweepSpec:
                     model=values["model"],
                     flow=values["flow"],
                     batch_size=values["batch_size"],
-                    use_gpu=values["device"] == DEVICE_GPU,
+                    use_gpu=values["device"] != DEVICE_CPU,
                     seq_len=values["seq_len"],
                     transform=values["transform"],
                     iterations=self.iterations,
                     seed=self.seed,
+                    device_mode=values["device"],
                 )
             )
         return points

@@ -50,9 +50,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 #: kind changes; old entries then miss (and age out) instead of failing to
 #: decode.  Semantic changes to lowering/cost code are covered automatically
 #: by the source-tree fingerprint folded into every key.  When bumping, also
-#: update the hardcoded ``nongemm-artifact-store-v1-`` cache keys in
+#: update the hardcoded ``nongemm-artifact-store-v<N>-`` cache keys in
 #: ``.github/workflows/ci.yml`` so CI stops shipping the dead store around.
-STORE_SCHEMA_VERSION = 1
+#: v2: N-device refactor — plan keys encode a device mode (not a use_gpu
+#: boolean), plan payloads carry a ``target`` kind, and the pre-seeded
+#: ``PlanArrays`` gained a device-index column.
+STORE_SCHEMA_VERSION = 2
 
 #: default size cap; override with REPRO_CACHE_MAX_MB.
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
@@ -566,6 +569,7 @@ def plan_payload(plan: "ExecutionPlan") -> dict:
     return {
         "flow": plan.flow,
         "dispatch_profile": plan.dispatch_profile,
+        "target": plan.target,
         "kernels_columnar": encoded,
         "kernels_pickled": pickled,
         "gemm_peak_scale_f32": plan.gemm_peak_scale_f32,
@@ -597,6 +601,7 @@ def plan_from_payload(payload: dict, graph: "Graph") -> "ExecutionPlan":
         flow=payload["flow"],
         dispatch_profile=payload["dispatch_profile"],
         kernels=kernels,  # type: ignore[arg-type]
+        target=payload["target"],
         gemm_peak_scale_f32=payload["gemm_peak_scale_f32"],
         gemm_saturation_scale=payload["gemm_saturation_scale"],
         notes=payload["notes"],

@@ -46,6 +46,13 @@ def test_custom_flow_passes(capsys):
     assert offloaded and int(offloaded.group(1)) > 0
 
 
+def test_custom_platform(capsys):
+    out = _run_example("custom_platform.py", capsys)
+    assert "hypo-soc" in out
+    assert "npu: hypo-40tops-npu" in out
+    assert "npu offload" in out and "non-GEMM" in out
+
+
 @pytest.mark.slow
 def test_llm_deployment_flows(capsys):
     out = _run_example("llm_deployment_flows.py", capsys)

@@ -1,5 +1,6 @@
 """Unit tests for the hardware layer: devices, platforms, roofline, energy."""
 
+import numpy as np
 import pytest
 
 from repro.errors import RegistryError
@@ -8,13 +9,24 @@ from repro.hardware import (
     EPYC_7763,
     PLATFORM_A,
     PLATFORM_B,
+    PLATFORM_C,
+    RYZEN_7940HS,
+    XDNA_NPU,
     DeviceKind,
     EnergyAccumulator,
+    Link,
+    Platform,
+    as_device_kind,
     dispatch_profile,
+    efficiency_for,
+    efficiency_for_kind,
     estimate_kernel,
     gemm_saturation,
     get_device,
     get_platform,
+    list_platforms,
+    register_device,
+    register_platform,
 )
 from repro.ir.dtype import DType
 from repro.ops.base import OpCategory, OpCost
@@ -54,6 +66,208 @@ class TestPlatforms:
         small = PLATFORM_A.transfer_time(1024)
         large = PLATFORM_A.transfer_time(1024 * 1024 * 100)
         assert large > small > 0
+
+
+class TestDeviceKinds:
+    def test_as_device_kind_accepts_legacy_booleans(self):
+        assert as_device_kind(True) is DeviceKind.GPU
+        assert as_device_kind(False) is DeviceKind.CPU
+
+    def test_as_device_kind_accepts_strings_and_kinds(self):
+        assert as_device_kind("npu") is DeviceKind.NPU
+        assert as_device_kind("GPU") is DeviceKind.GPU
+        assert as_device_kind(DeviceKind.CPU) is DeviceKind.CPU
+        with pytest.raises(RegistryError, match="tpu"):
+            as_device_kind("tpu")
+
+    def test_async_dispatch_per_kind(self):
+        assert A100.async_dispatch and XDNA_NPU.async_dispatch
+        assert not EPYC_7763.async_dispatch
+
+    def test_npu_efficiency_table(self):
+        gemm = efficiency_for_kind(OpCategory.GEMM, DeviceKind.NPU)
+        misc = efficiency_for_kind(OpCategory.MISC, DeviceKind.NPU)
+        assert gemm.compute > 3 * misc.compute  # matrix engine, not much else
+        # CPU/GPU kind lookups read the exact historical tables
+        for category in OpCategory:
+            assert efficiency_for_kind(category, DeviceKind.GPU) == efficiency_for(
+                category, is_gpu=True
+            )
+            assert efficiency_for_kind(category, DeviceKind.CPU) == efficiency_for(
+                category, is_gpu=False
+            )
+
+    def test_dispatch_for_npu_defaults_to_gpu_overheads(self):
+        profile = dispatch_profile("ort")
+        assert profile.dispatch_for(DeviceKind.NPU, False) == profile.gpu_kernel
+        assert profile.dispatch_for(DeviceKind.GPU, True) == profile.gpu_metadata
+        assert profile.dispatch_for(DeviceKind.CPU, False) == profile.cpu_kernel
+
+    def test_register_device_rejects_duplicates(self):
+        with pytest.raises(RegistryError, match="already registered"):
+            register_device(A100)
+
+
+class TestPlatformC:
+    def test_three_devices_one_per_kind(self):
+        assert len(PLATFORM_C.devices) == 3
+        assert PLATFORM_C.kinds == {DeviceKind.CPU, DeviceKind.GPU, DeviceKind.NPU}
+        assert PLATFORM_C.cpu is RYZEN_7940HS
+        assert PLATFORM_C.npu is XDNA_NPU
+        assert PLATFORM_C.device(DeviceKind.NPU).kind is DeviceKind.NPU
+
+    def test_registered_and_listed(self):
+        assert get_platform("c") is PLATFORM_C
+        assert PLATFORM_C in list_platforms()
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(RegistryError, match="two cpu devices"):
+            Platform("dup", "two hosts", devices=(EPYC_7763, RYZEN_7940HS))
+
+    def test_platform_requires_host_cpu(self):
+        with pytest.raises(RegistryError, match="no host CPU"):
+            Platform("headless", "gpu only", devices=(A100,))
+
+    def test_mixed_constructor_forms_rejected(self):
+        with pytest.raises(RegistryError, match="mixes"):
+            Platform("mixed", "both forms", cpu=EPYC_7763, devices=(XDNA_NPU,))
+
+    def test_links_are_read_only(self):
+        with pytest.raises(TypeError):
+            PLATFORM_C.links[(DeviceKind.CPU, DeviceKind.NPU)] = Link(1e9, 1e-6)
+
+    def test_platform_pickles_round_trip(self):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(PLATFORM_C))
+        assert clone.platform_id == "C"
+        assert clone.kinds == PLATFORM_C.kinds
+        one_mb = 1024 * 1024
+        assert clone.transfer_time(
+            DeviceKind.CPU, DeviceKind.NPU, one_mb
+        ) == PLATFORM_C.transfer_time(DeviceKind.CPU, DeviceKind.NPU, one_mb)
+
+
+class TestTransferLinks:
+    def test_same_device_transfer_is_free(self):
+        for kind in DeviceKind:
+            assert PLATFORM_C.transfer_time(kind, kind, 10**9) == 0.0
+        assert PLATFORM_C.link(DeviceKind.CPU, DeviceKind.CPU) is None
+
+    def test_asymmetric_npu_links(self):
+        one_mb = 1024 * 1024
+        down = PLATFORM_C.transfer_time(DeviceKind.CPU, DeviceKind.NPU, one_mb)
+        back = PLATFORM_C.transfer_time(DeviceKind.NPU, DeviceKind.CPU, one_mb)
+        assert down != back
+        assert down == pytest.approx(25e-6 + one_mb / 25e9)
+        assert back == pytest.approx(20e-6 + one_mb / 30e9)
+
+    def test_reverse_entry_serves_undeclared_direction(self):
+        # only (gpu, npu) is declared; the reverse reads the same link
+        forward = PLATFORM_C.link(DeviceKind.GPU, DeviceKind.NPU)
+        assert PLATFORM_C.link(DeviceKind.NPU, DeviceKind.GPU) is forward
+
+    def test_undeclared_pair_falls_back_to_host_link(self):
+        # A/B declare no links: every pair prices as the historical PCIe hop
+        nbytes = 4096
+        assert PLATFORM_A.transfer_time(
+            DeviceKind.GPU, DeviceKind.CPU, nbytes
+        ) == PLATFORM_A.transfer_time(nbytes)
+
+    def test_link_time_formula(self):
+        link = Link(bandwidth=10e9, latency_s=5e-6)
+        assert link.time(10**9) == pytest.approx(5e-6 + 0.1)
+
+
+class TestPlatformRegistry:
+    def test_lowercase_registered_id_is_reachable(self):
+        edge = Platform("edge-soc-test", "lowercase id", cpu=RYZEN_7940HS)
+        register_platform(edge, replace=True)
+        assert get_platform("edge-soc-test") is edge
+        assert get_platform("EDGE-SOC-TEST") is edge
+
+    def test_reserved_cpu_suffix_rejected(self):
+        with pytest.raises(RegistryError, match="reserved"):
+            register_platform(Platform("X-cpu", "derived id", cpu=EPYC_7763))
+
+    def test_cpu_only_ids_resolve_through_registry(self):
+        derived = get_platform("A-cpu")
+        assert derived.platform_id == "A-cpu"
+        assert not derived.has_gpu
+        assert derived is PLATFORM_A.cpu_only()
+        with pytest.raises(RegistryError, match="unknown platform"):
+            get_platform("Z-cpu")
+
+    def test_duplicate_registration_requires_replace(self):
+        with pytest.raises(RegistryError, match="already registered"):
+            register_platform(Platform("A", "twin", cpu=EPYC_7763))
+
+
+class TestDeviceEnergy:
+    def _energy(self, device, mask, utilization, device_s, wall_s):
+        from repro.runtime.simulator import _device_energy
+
+        return _device_energy(
+            device,
+            np.asarray(mask, dtype=bool),
+            np.asarray(utilization, dtype=np.float64),
+            np.asarray(device_s, dtype=np.float64),
+            wall_s,
+        )
+
+    def test_idle_floor_with_no_kernels(self):
+        assert self._energy(A100, [], [], [], 2.0) == pytest.approx(
+            A100.idle_power_w * 2.0
+        )
+
+    def test_zero_utilization_draws_idle_only(self):
+        joules = self._energy(A100, [True], [0.0], [1e-3], 1e-3)
+        assert joules == pytest.approx(A100.idle_power_w * 1e-3)
+
+    def test_metadata_only_kernels_add_no_dynamic_power(self):
+        # metadata-only kernels have device_s == 0, so the mask is irrelevant
+        joules = self._energy(A100, [True, True], [0.0, 1.0], [0.0, 0.0], 1e-3)
+        assert joules == pytest.approx(A100.idle_power_w * 1e-3)
+
+    def test_idle_dynamic_split(self):
+        wall, busy = 2e-3, 1e-3
+        joules = self._energy(A100, [True], [1.0], [busy], wall)
+        expected = A100.idle_power_w * wall + (
+            A100.peak_power_w - A100.idle_power_w
+        ) * busy
+        assert joules == pytest.approx(expected)
+
+    def test_other_devices_kernels_masked_out(self):
+        joules = self._energy(A100, [False], [1.0], [1e-3], 1e-3)
+        assert joules == pytest.approx(A100.idle_power_w * 1e-3)
+
+    def test_matches_accumulator(self):
+        cost = OpCost(flops=10**11, bytes_read=10**7, bytes_written=10**7)
+        est = estimate_kernel(A100, OpCategory.GEMM, cost, DType.F16, dispatch_s=1e-6)
+        acc = EnergyAccumulator(A100)
+        acc.add_kernel(est)
+        vectorized = self._energy(
+            A100, [True], [est.utilization], [est.device_s], est.total_s
+        )
+        assert vectorized == acc.total_j(est.total_s)
+
+
+class TestMissingDeviceError:
+    def test_vectorized_error_names_kernels_and_kind(self):
+        from repro.flows import get_flow
+        from repro.models import build_model
+        from repro.runtime.simulator import simulate
+
+        plan = get_flow("npu-offload").lower(
+            build_model("swin-t", batch_size=1), use_gpu=DeviceKind.NPU
+        )
+        with pytest.raises(RegistryError, match="has no NPU") as excinfo:
+            simulate(plan, PLATFORM_A)
+        message = str(excinfo.value)
+        assert "npu-offload" in message
+        # at least one offending kernel is named
+        npu_kernels = [k.name for k in plan.kernels if k.device is DeviceKind.NPU]
+        assert any(name in message for name in npu_kernels[:5])
 
 
 class TestRoofline:

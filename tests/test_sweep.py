@@ -8,7 +8,7 @@ import pytest
 from repro import ops
 from repro.errors import RegistryError
 from repro.flows import get_flow
-from repro.hardware import PLATFORM_A, PLATFORM_B
+from repro.hardware import PLATFORM_A, PLATFORM_B, DeviceKind, list_platforms
 from repro.ir import Graph, TensorSpec
 from repro.models import build_model
 from repro.profiler import profile_graph
@@ -67,6 +67,69 @@ class TestVectorizedEquivalence:
         assert fast.gpu_energy_j == slow.gpu_energy_j
         assert fast.latency_by_group() == slow.latency_by_group()
         assert fast.records == slow.records
+
+
+class TestPlatformBitIdentity:
+    """Scalar-vs-vectorized equivalence over *every* registered platform,
+    including the 3-device Platform C, on every device target the platform
+    offers — the N-device generalization of the A/B-only battery above."""
+
+    @pytest.mark.parametrize(
+        "platform", list_platforms(), ids=lambda p: p.platform_id
+    )
+    def test_bit_identical_on_every_registered_platform(self, platform):
+        graph = build_model("swin-t", batch_size=1)
+        for flow_name in ("pytorch", "onnxruntime", "npu-offload"):
+            flow = get_flow(flow_name)
+            for kind in sorted(platform.kinds, key=lambda k: k.value):
+                plat = platform.cpu_only() if kind is DeviceKind.CPU else platform
+                plan = flow.lower(graph, use_gpu=kind)
+                fast = simulate(plan, plat)
+                slow = simulate_reference(plan, plat)
+                ref = np.array([r.latency_s for r in slow.records])
+                assert np.array_equal(fast.latencies, ref), (flow_name, kind)
+                assert fast.total_latency_s == slow.total_latency_s
+                assert fast.energy_j == slow.energy_j  # per-device, bit-equal
+                assert fast.bound_labels() == [r.estimate.bound for r in slow.records]
+
+    def test_npu_target_offloads_only_gemm(self):
+        graph = build_model("gpt2", batch_size=1)
+        plan = get_flow("npu-offload").lower(graph, use_gpu=DeviceKind.NPU)
+        assert plan.target is DeviceKind.NPU
+        npu_kernels = [k for k in plan.kernels if k.device is DeviceKind.NPU]
+        assert npu_kernels and all(k.is_gemm for k in npu_kernels)
+        # off-target kernels pay fabric transfers, on-target ones do not
+        assert all(
+            k.transfer_bytes_in == 0 and k.transfer_bytes_out == 0
+            for k in npu_kernels
+            if not k.metadata_only
+        )
+        fallback = [k for k in plan.kernels if k.device is DeviceKind.CPU]
+        assert any(k.transfer_bytes_in > 0 for k in fallback)
+
+    def test_npu_sweep_point_profiles_on_platform_c(self):
+        point = SweepPoint(
+            platform="C", model="segformer", flow="npu-offload",
+            batch_size=1, use_gpu=True, device_mode="npu", iterations=2,
+        )
+        record = run_point(point)
+        profile = record.profile
+        assert profile.target is DeviceKind.NPU
+        assert profile.platform.platform_id == "C"
+        assert DeviceKind.NPU in profile.energy_j
+        assert profile.energy_j[DeviceKind.NPU] > 0.0
+
+    def test_device_axis_rejects_unknown_mode(self):
+        spec = SweepSpec(models=("segformer",), devices=("tpu",))
+        with pytest.raises(RegistryError, match="tpu"):
+            spec.points()
+
+    def test_device_axis_accepts_npu_mode(self):
+        spec = SweepSpec(models=("segformer",), devices=("cpu", "npu"))
+        points = spec.points()
+        assert [p.device for p in points] == ["cpu", "npu"]
+        assert points[1].target is DeviceKind.NPU
+        assert not points[0].use_gpu and points[1].use_gpu
 
 
 class TestDerivedPlans:
