@@ -1,0 +1,84 @@
+"""Serving study: what batching discipline buys under rising load.
+
+Serves gpt2 (decode lengths varying 1..4 tokens) on Platform A's A100 at
+three offered loads — half, one, and four times single-stream capacity —
+under no batching, dynamic batching, and continuous (iteration-level)
+batching, all through the deterministic discrete-event engine.
+
+Run with ``PYTHONPATH=src python examples/serving_study.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving import ServingConfig, ServingEngine, make_trace
+from repro.viz.ascii import render_table
+
+MODEL = "gpt2"
+PLATFORM = "A"
+LOADS = (0.5, 1.0, 4.0)
+SCHEDULERS = ("fifo", "dynamic", "continuous")
+NUM_REQUESTS = 32
+SEED = 0
+
+
+def main() -> None:
+    base_s = ServingEngine(ServingConfig(model=MODEL, platform=PLATFORM)).base_latency_s()
+    print(
+        f"{MODEL} on platform {PLATFORM}: batch-1 latency {base_s * 1e3:.2f} ms"
+        f" -> single-stream capacity {1.0 / base_s:.1f} rps\n"
+    )
+
+    rows = []
+    p99_by_scheduler: dict[str, dict[float, float]] = {}
+    for scheduler in SCHEDULERS:
+        for load in LOADS:
+            engine = ServingEngine(
+                ServingConfig(
+                    model=MODEL,
+                    platform=PLATFORM,
+                    scheduler=scheduler,
+                    max_batch=4,
+                )
+            )
+            rate = load / engine.base_latency_s()
+            trace = make_trace(
+                "poisson",
+                rate,
+                NUM_REQUESTS,
+                rng=np.random.default_rng(SEED),
+                decode_steps=(1, 4),
+            )
+            result = engine.run(trace, offered_rate_rps=rate)
+            p99_by_scheduler.setdefault(scheduler, {})[load] = result.p99_s
+            rows.append(
+                {
+                    "scheduler": scheduler,
+                    "load": load,
+                    "offered_rps": round(rate, 1),
+                    "served_rps": round(result.throughput_rps, 1),
+                    "p50_ms": round(result.p50_s * 1e3, 2),
+                    "p99_ms": round(result.p99_s * 1e3, 2),
+                    "mean_batch": round(result.mean_batch_size, 2),
+                    "non_gemm_busy_pct": round(100 * result.non_gemm_busy_share, 1),
+                }
+            )
+    print(render_table(rows))
+
+    top = max(LOADS)
+    fifo_p99 = p99_by_scheduler["fifo"][top]
+    continuous_p99 = p99_by_scheduler["continuous"][top]
+    print(
+        f"\nat load {top:g}x, continuous batching cuts p99 from"
+        f" {fifo_p99 * 1e3:.1f} ms to {continuous_p99 * 1e3:.1f} ms"
+        f" ({fifo_p99 / continuous_p99:.1f}x) versus no batching"
+    )
+    print(
+        "non-GEMM work stays roughly half of all busy time at every load:"
+        " batching feeds the GEMMs, the non-GEMM horizon remains."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,8 +18,10 @@ Times the figure-6 grid (the repo's heaviest harness) across five tiers:
 * ``engine_warm``       — the engine re-running the same grid in-session,
   the steady state of interactive/sweep workloads.
 
-All tiers produce byte-identical rows (asserted).  Results land in
-``BENCH_sweep.json`` at the repo root for the performance trajectory.
+All tiers produce byte-identical rows (asserted).  Besides the fig6 grid,
+the same five tiers run the N-device Platform C grid and a reduced serving
+grid (the discrete-event engine, gated on its cold-vs-warm ratio).  Results
+land in ``BENCH_sweep.json`` at the repo root for the performance trajectory.
 
 Usage::
 
@@ -56,6 +58,7 @@ SUITE = {
     "table4": lambda: analysis.run_table4(iterations=2),
     "table5": lambda: analysis.run_table5(iterations=2),
     "ext1": lambda: analysis.run_ext1(iterations=2),
+    "ext2": lambda: analysis.run_ext2(iterations=2),
 }
 
 
@@ -133,6 +136,24 @@ def bench_platform_c(models: tuple[str, ...] | None = None) -> dict:
     return payload
 
 
+def bench_serving() -> dict:
+    """Perf-gate the serving tier: a reduced ext2 grid (one model/platform,
+    two loads, no-batching vs continuous) through the same five tiers.
+    Plans are lowered per batch size here, so the cold->warm ratio measures
+    how well the serving path leans on the plan cache and artifact store."""
+    runner = lambda: analysis.run_ext2(  # noqa: E731
+        platform_ids=("A",),
+        models=("gpt2",),
+        loads=(0.5, 2.0),
+        schedulers=("fifo", "continuous"),
+        num_requests=16,
+        iterations=2,
+    )
+    rows, payload = bench_tiers(runner, lambda result: result.rows)
+    payload["rows"] = len(rows)
+    return payload
+
+
 def bench_suite() -> dict:
     def runner():
         return {name: fn() for name, fn in SUITE.items()}
@@ -163,6 +184,7 @@ def main(argv: list[str] | None = None) -> int:
         "machine": platform_mod.machine(),
         "fig6": bench_fig6(models),
         "platform_c": bench_platform_c(models),
+        "serving": bench_serving(),
     }
     if args.full:
         payload["suite"] = bench_suite()
@@ -182,6 +204,14 @@ def main(argv: list[str] | None = None) -> int:
         f" cold {plat_c['engine_cold_s']}s ({plat_c['speedup_cold']}x),"
         f" disk-warm {plat_c['engine_disk_warm_s']}s, warm {plat_c['engine_warm_s']}s"
     )
+    serving = payload["serving"]
+    serving_warm_gain = round(serving["engine_cold_s"] / serving["engine_warm_s"], 2)
+    print(
+        f"serving (discrete-event): reference {serving['reference_s']}s ->"
+        f" cold {serving['engine_cold_s']}s ({serving['speedup_cold']}x),"
+        f" disk-warm {serving['engine_disk_warm_s']}s,"
+        f" warm {serving['engine_warm_s']}s ({serving_warm_gain}x vs cold)"
+    )
     if args.full:
         suite = payload["suite"]
         print(
@@ -198,6 +228,12 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not args.quick and fig6["speedup_disk_warm"] < 3.0:
         print("WARNING: disk-warm speedup below the 3x target", file=sys.stderr)
+        return 1
+    # the serving gate is cold-vs-warm: a warm run must skip all lowering
+    # and simulation (batch costs served from the cache), so the event loop
+    # itself is what remains.
+    if not args.quick and serving_warm_gain < 2.0:
+        print("WARNING: serving warm speedup below the 2x target", file=sys.stderr)
         return 1
     return 0
 

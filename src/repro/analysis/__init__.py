@@ -2,6 +2,7 @@
 
 from repro.analysis.common import ExperimentResult
 from repro.analysis.ext1_edge import run_ext1
+from repro.analysis.ext2_serving import run_ext2
 from repro.analysis.fig1 import run_fig1
 from repro.analysis.fig5 import run_fig5
 from repro.analysis.fig6 import run_fig6
@@ -21,12 +22,14 @@ EXPERIMENTS = {
     "table4": run_table4,
     "table5": run_table5,
     "ext1": run_ext1,
+    "ext2": run_ext2,
 }
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
     "run_ext1",
+    "run_ext2",
     "run_fig1",
     "run_fig5",
     "run_fig6",

@@ -11,6 +11,8 @@ Subcommands mirror the paper artifact's scripts:
 * ``inspect <model>``        — dump a lowered execution plan with per-pass
   provenance (which pass fused/placed/refined each kernel).
 * ``workload <model>``       — static workload report (op mix, params).
+* ``serve <model>``          — discrete-event serving simulation under load
+  (``--list-schedulers`` discovers the batching policies).
 * ``platforms``              — list registered platforms, devices, links.
 * ``cache info|clear|warm``  — manage the persistent artifact store
   (``REPRO_CACHE_DIR``) that makes fresh processes start warm.
@@ -105,6 +107,50 @@ def _build_parser() -> argparse.ArgumentParser:
     p_work.add_argument("model")
     p_work.add_argument("--batch", type=int, default=1)
     p_work.set_defaults(handler=_cmd_workload)
+
+    p_serve = sub.add_parser(
+        "serve", help="simulate serving a model under load (discrete-event engine)"
+    )
+    p_serve.add_argument(
+        "model", nargs="?", default=None,
+        help="model to serve (omit with --list-schedulers)",
+    )
+    p_serve.add_argument("--flow", default="pytorch")
+    p_serve.add_argument("--platform", default="A")
+    p_serve.add_argument(
+        "--device", default="gpu", help="placement target (cpu/gpu/npu)"
+    )
+    p_serve.add_argument("--scheduler", default="dynamic")
+    p_serve.add_argument(
+        "--trace", default="poisson",
+        help="arrival process (poisson, bursty, closed-loop)",
+    )
+    p_serve.add_argument(
+        "--load", type=float, default=1.0,
+        help="offered load as a fraction of single-stream capacity",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=None,
+        help="explicit arrival rate in requests/s (overrides --load)",
+    )
+    p_serve.add_argument("--requests", type=int, default=32)
+    p_serve.add_argument("--max-batch", type=int, default=8)
+    p_serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="dynamic batching max wait before a partial batch launches",
+    )
+    p_serve.add_argument(
+        "--decode-steps", default="1",
+        help="decode iterations per request: a count, or an inclusive"
+        " 'lo:hi' range drawn per request from the seeded generator",
+    )
+    p_serve.add_argument("--seq-len", type=int, default=None)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--list-schedulers", action="store_true",
+        help="list registered batching schedulers and exit",
+    )
+    p_serve.set_defaults(handler=_cmd_serve)
 
     p_plat = sub.add_parser(
         "platforms", help="list registered platforms, their devices and links"
@@ -280,6 +326,101 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             }
         )
     print(render_table(kernel_rows))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.serving import (
+        ServingConfig,
+        ServingEngine,
+        make_trace,
+        scheduler_entries,
+    )
+
+    if args.list_schedulers:
+        print(
+            render_table(
+                [
+                    {"scheduler": name, "policy": description}
+                    for name, description in scheduler_entries()
+                ]
+            )
+        )
+        return 0
+    if args.model is None:
+        print("error: a model is required unless --list-schedulers is given")
+        return 2
+
+    if ":" in args.decode_steps:
+        lo, hi = args.decode_steps.split(":", 1)
+        decode_steps: "int | tuple[int, int]" = (int(lo), int(hi))
+    else:
+        decode_steps = int(args.decode_steps)
+
+    engine = ServingEngine(
+        ServingConfig(
+            model=args.model,
+            flow=args.flow,
+            platform=args.platform,
+            device=args.device,
+            scheduler=args.scheduler,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms * 1e-3,
+            seq_len=args.seq_len,
+        )
+    )
+    base_s = engine.base_latency_s()
+    rate = args.rate if args.rate is not None else args.load / base_s
+    trace = make_trace(
+        args.trace,
+        rate,
+        args.requests,
+        rng=np.random.default_rng(args.seed),
+        decode_steps=decode_steps,
+    )
+    result = engine.run(trace, offered_rate_rps=rate)
+    utilization = result.utilization()
+    print(result.describe())
+    print()
+    print(
+        render_table(
+            [
+                {
+                    "requests": len(result.records),
+                    "offered_rps": round(result.offered_rate_rps, 2),
+                    "served_rps": round(result.throughput_rps, 2),
+                    "p50_ms": round(result.p50_s * 1e3, 3),
+                    "p95_ms": round(result.p95_s * 1e3, 3),
+                    "p99_ms": round(result.p99_s * 1e3, 3),
+                    "mean_queue_ms": round(result.mean_queue_s * 1e3, 3),
+                    "mean_batch": round(result.mean_batch_size, 2),
+                    "max_depth": result.max_queue_depth,
+                    "non_gemm_busy_pct": round(100 * result.non_gemm_busy_share, 1),
+                }
+            ]
+        )
+    )
+    print()
+    print("device occupancy:")
+    print(
+        render_table(
+            [
+                {
+                    "device": kind.value,
+                    "busy_ms": round(busy * 1e3, 3),
+                    "utilization_pct": round(100 * utilization.get(kind, 0.0), 1),
+                    "energy_j": round(result.energy_j.get(kind, 0.0), 3),
+                }
+                for kind, busy in result.busy_s.items()
+            ]
+        )
+    )
+    print(
+        f"\nbatch-1 latency {base_s * 1e3:.3f} ms"
+        f" ({1.0 / base_s:.1f} rps single-stream capacity)"
+    )
     return 0
 
 

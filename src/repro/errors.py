@@ -33,3 +33,7 @@ class RegistryError(ReproError):
 
 class ConfigError(ReproError):
     """A benchmark or model configuration is invalid."""
+
+
+class ServingError(ReproError):
+    """The serving simulator was misconfigured or a scheduler stalled."""

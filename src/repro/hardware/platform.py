@@ -171,6 +171,36 @@ class Platform:
             self.__dict__["_cpu_only"] = derived
         return derived
 
+    def content_signature(self) -> str:
+        """Content hash of the platform's device specs and link topology.
+
+        Persistent serving-cost artifacts fold this into their store keys so
+        an out-of-tree platform re-registered under the same id with
+        different numbers can never be served another definition's entries
+        (in-tree platforms are already covered by the source fingerprint,
+        but the signature keeps the rule uniform).  Memoized under a
+        ``_sim_``-prefixed slot so pickled platforms stay lean.
+        """
+        cached = self.__dict__.get("_sim_content_signature")
+        if cached is None:
+            import hashlib
+
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(
+                f"{self.pcie_bandwidth!r}|{self.pcie_latency_s!r}".encode()
+            )
+            for spec in self.devices:
+                digest.update(f"\x00{spec!r}".encode())
+            for (src, dst), link in sorted(
+                self.links.items(), key=lambda item: (item[0][0].value, item[0][1].value)
+            ):
+                digest.update(
+                    f"\x01{src.value}>{dst.value}:{link.bandwidth!r},{link.latency_s!r}".encode()
+                )
+            cached = digest.hexdigest()
+            self.__dict__["_sim_content_signature"] = cached
+        return cached
+
     # -- interconnect --------------------------------------------------------
 
     def link(self, src: DeviceKind, dst: DeviceKind) -> Link | None:

@@ -1,0 +1,71 @@
+"""Discrete-event serving simulation: traces, batching schedulers, metrics.
+
+The per-inference pipeline answers "how long does one forward pass take";
+this package answers "what happens under load": seeded arrival traces feed a
+deterministic event loop whose batching scheduler and per-device occupancy
+model turn the same lowered plans into throughput, tail latency, and
+utilization numbers.  See the README's "Serving model" section.
+"""
+
+from repro.serving.cost import BatchCost, BatchCostModel, batch_cost_from_simulation
+from repro.serving.engine import (
+    ServingConfig,
+    ServingEngine,
+    resolve_serving_target,
+    serve_point,
+    simulate_serving,
+)
+from repro.serving.metrics import RequestRecord, ServingResult, nearest_rank
+from repro.serving.scheduler import (
+    BatchScheduler,
+    ContinuousBatchScheduler,
+    Dispatch,
+    DynamicBatchScheduler,
+    FIFOScheduler,
+    StaticBatchScheduler,
+    get_scheduler,
+    list_schedulers,
+    register_scheduler,
+    scheduler_entries,
+)
+from repro.serving.trace import (
+    Request,
+    RequestTrace,
+    bursty_trace,
+    closed_loop_trace,
+    list_traces,
+    make_trace,
+    poisson_trace,
+    register_trace,
+)
+
+__all__ = [
+    "BatchCost",
+    "BatchCostModel",
+    "BatchScheduler",
+    "ContinuousBatchScheduler",
+    "Dispatch",
+    "DynamicBatchScheduler",
+    "FIFOScheduler",
+    "Request",
+    "RequestRecord",
+    "RequestTrace",
+    "ServingConfig",
+    "ServingEngine",
+    "ServingResult",
+    "StaticBatchScheduler",
+    "batch_cost_from_simulation",
+    "bursty_trace",
+    "closed_loop_trace",
+    "get_scheduler",
+    "list_schedulers",
+    "list_traces",
+    "make_trace",
+    "nearest_rank",
+    "poisson_trace",
+    "register_scheduler",
+    "register_trace",
+    "resolve_serving_target",
+    "serve_point",
+    "simulate_serving",
+]

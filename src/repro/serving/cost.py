@@ -1,0 +1,147 @@
+"""Per-batch serving costs, pulled from the vectorized simulator once each.
+
+The engine prices every dispatch with a :class:`BatchCost`: the full
+simulated latency of one model iteration at a given graph batch size, plus
+the decompositions the event loop and the metrics need (host vs accelerator
+portions, per-device busy time and energy, GEMM vs non-GEMM split).
+
+Costs are resolved through the sweep engine's two-tier
+:class:`~repro.sweep.cache.PlanCache`: a batch size is lowered **once** per
+(model, flow, target) — whatever mix of schedulers, loads, and platforms
+replays it — and the resulting :class:`BatchCost` is itself a persisted
+artifact (kind ``"serving"``), so a warm store serves a whole serving sweep
+without building a graph or running the simulator at all.
+
+Decomposition invariants (the equivalence battery leans on these):
+
+* ``total_s`` is exactly ``Simulation.total_latency_s`` — the same
+  left-to-right cumsum the simulator produces.
+* ``host_s`` accumulates the CPU kernels' latencies in the same record
+  order (an all-CPU plan therefore has ``host_s == total_s`` bit-exactly,
+  and an accelerator-only plan has ``host_s == 0.0``).
+* ``accel_s`` is ``total_s - host_s``; the engine only uses it when a batch
+  actually waits on a busy accelerator — an uncontended dispatch completes
+  at ``start + total_s`` directly, preserving bit-identity with the serial
+  simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flows.base import DeploymentFlow
+from repro.hardware.device import DeviceKind
+from repro.hardware.platform import Platform
+from repro.runtime.simulator import (
+    _KIND_INDEX,
+    SimulationResult,
+    plan_arrays,
+    simulate,
+)
+from repro.sweep.cache import PLAN_CACHE, PlanCache
+
+
+@dataclass(frozen=True)
+class BatchCost:
+    """Simulated cost of one model iteration at one graph batch size."""
+
+    batch_size: int
+    #: end-to-end serial latency — exactly ``Simulation.total_latency_s``.
+    total_s: float
+    #: CPU-kernel portion (dispatch + fallback work the host thread runs).
+    host_s: float
+    #: accelerator-side remainder (``total_s - host_s``).
+    accel_s: float
+    #: the device kind accelerator work queues on (the plan's target).
+    target: DeviceKind
+    #: whether any kernel runs off the host CPU.
+    has_accel: bool
+    #: per-device busy seconds for one iteration (utilization accounting).
+    busy_s: dict[DeviceKind, float]
+    #: per-device joules for one iteration (idle + dynamic over ``total_s``).
+    energy_j: dict[DeviceKind, float]
+    #: GEMM / non-GEMM split of the iteration's busy time.
+    gemm_s: float
+    non_gemm_s: float
+    num_kernels: int
+
+
+def _ordered_sum(values: np.ndarray) -> float:
+    """Left-to-right accumulation, matching the simulator's cumsum idiom."""
+    return float(np.cumsum(values)[-1]) if len(values) else 0.0
+
+
+def batch_cost_from_simulation(sim: SimulationResult, batch_size: int) -> BatchCost:
+    """Decompose one :func:`~repro.runtime.simulator.simulate` result."""
+    plan = sim.plan
+    arrays = plan_arrays(plan)
+    latencies = sim.latencies
+    host_mask = arrays.device_idx == _KIND_INDEX[DeviceKind.CPU]
+    host_s = _ordered_sum(np.where(host_mask, latencies, 0.0))
+    total_s = sim.total_latency_s
+    busy_s = {
+        spec.kind: _ordered_sum(
+            np.where(arrays.device_idx == _KIND_INDEX[spec.kind], latencies, 0.0)
+        )
+        for spec in sim.platform.devices
+    }
+    return BatchCost(
+        batch_size=batch_size,
+        total_s=total_s,
+        host_s=host_s,
+        accel_s=total_s - host_s,
+        target=plan.target,
+        has_accel=bool(np.any(~host_mask)),
+        busy_s=busy_s,
+        energy_j=dict(sim.energy_j),
+        gemm_s=_ordered_sum(np.where(arrays.is_gemm, latencies, 0.0)),
+        non_gemm_s=_ordered_sum(np.where(arrays.is_gemm, 0.0, latencies)),
+        num_kernels=plan.num_kernels,
+    )
+
+
+class BatchCostModel:
+    """Memoized (batch size -> :class:`BatchCost`) resolver for one serving
+    configuration.
+
+    The per-run dict makes every engine run self-sufficient (a disabled
+    global cache still lowers each batch size once per run); the
+    :class:`~repro.sweep.cache.PlanCache` behind it shares lowered plans and
+    stored costs across runs, schedulers, and processes.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        flow: DeploymentFlow,
+        platform: Platform,
+        target: DeviceKind,
+        seq_len: int | None = None,
+        cache: PlanCache | None = None,
+    ):
+        self.model = model
+        self.flow = flow
+        self.platform = platform
+        self.target = target
+        self.seq_len = seq_len
+        self.cache = cache if cache is not None else PLAN_CACHE
+        self._costs: dict[int, BatchCost] = {}
+
+    def cost(self, batch_size: int) -> BatchCost:
+        cached = self._costs.get(batch_size)
+        if cached is None:
+            overrides = {} if self.seq_len is None else {"seq_len": self.seq_len}
+            graph = self.cache.graph_ref(self.model, batch_size, **overrides)
+            cached = self.cache.serving_cost(
+                self.flow,
+                graph,
+                self.target,
+                self.platform,
+                lambda plan: batch_cost_from_simulation(
+                    simulate(plan, self.platform), batch_size
+                ),
+            )
+            self._costs[batch_size] = cached
+        return cached

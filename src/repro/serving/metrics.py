@@ -1,0 +1,156 @@
+"""Serving metrics: tail latency, throughput, occupancy, queue depth.
+
+:class:`ServingResult` is the engine's output: plain scalars, dicts, and
+per-request :class:`RequestRecord` tuples — no plan, graph, or platform
+backrefs — so results ship over process-pool IPC and pickle lean without a
+``detach()`` step (the serving analogue of ``ProfileResult.detach``).
+
+Percentiles use the deterministic nearest-rank definition (the
+``ceil(q * n)``-th smallest sample), so reported tails are actual observed
+latencies and byte-stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.hardware.device import DeviceKind
+
+
+class RequestRecord(NamedTuple):
+    """Timeline of one served request."""
+
+    request_id: int
+    arrival_s: float
+    #: when the request's first dispatch began (queueing ends here).
+    start_s: float
+    completion_s: float
+    decode_steps: int
+    #: graph batch size of the dispatch that completed the request.
+    batch_size: int
+
+    @property
+    def latency_s(self) -> float:
+        return self.completion_s - self.arrival_s
+
+    @property
+    def queue_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+
+def nearest_rank(sorted_values: list[float], quantile: float) -> float:
+    """The nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = math.ceil(quantile * len(sorted_values))
+    return sorted_values[max(rank, 1) - 1]
+
+
+@dataclass
+class ServingResult:
+    """Aggregate outcome of one serving simulation."""
+
+    model: str
+    flow: str
+    platform_id: str
+    device: str
+    scheduler: str
+    trace: str
+    offered_rate_rps: float
+    records: list[RequestRecord] = field(default_factory=list)
+    #: first arrival to last completion.
+    makespan_s: float = 0.0
+    num_dispatches: int = 0
+    #: model iterations executed (>= num_dispatches for decode workloads).
+    num_iterations: int = 0
+    mean_batch_size: float = 0.0
+    #: per-device busy seconds / energy, summed over every iteration.
+    busy_s: dict[DeviceKind, float] = field(default_factory=dict)
+    energy_j: dict[DeviceKind, float] = field(default_factory=dict)
+    gemm_busy_s: float = 0.0
+    non_gemm_busy_s: float = 0.0
+    #: queue depth sampled at every admission and dispatch (time, depth).
+    queue_depth_timeline: tuple[tuple[float, int], ...] = ()
+
+    # -- latency -----------------------------------------------------------
+
+    def latencies_s(self) -> list[float]:
+        return sorted(record.latency_s for record in self.records)
+
+    @property
+    def p50_s(self) -> float:
+        return nearest_rank(self.latencies_s(), 0.50)
+
+    @property
+    def p95_s(self) -> float:
+        return nearest_rank(self.latencies_s(), 0.95)
+
+    @property
+    def p99_s(self) -> float:
+        return nearest_rank(self.latencies_s(), 0.99)
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(record.latency_s for record in self.records) / len(self.records)
+
+    @property
+    def max_latency_s(self) -> float:
+        if not self.records:
+            return 0.0
+        return max(record.latency_s for record in self.records)
+
+    @property
+    def mean_queue_s(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(record.queue_s for record in self.records) / len(self.records)
+
+    # -- throughput & occupancy -------------------------------------------
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.makespan_s <= 0.0:
+            return 0.0
+        return len(self.records) / self.makespan_s
+
+    def utilization(self) -> dict[DeviceKind, float]:
+        """Busy fraction of the makespan per device."""
+        if self.makespan_s <= 0.0:
+            return {kind: 0.0 for kind in self.busy_s}
+        return {kind: busy / self.makespan_s for kind, busy in self.busy_s.items()}
+
+    @property
+    def non_gemm_busy_share(self) -> float:
+        """Non-GEMM fraction of all simulated kernel time under load."""
+        total = self.gemm_busy_s + self.non_gemm_busy_s
+        if total <= 0.0:
+            return 0.0
+        return self.non_gemm_busy_s / total
+
+    @property
+    def max_queue_depth(self) -> int:
+        if not self.queue_depth_timeline:
+            return 0
+        return max(depth for _, depth in self.queue_depth_timeline)
+
+    @property
+    def mean_queue_depth(self) -> float:
+        """Mean of the queue-depth samples (taken at every transition)."""
+        if not self.queue_depth_timeline:
+            return 0.0
+        return sum(depth for _, depth in self.queue_depth_timeline) / len(
+            self.queue_depth_timeline
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.model} [{self.flow}, platform {self.platform_id}, {self.device},"
+            f" {self.scheduler}] {self.offered_rate_rps:.1f} rps offered:"
+            f" {self.throughput_rps:.1f} rps served, p50 {self.p50_s * 1e3:.2f} ms,"
+            f" p99 {self.p99_s * 1e3:.2f} ms, mean batch {self.mean_batch_size:.2f},"
+            f" non-GEMM busy {self.non_gemm_busy_share:.1%}"
+        )

@@ -1,0 +1,291 @@
+"""Pluggable batching schedulers behind a registry mirroring ``register_flow()``.
+
+A scheduler owns the waiting queue and decides, at each engine decision
+point, what to launch next.  :meth:`BatchScheduler.next_dispatch` returns one
+of three verdicts:
+
+* a :class:`Dispatch` — launch these requests now as one batch;
+* a ``float`` deadline — nothing launches yet, but re-ask at that time even
+  if no new request arrives (dynamic batching's max-wait timer);
+* ``None`` — nothing to do until the next arrival.
+
+Four policies ship built in:
+
+* ``fifo``       — no batching: one request per dispatch, strictly in
+  arrival order (the paper's per-inference pipeline under load).
+* ``static``     — wait until exactly ``max_batch`` requests queue, then
+  launch them together (flushing a partial batch only once the trace ends).
+* ``dynamic``    — launch when the batch fills *or* the oldest request has
+  waited ``max_wait_s``, whichever comes first.
+* ``continuous`` — iteration-level batching for autoregressive decode: each
+  dispatch is one model iteration over the current in-flight set; requests
+  join at iteration boundaries and leave the moment their last decode step
+  completes (the Orca/vLLM scheduling discipline).
+
+Batch-level schedulers (everything but ``continuous``) serve a batch until
+its *slowest* member finishes: a dispatch runs ``max(decode_steps)``
+iterations at full batch cost, which is exactly the head-of-line inefficiency
+continuous batching exists to remove.
+
+Schedulers are stateful (they own a queue), so — unlike ``get_flow`` —
+:func:`get_scheduler` returns a **fresh instance** per call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ServingError
+from repro.serving.trace import Request
+
+#: default scheduler knobs, shared by the CLI and the sweep spec.
+DEFAULT_MAX_BATCH = 8
+DEFAULT_MAX_WAIT_S = 2e-3
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """One batch launch decision.
+
+    ``size`` is the graph batch dimension the engine prices (one lowered
+    plan per distinct size); ``iterations`` is how many sequential model
+    iterations the dispatch runs at that size; ``completes`` names the
+    member requests that finish when the dispatch ends.  ``barrier`` makes
+    the engine advance its scheduling clock to the dispatch's completion
+    before asking again — iteration-level schedulers use it so the next
+    iteration's membership sees arrivals up to the iteration boundary.
+    """
+
+    members: tuple[int, ...]
+    size: int
+    iterations: int = 1
+    completes: tuple[int, ...] = ()
+    barrier: bool = False
+
+
+@dataclass
+class BatchScheduler:
+    """Base class: queue ownership plus the registry-facing surface."""
+
+    max_batch: int = DEFAULT_MAX_BATCH
+    max_wait_s: float = DEFAULT_MAX_WAIT_S
+    _queue: list[Request] = field(default_factory=list, repr=False)
+
+    #: registry name; subclasses must override.
+    name = ""
+    description = ""
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_s < 0.0:
+            raise ServingError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+
+    def reset(self) -> None:
+        """Drop all queue (and subclass) state before a fresh run."""
+        self._queue.clear()
+
+    def admit(self, request: Request) -> None:
+        self._queue.append(request)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def has_pending(self) -> bool:
+        """Anything queued or in flight that still needs dispatches."""
+        return bool(self._queue)
+
+    def next_dispatch(self, now: float, arrivals_pending: bool) -> "Dispatch | float | None":
+        raise NotImplementedError
+
+    def _take(self, count: int) -> tuple[Request, ...]:
+        taken = tuple(self._queue[:count])
+        del self._queue[:count]
+        return taken
+
+
+class FIFOScheduler(BatchScheduler):
+    """No batching: serve one request at a time, in arrival order.
+
+    Dispatches are barriers — the next request starts only when the current
+    one completes — so this is the strictly serial per-inference pipeline
+    under load: waiting requests pile up in the scheduler queue instead of
+    an accelerator-side dispatch queue.
+    """
+
+    name = "fifo"
+    description = "one request per dispatch, arrival order, no batching"
+
+    def next_dispatch(self, now: float, arrivals_pending: bool) -> "Dispatch | None":
+        if not self._queue:
+            return None
+        (request,) = self._take(1)
+        return Dispatch(
+            members=(request.request_id,),
+            size=1,
+            iterations=request.decode_steps,
+            completes=(request.request_id,),
+            barrier=True,
+        )
+
+
+class StaticBatchScheduler(BatchScheduler):
+    """Fixed-size batching: launch only full ``max_batch`` batches.
+
+    A partial batch launches only once the trace is exhausted (there is
+    nothing left to wait for); until then the queue simply accumulates.
+    """
+
+    name = "static"
+    description = "launch only full max_batch batches (flush at end of trace)"
+
+    def next_dispatch(self, now: float, arrivals_pending: bool) -> "Dispatch | None":
+        if not self._queue:
+            return None
+        if len(self._queue) < self.max_batch and arrivals_pending:
+            return None
+        members = self._take(min(len(self._queue), self.max_batch))
+        ids = tuple(r.request_id for r in members)
+        return Dispatch(
+            members=ids,
+            size=len(members),
+            iterations=max(r.decode_steps for r in members),
+            completes=ids,
+        )
+
+
+class DynamicBatchScheduler(BatchScheduler):
+    """Size-or-deadline batching: launch when full or when the oldest
+    request has waited ``max_wait_s`` (the standard serving tradeoff between
+    batch efficiency and queueing delay)."""
+
+    name = "dynamic"
+    description = "launch when max_batch fills or the oldest waits max_wait_s"
+
+    def next_dispatch(self, now: float, arrivals_pending: bool) -> "Dispatch | float | None":
+        if not self._queue:
+            return None
+        deadline = self._queue[0].arrival_s + self.max_wait_s
+        if len(self._queue) < self.max_batch and now < deadline and arrivals_pending:
+            return deadline
+        members = self._take(min(len(self._queue), self.max_batch))
+        ids = tuple(r.request_id for r in members)
+        return Dispatch(
+            members=ids,
+            size=len(members),
+            iterations=max(r.decode_steps for r in members),
+            completes=ids,
+        )
+
+
+class ContinuousBatchScheduler(BatchScheduler):
+    """Iteration-level batching for autoregressive decode.
+
+    Every dispatch is exactly one model iteration over the in-flight set.
+    Waiting requests join whenever a slot (``max_batch``) is free at an
+    iteration boundary; a request leaves the moment its own decode steps are
+    done, without waiting for the rest of the batch.  Dispatches carry
+    ``barrier=True`` so the engine advances its clock to each iteration's
+    end — membership decisions always see arrivals up to the boundary.
+    """
+
+    name = "continuous"
+    description = "iteration-level batching: join/leave at decode-step boundaries"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        #: request id -> remaining decode steps, in admission order.
+        self._in_flight: dict[int, int] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._in_flight.clear()
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._queue) or bool(self._in_flight)
+
+    def next_dispatch(self, now: float, arrivals_pending: bool) -> "Dispatch | None":
+        free_slots = self.max_batch - len(self._in_flight)
+        if free_slots > 0 and self._queue:
+            for request in self._take(min(free_slots, len(self._queue))):
+                self._in_flight[request.request_id] = request.decode_steps
+        if not self._in_flight:
+            return None
+        members = tuple(self._in_flight)
+        completes = []
+        for request_id in members:
+            self._in_flight[request_id] -= 1
+            if self._in_flight[request_id] == 0:
+                del self._in_flight[request_id]
+                completes.append(request_id)
+        return Dispatch(
+            members=members,
+            size=len(members),
+            iterations=1,
+            completes=tuple(completes),
+            barrier=True,
+        )
+
+
+_SCHEDULERS: dict[str, type[BatchScheduler]] = {}
+
+
+def register_scheduler(
+    scheduler_cls: type[BatchScheduler], replace: bool = False
+) -> type[BatchScheduler]:
+    """Register a batching scheduler class under its ``name``.
+
+    Usable as a decorator on custom schedulers, exactly like
+    :func:`repro.flows.register_flow`; registered schedulers are immediately
+    available to ``nongemm-bench serve`` and the serving sweep axis.
+    """
+    key = scheduler_cls.name.lower()
+    if not key:
+        raise ServingError(f"scheduler {scheduler_cls.__name__} declares no name")
+    if key in _SCHEDULERS and not replace:
+        raise ServingError(f"scheduler {scheduler_cls.name!r} already registered")
+    _SCHEDULERS[key] = scheduler_cls
+    return scheduler_cls
+
+
+for _cls in (
+    FIFOScheduler,
+    StaticBatchScheduler,
+    DynamicBatchScheduler,
+    ContinuousBatchScheduler,
+):
+    register_scheduler(_cls)
+
+
+def get_scheduler(
+    name: str,
+    max_batch: int = DEFAULT_MAX_BATCH,
+    max_wait_s: float = DEFAULT_MAX_WAIT_S,
+) -> BatchScheduler:
+    """Instantiate a scheduler by name.
+
+    Returns a **fresh instance** per call (schedulers own mutable queue
+    state), unlike the memoized :func:`repro.flows.get_flow`.
+    """
+    try:
+        scheduler_cls = _SCHEDULERS[name.lower()]
+    except KeyError:
+        raise ServingError(
+            f"unknown scheduler {name!r}; known: {list_schedulers()}"
+        ) from None
+    scheduler = scheduler_cls(max_batch=max_batch, max_wait_s=max_wait_s)
+    scheduler.reset()
+    return scheduler
+
+
+def list_schedulers() -> list[str]:
+    """Canonical names of all registered schedulers."""
+    return sorted(_SCHEDULERS)
+
+
+def scheduler_entries() -> list[tuple[str, str]]:
+    """(name, description) rows for discovery surfaces (CLI, docs)."""
+    return [(name, _SCHEDULERS[name].description) for name in list_schedulers()]

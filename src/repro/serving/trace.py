@@ -1,0 +1,274 @@
+"""Synthetic request-arrival traces for the serving simulator.
+
+A :class:`RequestTrace` is a *static, replayable* record: an ordered tuple of
+:class:`Request`\\ s with absolute arrival times and (for autoregressive
+models) a per-request decode-step count.  Traces are generated once from an
+explicit seeded :class:`numpy.random.Generator` and then replayed verbatim by
+the engine, so every serving simulation is deterministic end to end — the
+same seed yields byte-identical metrics, and a trace saved with
+:meth:`RequestTrace.to_rows` replays exactly via :meth:`RequestTrace.from_rows`.
+
+Three arrival processes ship built in, behind a registry mirroring
+``register_flow()``:
+
+* ``poisson``     — memoryless open-loop arrivals at a target rate (the
+  standard serving-benchmark load model).
+* ``bursty``      — the same aggregate rate delivered in tight bursts
+  (request spikes; stresses batching and queue depth).
+* ``closed-loop`` — a fixed client population where each client issues its
+  next request one think-time cycle after its previous one.  Replayable
+  traces are static, so the cycle length uses the configured rate rather
+  than engine feedback; the approximation is documented, not hidden.
+
+All generators share one signature — ``fn(rate_rps, num_requests, rng,
+decode_steps)`` — so the sweep ``load`` axis and the CLI can name any of
+them interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ServingError
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request entering the serving system."""
+
+    request_id: int
+    arrival_s: float
+    #: autoregressive decode iterations this request needs; 1 for any
+    #: single-shot model (classification, detection, prefill-only).
+    decode_steps: int = 1
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """An ordered, replayable arrival record (the serving workload input)."""
+
+    name: str
+    requests: tuple[Request, ...]
+
+    def __post_init__(self) -> None:
+        previous = 0.0
+        for request in self.requests:
+            if request.arrival_s < previous:
+                raise ServingError(
+                    f"trace {self.name!r} is not sorted by arrival time"
+                    f" (request {request.request_id} at {request.arrival_s})"
+                )
+            if request.decode_steps < 1:
+                raise ServingError(
+                    f"trace {self.name!r} request {request.request_id}"
+                    f" has decode_steps={request.decode_steps} (must be >= 1)"
+                )
+            previous = request.arrival_s
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def duration_s(self) -> float:
+        """Time span between the first and last arrival."""
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].arrival_s - self.requests[0].arrival_s
+
+    @property
+    def offered_rate_rps(self) -> float:
+        """Average arrival rate over the trace (requests per second)."""
+        if len(self.requests) < 2 or self.duration_s <= 0.0:
+            return 0.0
+        return (len(self.requests) - 1) / self.duration_s
+
+    def total_decode_steps(self) -> int:
+        return sum(request.decode_steps for request in self.requests)
+
+    # -- replayable record format -------------------------------------------
+
+    def to_rows(self) -> list[dict]:
+        """Plain dict rows (CSV/JSON-friendly) that replay bit-exactly:
+        arrival times are serialized via ``repr`` round-tripping floats."""
+        return [
+            {
+                "request_id": request.request_id,
+                "arrival_s": repr(request.arrival_s),
+                "decode_steps": request.decode_steps,
+            }
+            for request in self.requests
+        ]
+
+    @classmethod
+    def from_rows(cls, name: str, rows: Iterable[dict]) -> "RequestTrace":
+        return cls(
+            name=name,
+            requests=tuple(
+                Request(
+                    request_id=int(row["request_id"]),
+                    arrival_s=float(row["arrival_s"]),
+                    decode_steps=int(row.get("decode_steps", 1)),
+                )
+                for row in rows
+            ),
+        )
+
+
+def _decode_step_counts(
+    decode_steps: "int | tuple[int, int]", count: int, rng: np.random.Generator
+) -> Sequence[int]:
+    """Per-request decode iterations: a constant, or seeded uniform draws
+    from an inclusive ``(lo, hi)`` range."""
+    if isinstance(decode_steps, int):
+        if decode_steps < 1:
+            raise ServingError(f"decode_steps must be >= 1, got {decode_steps}")
+        return [decode_steps] * count
+    lo, hi = decode_steps
+    if lo < 1 or hi < lo:
+        raise ServingError(f"invalid decode_steps range {decode_steps!r}")
+    return [int(v) for v in rng.integers(lo, hi + 1, size=count)]
+
+
+def _build(name: str, arrivals: Sequence[float], steps: Sequence[int]) -> RequestTrace:
+    return RequestTrace(
+        name=name,
+        requests=tuple(
+            Request(request_id=i, arrival_s=float(t), decode_steps=steps[i])
+            for i, t in enumerate(arrivals)
+        ),
+    )
+
+
+def poisson_trace(
+    rate_rps: float,
+    num_requests: int,
+    rng: np.random.Generator,
+    decode_steps: "int | tuple[int, int]" = 1,
+) -> RequestTrace:
+    """Open-loop Poisson arrivals: i.i.d. exponential gaps at ``rate_rps``.
+
+    The first request arrives at t=0 so a single-request trace exercises an
+    idle engine (the equivalence battery relies on this).
+    """
+    _check_rate(rate_rps, num_requests)
+    gaps = rng.exponential(1.0 / rate_rps, size=num_requests)
+    arrivals = np.cumsum(gaps) - gaps[0]
+    return _build("poisson", arrivals, _decode_step_counts(decode_steps, num_requests, rng))
+
+
+def bursty_trace(
+    rate_rps: float,
+    num_requests: int,
+    rng: np.random.Generator,
+    decode_steps: "int | tuple[int, int]" = 1,
+    burst_size: int = 4,
+) -> RequestTrace:
+    """The same aggregate rate delivered in tight bursts of ``burst_size``.
+
+    Burst starts are spaced ``burst_size / rate_rps`` apart (preserving the
+    offered rate); members of a burst land within a jitter window two orders
+    of magnitude tighter than the burst interval.
+    """
+    _check_rate(rate_rps, num_requests)
+    if burst_size < 1:
+        raise ServingError(f"burst_size must be >= 1, got {burst_size}")
+    interval = burst_size / rate_rps
+    arrivals = []
+    for i in range(num_requests):
+        burst = i // burst_size
+        jitter = float(rng.exponential(interval / 100.0)) if i % burst_size else 0.0
+        arrivals.append(burst * interval + jitter)
+    arrivals.sort()
+    return _build("bursty", arrivals, _decode_step_counts(decode_steps, num_requests, rng))
+
+
+#: default client population of the closed-loop generator.
+CLOSED_LOOP_CLIENTS = 4
+
+
+def closed_loop_trace(
+    rate_rps: float,
+    num_requests: int,
+    rng: np.random.Generator,
+    decode_steps: "int | tuple[int, int]" = 1,
+    num_clients: int = CLOSED_LOOP_CLIENTS,
+) -> RequestTrace:
+    """A fixed client population, each issuing one request per cycle.
+
+    Each of ``num_clients`` clients contributes requests at a per-client
+    cycle of ``num_clients / rate_rps`` (aggregate rate ``rate_rps``), with a
+    seeded jitter on each think time.  Because traces are static records the
+    cycle uses the configured rate, not engine completion feedback — the
+    standard replayable approximation of a closed loop.  Client start
+    offsets stagger uniformly across one cycle; client 0 starts at t=0.
+    """
+    _check_rate(rate_rps, num_requests)
+    if num_clients < 1:
+        raise ServingError(f"num_clients must be >= 1, got {num_clients}")
+    cycle = num_clients / rate_rps
+    arrivals = []
+    for i in range(num_requests):
+        client = i % num_clients
+        round_index = i // num_clients
+        jitter = float(rng.exponential(cycle / 20.0)) if round_index else 0.0
+        arrivals.append(client * cycle / num_clients + round_index * cycle + jitter)
+    arrivals.sort()
+    return _build(
+        "closed-loop", arrivals, _decode_step_counts(decode_steps, num_requests, rng)
+    )
+
+
+def _check_rate(rate_rps: float, num_requests: int) -> None:
+    if rate_rps <= 0.0:
+        raise ServingError(f"arrival rate must be positive, got {rate_rps}")
+    if num_requests < 1:
+        raise ServingError(f"num_requests must be >= 1, got {num_requests}")
+
+
+TraceGenerator = Callable[..., RequestTrace]
+
+_TRACES: dict[str, TraceGenerator] = {}
+
+
+def register_trace(name: str, fn: TraceGenerator, replace: bool = False) -> TraceGenerator:
+    """Register an arrival-process generator for :func:`make_trace` lookup."""
+    key = name.lower()
+    if key in _TRACES and not replace:
+        raise ServingError(f"trace generator {name!r} already registered")
+    _TRACES[key] = fn
+    return fn
+
+
+for _name, _fn in (
+    ("poisson", poisson_trace),
+    ("bursty", bursty_trace),
+    ("closed-loop", closed_loop_trace),
+):
+    register_trace(_name, _fn)
+
+
+def list_traces() -> list[str]:
+    """Canonical names of all registered arrival processes."""
+    return sorted(_TRACES)
+
+
+def make_trace(
+    kind: str,
+    rate_rps: float,
+    num_requests: int,
+    rng: np.random.Generator,
+    decode_steps: "int | tuple[int, int]" = 1,
+) -> RequestTrace:
+    """Generate a trace by registered process name (``poisson``, ``bursty``,
+    ``closed-loop``, or anything passed to :func:`register_trace`)."""
+    try:
+        fn = _TRACES[kind.lower()]
+    except KeyError:
+        raise ServingError(
+            f"unknown trace kind {kind!r}; known: {list_traces()}"
+        ) from None
+    return fn(rate_rps, num_requests, rng, decode_steps)

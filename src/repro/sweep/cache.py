@@ -13,6 +13,8 @@ expensive, structurally-pure stages behind a **two-tier cache**:
     ``(flow.pipeline_signature(), graph.content_hash(), device_mode)``
   - ``profile_memory``    keyed by ``graph.content_hash()``
   - graph transforms (e.g. LLM.int8()) keyed by ``(name, graph.content_hash())``
+  - serving batch costs  keyed by the plan key plus the platform's id and
+    content signature (see :meth:`PlanCache.serving_cost`)
 
 * an optional persistent :class:`~repro.sweep.store.ArtifactStore` consulted
   on LRU misses for plans, memory profiles, and transform outputs, so fresh
@@ -374,6 +376,47 @@ class PlanCache:
             self.store.put(key, plan_payload(plan))
         self._put(key, plan)
         return plan
+
+    def serving_cost(
+        self,
+        flow: "DeploymentFlow",
+        graph: "Graph | GraphRef",
+        use_gpu: "bool | str | DeviceKind",
+        platform,
+        compute: Callable,
+    ) -> Any:
+        """Memoized per-batch serving cost (see :mod:`repro.serving.cost`).
+
+        ``compute`` maps the lowered plan to a plain, picklable cost object
+        (a :class:`~repro.serving.cost.BatchCost`).  Keys extend the plan
+        key with the platform's id *and* content signature — the cost folds
+        simulated latencies, so a platform re-registered with different
+        numbers must miss.  A warm persistent store therefore serves whole
+        serving sweeps without building a graph, lowering a plan, or running
+        the simulator.
+        """
+        target = as_device_kind(use_gpu)
+        if not self._enabled:
+            return compute(self.plan(flow, graph, target))
+        pipeline_sig = flow.pipeline_signature() + self._flow_identity(flow)
+        key = (
+            "serving",
+            pipeline_sig,
+            graph.content_hash(),
+            target.value,
+            platform.platform_id,
+            platform.content_signature(),
+        )
+        cached = self._get(key)
+        if cached is not None:
+            return cached
+        cached = self._store_get(key)
+        if cached is None:
+            self.stats.miss("serving")
+            cached = compute(self.plan(flow, graph, target))
+            self._store_put(key, cached)
+        self._put(key, cached)
+        return cached
 
     def memory(self, graph: Graph | GraphRef) -> "MemoryProfile":
         """Memoized liveness analysis keyed by graph content hash."""

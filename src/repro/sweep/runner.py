@@ -37,6 +37,11 @@ class SweepRecord:
     #: accounting object returned by the point's graph transform, if any
     #: (e.g. :class:`~repro.quant.llm_int8.QuantizationStats`).
     transform_stats: object | None = None
+    #: serving metrics for ``load`` points (a
+    #: :class:`~repro.serving.metrics.ServingResult`); None for plain
+    #: per-inference points.  Already plan-free — pool workers ship it
+    #: without a detach step.
+    serving: object | None = None
 
 
 @dataclass
@@ -106,7 +111,16 @@ def run_point(point: SweepPoint) -> SweepRecord:
             f"model {point.model!r} does not accept sweep overrides {overrides}"
             f" ({exc}); drop the seq_len axis or restrict it to sequence models"
         ) from None
-    return SweepRecord(point=point, profile=profile, transform_stats=transform_stats)
+    serving = None
+    if point.load is not None:
+        # load points additionally run the discrete-event serving engine;
+        # its per-batch plans come from the same cache the profile warmed.
+        from repro.serving.engine import serve_point
+
+        serving = serve_point(point)
+    return SweepRecord(
+        point=point, profile=profile, transform_stats=transform_stats, serving=serving
+    )
 
 
 def _run_point_for_pool(point: SweepPoint) -> SweepRecord:

@@ -17,7 +17,11 @@ from repro.errors import RegistryError
 from repro.hardware.device import DeviceKind, as_device_kind
 
 #: canonical dimension nesting order; specs may reorder any prefix subset.
-DIMENSIONS = ("platform", "model", "seq_len", "batch_size", "flow", "device", "transform")
+#: ("load" was appended for the serving simulator; its default singleton
+#: value keeps every pre-existing spec's point grid unchanged.)
+DIMENSIONS = (
+    "platform", "model", "seq_len", "batch_size", "flow", "device", "transform", "load",
+)
 
 #: legacy device axis values (the axis now accepts any registered
 #: :class:`~repro.hardware.device.DeviceKind` value, e.g. ``"npu"``).
@@ -44,6 +48,16 @@ class SweepPoint:
     #: named placement target from the sweep's ``device`` axis; None means
     #: the legacy ``use_gpu`` boolean decides (gpu/cpu).
     device_mode: str | None = None
+    #: offered load as a fraction of single-stream (batch-1) capacity; None
+    #: means a plain per-inference profile point (no serving simulation).
+    load: float | None = None
+    #: serving knobs, copied from the spec (only read when ``load`` is set).
+    scheduler: str = "dynamic"
+    trace: str = "poisson"
+    num_requests: int = 32
+    max_batch: int = 8
+    max_wait_s: float = 2e-3
+    decode_steps: tuple[int, int] = (1, 1)
 
     @property
     def device(self) -> str:
@@ -62,6 +76,8 @@ class SweepPoint:
             parts.insert(1, f"seq{self.seq_len}")
         if self.transform:
             parts.append(self.transform)
+        if self.load is not None:
+            parts.append(f"load{self.load:g} {self.scheduler}")
         return " ".join(parts)
 
 
@@ -76,6 +92,18 @@ class SweepSpec:
     devices: tuple[str, ...] = (DEVICE_GPU,)
     seq_lens: tuple[int | None, ...] = (None,)
     transforms: tuple[str | None, ...] = (None,)
+    #: serving ``load`` axis: offered load as a fraction of single-stream
+    #: capacity.  The default singleton None keeps the grid per-inference
+    #: only; any non-None value makes the runner serve that point through
+    #: the discrete-event engine (see ``repro.serving``).
+    loads: tuple[float | None, ...] = (None,)
+    #: serving knobs shared by every load point of the grid.
+    scheduler: str = "dynamic"
+    trace: str = "poisson"
+    num_requests: int = 32
+    max_batch: int = 8
+    max_wait_s: float = 2e-3
+    decode_steps: tuple[int, int] = (1, 1)
     iterations: int = 3
     seed: int = 0
     #: outermost-to-innermost loop order; unlisted dimensions follow in
@@ -92,6 +120,7 @@ class SweepSpec:
             "device": self.devices,
             "seq_len": self.seq_lens,
             "transform": self.transforms,
+            "load": self.loads,
         }[dimension]
 
     def resolved_order(self) -> tuple[str, ...]:
@@ -123,9 +152,19 @@ class SweepSpec:
                 raise RegistryError(
                     f"unknown device {device!r}; known modes: {DEVICE_MODES}"
                 )
+        for load in self.loads:
+            if load is not None and load <= 0.0:
+                raise RegistryError(
+                    f"sweep load values must be positive (or None), got {load!r}"
+                )
         points = []
         for combo in itertools.product(*(self._values(d) for d in order)):
             values = dict(zip(order, combo))
+            if values["load"] is not None and values["transform"]:
+                raise RegistryError(
+                    "serving load points do not support graph transforms yet;"
+                    " drop the transform axis or the load axis"
+                )
             points.append(
                 SweepPoint(
                     platform=values["platform"],
@@ -138,6 +177,13 @@ class SweepSpec:
                     iterations=self.iterations,
                     seed=self.seed,
                     device_mode=values["device"],
+                    load=values["load"],
+                    scheduler=self.scheduler,
+                    trace=self.trace,
+                    num_requests=self.num_requests,
+                    max_batch=self.max_batch,
+                    max_wait_s=self.max_wait_s,
+                    decode_steps=self.decode_steps,
                 )
             )
         return points

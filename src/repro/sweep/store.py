@@ -55,7 +55,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 #: v2: N-device refactor — plan keys encode a device mode (not a use_gpu
 #: boolean), plan payloads carry a ``target`` kind, and the pre-seeded
 #: ``PlanArrays`` gained a device-index column.
-STORE_SCHEMA_VERSION = 2
+#: v3: serving simulator — a new batch-indexed ``"serving"`` artifact kind
+#: (pickled :class:`~repro.serving.cost.BatchCost` per plan key + platform
+#: signature); the bump retires any same-named entries an older layout
+#: could have left behind.
+STORE_SCHEMA_VERSION = 3
 
 #: default size cap; override with REPRO_CACHE_MAX_MB.
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024

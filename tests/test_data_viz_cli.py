@@ -145,3 +145,42 @@ class TestCLI:
     def test_profile_cpu_only(self, capsys):
         assert cli_main(["profile", "gpt2", "--cpu-only", "--iterations", "1"]) == 0
         assert "cpu" in capsys.readouterr().out
+
+
+class TestServeCLI:
+    def test_list_schedulers(self, capsys):
+        assert cli_main(["serve", "--list-schedulers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fifo", "static", "dynamic", "continuous"):
+            assert name in out
+        assert "iteration-level" in out
+
+    def test_serve_requires_model(self, capsys):
+        assert cli_main(["serve"]) == 2
+        assert "model is required" in capsys.readouterr().out
+
+    def test_serve_run(self, capsys):
+        code = cli_main(
+            [
+                "serve", "gpt2", "--scheduler", "continuous", "--load", "2",
+                "--decode-steps", "1:3", "--requests", "12", "--max-batch", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99_ms" in out and "device occupancy" in out
+        assert "continuous" in out and "single-stream capacity" in out
+
+    def test_serve_explicit_rate_and_trace(self, capsys):
+        code = cli_main(
+            ["serve", "vit-b", "--trace", "bursty", "--rate", "50", "--requests", "8"]
+        )
+        assert code == 0
+        assert "offered" in capsys.readouterr().out
+
+    def test_serve_deterministic_output(self, capsys):
+        args = ["serve", "gpt2", "--load", "1.5", "--requests", "10", "--seed", "7"]
+        assert cli_main(args) == 0
+        first = capsys.readouterr().out
+        assert cli_main(args) == 0
+        assert capsys.readouterr().out == first

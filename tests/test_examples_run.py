@@ -46,6 +46,13 @@ def test_custom_flow_passes(capsys):
     assert offloaded and int(offloaded.group(1)) > 0
 
 
+def test_serving_study(capsys):
+    out = _run_example("serving_study.py", capsys)
+    assert "single-stream capacity" in out
+    assert "continuous" in out and "p99_ms" in out
+    assert "continuous batching cuts p99" in out
+
+
 def test_custom_platform(capsys):
     out = _run_example("custom_platform.py", capsys)
     assert "hypo-soc" in out

@@ -314,6 +314,81 @@ class TestDetach:
         assert detached < attached
 
 
+class TestServingCosts:
+    """The batch-indexed ``"serving"`` artifact kind (BatchCost entries)."""
+
+    def _compute(self, cache: PlanCache, counter: list):
+        from repro.runtime.simulator import simulate
+        from repro.serving.cost import batch_cost_from_simulation
+
+        flow = get_flow("pytorch")
+        graph = cache.graph_ref(MODEL, batch_size=1)
+
+        def compute(plan):
+            counter.append(1)
+            return batch_cost_from_simulation(simulate(plan, PLATFORM_A), 1)
+
+        return cache.serving_cost(flow, graph, "gpu", PLATFORM_A, compute)
+
+    def test_round_trip_skips_compute_and_graph_build(self, tmp_path, monkeypatch):
+        calls: list = []
+        writer = PlanCache(store=make_store(tmp_path))
+        written = self._compute(writer, calls)
+        assert calls == [1] and written.total_s > 0.0
+
+        from repro.models import registry
+
+        def forbidden(name, batch_size=1, **overrides):
+            raise AssertionError("graph was built despite a warm serving store")
+
+        monkeypatch.setattr(registry, "build_model", forbidden)
+        monkeypatch.setattr("repro.sweep.cache.build_model", forbidden)
+        reader = PlanCache(store=make_store(tmp_path))
+        restored = self._compute(reader, calls)
+        assert calls == [1]  # served from disk, never recomputed
+        assert restored == written
+        assert pickle.loads(pickle.dumps(restored)) == written
+
+    def test_platform_signature_invalidates(self, tmp_path):
+        from repro.hardware.platform import Platform
+
+        calls: list = []
+        cache = PlanCache(store=make_store(tmp_path))
+        self._compute(cache, calls)
+        # a same-id platform with different numbers must miss, not alias
+        twin = Platform(
+            platform_id=PLATFORM_A.platform_id,
+            description=PLATFORM_A.description,
+            cpu=PLATFORM_A.cpu,
+            gpu=PLATFORM_A.gpu,
+            pcie_bandwidth=PLATFORM_A.pcie_bandwidth / 2,
+        )
+        assert twin.content_signature() != PLATFORM_A.content_signature()
+        flow = get_flow("pytorch")
+        graph = cache.graph_ref(MODEL, batch_size=1)
+        fresh = PlanCache(store=make_store(tmp_path))
+        sentinel = object()
+        result = fresh.serving_cost(flow, graph, "gpu", twin, lambda plan: sentinel)
+        assert result is sentinel  # recomputed, not served from the store
+
+    def test_serving_result_pickles_lean(self):
+        import numpy as np
+
+        from repro.serving import ServingConfig, ServingEngine, make_trace
+
+        engine = ServingEngine(ServingConfig(model=MODEL, platform="A"))
+        rate = 1.0 / engine.base_latency_s()
+        trace = make_trace("poisson", rate, 6, np.random.default_rng(0))
+        result = engine.run(trace)
+        blob = pickle.dumps(result)
+        # plan-free by construction: no ExecutionPlan/Graph backrefs ride
+        # along (the serving analogue of ProfileResult.detach()).
+        assert b"ExecutionPlan" not in blob and b"PlannedKernel" not in blob
+        restored = pickle.loads(blob)
+        assert restored.records == result.records
+        assert restored.busy_s == result.busy_s
+
+
 class TestPayloads:
     def test_plan_payload_round_trips_exactly(self):
         graph = build_model("swin-t", batch_size=1)
