@@ -1,0 +1,119 @@
+"""Fault study: what robustness machinery buys a failing fleet.
+
+Serves gpt2 (decode lengths varying 1..4 tokens) through a three-replica
+Platform A fleet and injects faults three ways:
+
+* a **crash** takes one replica down mid-run — per-request timeouts detect
+  the lost work and retries re-route it to the survivors;
+* the same crash with **admission control** — arrivals that would queue
+  behind the outage are shed up front, trading completions for goodput and
+  a far better tail for the requests actually admitted;
+* **stragglers** slow ~15% of dispatches 2-6x — hedged dispatch races a
+  duplicate on a second replica and the first completion wins.
+
+Everything is deterministic: the trace, the fault schedule, and the policy
+draws all flow from explicit seeds.
+
+Run with ``PYTHONPATH=src python examples/fault_study.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving import ClusterConfig, ClusterRouter, make_trace
+from repro.viz.ascii import render_table
+
+MODEL = "gpt2"
+PLATFORMS = ("A", "A", "A")
+NUM_REQUESTS = 48
+DEADLINE_S = 0.1
+SEED = 0
+
+#: (label, scheduler, load, config overrides) — the three studies above,
+#: each with its healthy or unprotected counterpart.
+SCENARIOS = (
+    ("healthy", "continuous", 1.0, {}),
+    ("crash + retries", "continuous", 1.0,
+     dict(fault_profile="crash", timeout_s=0.02, timeout_cap_s=0.32)),
+    ("crash, no shedding", "fifo", 1.0,
+     dict(fault_profile="crash", timeout_s=0.02, timeout_cap_s=0.32)),
+    ("crash + shedding", "fifo", 1.0,
+     dict(fault_profile="crash", timeout_s=0.02, timeout_cap_s=0.32,
+          shed_queue_s=0.02)),
+    ("stragglers, no hedging", "continuous", 0.5,
+     dict(fault_profile="straggler")),
+    ("stragglers + hedging", "continuous", 0.5,
+     dict(fault_profile="straggler", hedge_after_s=0.02)),
+)
+
+
+def run_scenario(label: str, scheduler: str, load: float, overrides: dict):
+    router = ClusterRouter(
+        ClusterConfig(
+            model=MODEL,
+            platforms=PLATFORMS,
+            scheduler=scheduler,
+            policy="least-loaded",
+            max_batch=4,
+            fault_seed=3,
+            deadline_s=DEADLINE_S,
+            **overrides,
+        )
+    )
+    rate = load * router.fleet_capacity_rps()
+    trace = make_trace(
+        "poisson",
+        rate,
+        NUM_REQUESTS,
+        rng=np.random.default_rng(SEED),
+        decode_steps=(1, 4),
+    )
+    result = router.run(trace, offered_rate_rps=rate)
+    return {
+        "scenario": label,
+        "scheduler": scheduler,
+        "load": load,
+        "goodput_pct": round(100 * result.goodput, 1),
+        "p99_ms": round(result.p99_s * 1e3, 1),
+        "shed": result.num_shed,
+        "retries": result.num_retries,
+        "hedge_wins": result.num_hedge_wins,
+        "recovery_ms": round(result.time_to_recovery_s * 1e3, 1),
+    }, result
+
+
+def main() -> None:
+    capacity = ClusterRouter(
+        ClusterConfig(model=MODEL, platforms=PLATFORMS)
+    ).fleet_capacity_rps()
+    print(
+        f"{MODEL} on a {len(PLATFORMS)}-replica platform-A fleet:"
+        f" fleet capacity {capacity:.1f} rps,"
+        f" goodput deadline {DEADLINE_S * 1e3:.0f} ms\n"
+    )
+
+    rows, results = [], {}
+    for label, scheduler, load, overrides in SCENARIOS:
+        row, result = run_scenario(label, scheduler, load, overrides)
+        rows.append(row)
+        results[label] = row
+    print(render_table(rows))
+
+    no_shed, shed = results["crash, no shedding"], results["crash + shedding"]
+    print(
+        f"\nshedding {shed['shed']} requests under the crash lifts goodput"
+        f" {no_shed['goodput_pct']:.1f}% -> {shed['goodput_pct']:.1f}% and cuts"
+        f" p99-of-admitted {no_shed['p99_ms']:.1f} -> {shed['p99_ms']:.1f} ms:"
+        " degrading gracefully beats queueing behind a dead replica."
+    )
+    no_hedge, hedge = results["stragglers, no hedging"], results["stragglers + hedging"]
+    print(
+        f"hedging wins {hedge['hedge_wins']} races against stragglers and cuts"
+        f" p99 {no_hedge['p99_ms']:.1f} -> {hedge['p99_ms']:.1f} ms — duplicates"
+        " only help while the fleet has capacity headroom."
+    )
+
+
+if __name__ == "__main__":
+    main()

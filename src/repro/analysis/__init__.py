@@ -3,6 +3,7 @@
 from repro.analysis.common import ExperimentResult
 from repro.analysis.ext1_edge import run_ext1
 from repro.analysis.ext2_serving import run_ext2
+from repro.analysis.ext3_faults import run_ext3
 from repro.analysis.fig1 import run_fig1
 from repro.analysis.fig5 import run_fig5
 from repro.analysis.fig6 import run_fig6
@@ -23,6 +24,7 @@ EXPERIMENTS = {
     "table5": run_table5,
     "ext1": run_ext1,
     "ext2": run_ext2,
+    "ext3": run_ext3,
 }
 
 __all__ = [
@@ -30,6 +32,7 @@ __all__ = [
     "ExperimentResult",
     "run_ext1",
     "run_ext2",
+    "run_ext3",
     "run_fig1",
     "run_fig5",
     "run_fig6",

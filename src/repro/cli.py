@@ -13,6 +13,9 @@ Subcommands mirror the paper artifact's scripts:
 * ``workload <model>``       — static workload report (op mix, params).
 * ``serve <model>``          — discrete-event serving simulation under load
   (``--list-schedulers`` discovers the batching policies).
+* ``cluster <model>``        — fault-tolerant multi-replica serving: N
+  replicas behind an admission policy with fault injection, retries,
+  hedging, and admission control (``--list-policies``/``--list-faults``).
 * ``platforms``              — list registered platforms, devices, links.
 * ``cache info|clear|warm``  — manage the persistent artifact store
   (``REPRO_CACHE_DIR``) that makes fresh processes start warm.
@@ -79,6 +82,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--seq-lens", default="", help="comma-separated sequence lengths (optional)"
+    )
+    p_sweep.add_argument(
+        "--load", default="",
+        help="comma-separated offered loads (fractions of single-stream"
+        " capacity); each load point also runs the serving engine",
+    )
+    p_sweep.add_argument(
+        "--scheduler", default="dynamic",
+        help="batching scheduler for --load points",
     )
     p_sweep.add_argument("--iterations", type=int, default=3)
     p_sweep.add_argument("--seed", type=int, default=0)
@@ -151,6 +163,92 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list registered batching schedulers and exit",
     )
     p_serve.set_defaults(handler=_cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="simulate a fault-tolerant multi-replica serving cluster",
+    )
+    p_cluster.add_argument(
+        "model", nargs="?", default=None,
+        help="model to serve (omit with --list-policies/--list-faults)",
+    )
+    p_cluster.add_argument("--flow", default="pytorch")
+    p_cluster.add_argument(
+        "--platform", default="A",
+        help="platform id for every replica (see --platforms for a mix)",
+    )
+    p_cluster.add_argument(
+        "--platforms", default=None,
+        help="comma-separated per-replica platform ids (overrides"
+        " --platform/--replicas; one replica per entry)",
+    )
+    p_cluster.add_argument("--replicas", type=int, default=2)
+    p_cluster.add_argument(
+        "--device", default="gpu", help="placement target (cpu/gpu/npu)"
+    )
+    p_cluster.add_argument("--scheduler", default="dynamic")
+    p_cluster.add_argument(
+        "--policy", default="least-loaded",
+        help="admission policy routing requests to replicas",
+    )
+    p_cluster.add_argument(
+        "--fault", default="none",
+        help="fault profile injected into the fleet (see --list-faults)",
+    )
+    p_cluster.add_argument("--fault-seed", type=int, default=0)
+    p_cluster.add_argument(
+        "--trace", default="poisson",
+        help="arrival process (poisson, bursty, closed-loop)",
+    )
+    p_cluster.add_argument(
+        "--load", type=float, default=1.0,
+        help="offered load as a fraction of fleet capacity",
+    )
+    p_cluster.add_argument(
+        "--rate", type=float, default=None,
+        help="explicit arrival rate in requests/s (overrides --load)",
+    )
+    p_cluster.add_argument("--requests", type=int, default=32)
+    p_cluster.add_argument("--max-batch", type=int, default=8)
+    p_cluster.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="dynamic batching max wait before a partial batch launches",
+    )
+    p_cluster.add_argument(
+        "--decode-steps", default="1",
+        help="decode iterations per request: a count, or an inclusive"
+        " 'lo:hi' range drawn per request from the seeded generator",
+    )
+    p_cluster.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="per-request timeout before a copy is re-routed (required for"
+        " crash profiles; doubles per retry up to --timeout-cap-ms)",
+    )
+    p_cluster.add_argument("--retries", type=int, default=3)
+    p_cluster.add_argument("--timeout-cap-ms", type=float, default=None)
+    p_cluster.add_argument(
+        "--hedge-ms", type=float, default=None,
+        help="hedge a request to a second replica after this delay",
+    )
+    p_cluster.add_argument(
+        "--shed-ms", type=float, default=None,
+        help="shed arrivals whose estimated queue delay exceeds this",
+    )
+    p_cluster.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="goodput deadline (completions slower than this are not good)",
+    )
+    p_cluster.add_argument("--seq-len", type=int, default=None)
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument(
+        "--list-policies", action="store_true",
+        help="list registered admission policies and exit",
+    )
+    p_cluster.add_argument(
+        "--list-faults", action="store_true",
+        help="list registered fault profiles and exit",
+    )
+    p_cluster.set_defaults(handler=_cmd_cluster)
 
     p_plat = sub.add_parser(
         "platforms", help="list registered platforms, their devices and links"
@@ -232,6 +330,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     seq_lens: tuple[int | None, ...] = (None,)
     if args.seq_lens:
         seq_lens = tuple(int(s) for s in split(args.seq_lens))
+    loads: tuple[float | None, ...] = (None,)
+    if args.load:
+        loads = tuple(float(v) for v in split(args.load))
     spec = SweepSpec(
         models=models,
         platforms=split(args.platforms),
@@ -239,6 +340,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         batch_sizes=tuple(int(b) for b in split(args.batches)),
         devices=split(args.devices),
         seq_lens=seq_lens,
+        loads=loads,
+        scheduler=args.scheduler,
         iterations=args.iterations,
         seed=args.seed,
         name="cli-sweep",
@@ -264,6 +367,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "gpu_energy_j": round(profile.gpu_energy_j, 3),
             }
         )
+        if record.serving is not None:
+            serving = record.serving
+            row.update(
+                {
+                    "load": point.load,
+                    "scheduler": point.scheduler,
+                    "served_rps": round(serving.throughput_rps, 2),
+                    "p99_ms": round(serving.p99_s * 1e3, 3),
+                }
+            )
         rows.append(row)
     print(render_table(rows))
     hits = sum(result.cache_info.get("hits", {}).values())
@@ -329,6 +442,14 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_decode_steps(raw: str) -> "int | tuple[int, int]":
+    """A count, or an inclusive ``lo:hi`` range drawn per request."""
+    if ":" in raw:
+        lo, hi = raw.split(":", 1)
+        return (int(lo), int(hi))
+    return int(raw)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -353,11 +474,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: a model is required unless --list-schedulers is given")
         return 2
 
-    if ":" in args.decode_steps:
-        lo, hi = args.decode_steps.split(":", 1)
-        decode_steps: "int | tuple[int, int]" = (int(lo), int(hi))
-    else:
-        decode_steps = int(args.decode_steps)
+    decode_steps = _parse_decode_steps(args.decode_steps)
 
     engine = ServingEngine(
         ServingConfig(
@@ -421,6 +538,133 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"\nbatch-1 latency {base_s * 1e3:.3f} ms"
         f" ({1.0 / base_s:.1f} rps single-stream capacity)"
     )
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.serving import (
+        ClusterConfig,
+        ClusterRouter,
+        fault_profile_entries,
+        make_trace,
+        policy_entries,
+    )
+
+    if args.list_policies or args.list_faults:
+        if args.list_policies:
+            print(
+                render_table(
+                    [
+                        {"policy": name, "strategy": description}
+                        for name, description in policy_entries()
+                    ]
+                )
+            )
+        if args.list_faults:
+            if args.list_policies:
+                print()
+            print(
+                render_table(
+                    [
+                        {"profile": name, "faults": description}
+                        for name, description in fault_profile_entries()
+                    ]
+                )
+            )
+        return 0
+    if args.model is None:
+        print(
+            "error: a model is required unless --list-policies/--list-faults"
+            " is given"
+        )
+        return 2
+
+    if args.platforms:
+        platforms = tuple(
+            part.strip() for part in args.platforms.split(",") if part.strip()
+        )
+    else:
+        platforms = (args.platform,) * args.replicas
+
+    def ms(value: float | None) -> float | None:
+        return None if value is None else value * 1e-3
+
+    router = ClusterRouter(
+        ClusterConfig(
+            model=args.model,
+            flow=args.flow,
+            platforms=platforms,
+            device=args.device,
+            scheduler=args.scheduler,
+            policy=args.policy,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms * 1e-3,
+            seq_len=args.seq_len,
+            fault_profile=args.fault,
+            fault_seed=args.fault_seed,
+            timeout_s=ms(args.timeout_ms),
+            max_retries=args.retries,
+            timeout_cap_s=ms(args.timeout_cap_ms),
+            hedge_after_s=ms(args.hedge_ms),
+            shed_queue_s=ms(args.shed_ms),
+            deadline_s=ms(args.deadline_ms),
+        )
+    )
+    capacity = router.fleet_capacity_rps()
+    rate = args.rate if args.rate is not None else args.load * capacity
+    trace = make_trace(
+        args.trace,
+        rate,
+        args.requests,
+        rng=np.random.default_rng(args.seed),
+        decode_steps=_parse_decode_steps(args.decode_steps),
+    )
+    result = router.run(trace, offered_rate_rps=rate)
+    print(result.describe())
+    print()
+    print(
+        render_table(
+            [
+                {
+                    "requests": len(result.records),
+                    "offered_rps": round(result.offered_rate_rps, 2),
+                    "served_rps": round(result.throughput_rps, 2),
+                    "goodput_pct": round(100 * result.goodput, 1),
+                    "p50_ms": round(result.p50_s * 1e3, 3),
+                    "p99_ms": round(result.p99_s * 1e3, 3),
+                    "shed": result.num_shed,
+                    "failed": result.num_failed,
+                    "retries": result.num_retries,
+                    "hedges": result.num_hedges,
+                    "hedge_wins": result.num_hedge_wins,
+                    "recovery_ms": round(result.time_to_recovery_s * 1e3, 3),
+                }
+            ]
+        )
+    )
+    print()
+    print("per-replica occupancy (of the cluster makespan):")
+    replica_rows = []
+    for index, (replica, utilization) in enumerate(
+        zip(result.replicas, result.utilization())
+    ):
+        replica_rows.append(
+            {
+                "replica": index,
+                "platform": result.platform_ids[index],
+                "completed": len(replica.records),
+                "dispatches": replica.num_dispatches,
+                "utilization_pct": " + ".join(
+                    f"{kind.value} {100 * share:.1f}%"
+                    for kind, share in utilization.items()
+                ),
+                "energy_j": round(sum(replica.energy_j.values()), 3),
+            }
+        )
+    print(render_table(replica_rows))
+    print(f"\nfleet capacity {capacity:.1f} rps across {len(platforms)} replicas")
     return 0
 
 

@@ -4,9 +4,26 @@ The per-inference pipeline answers "how long does one forward pass take";
 this package answers "what happens under load": seeded arrival traces feed a
 deterministic event loop whose batching scheduler and per-device occupancy
 model turn the same lowered plans into throughput, tail latency, and
-utilization numbers.  See the README's "Serving model" section.
+utilization numbers.  On top of the single engine, :mod:`repro.serving.cluster`
+replicates it into a fault-tolerant fleet (admission policies, fault
+injection, retries/hedging, admission control).  See the README's "Serving
+model" and "Cluster & fault model" sections.
 """
 
+from repro.serving.cluster import (
+    AdmissionPolicy,
+    ClusterConfig,
+    ClusterRouter,
+    LeastLoadedPolicy,
+    PowerOfTwoPolicy,
+    RoundRobinPolicy,
+    get_policy,
+    list_policies,
+    policy_entries,
+    register_policy,
+    serve_cluster_point,
+    simulate_cluster,
+)
 from repro.serving.cost import BatchCost, BatchCostModel, batch_cost_from_simulation
 from repro.serving.engine import (
     ServingConfig,
@@ -15,7 +32,26 @@ from repro.serving.engine import (
     serve_point,
     simulate_serving,
 )
-from repro.serving.metrics import RequestRecord, ServingResult, nearest_rank
+from repro.serving.faults import (
+    ACCEL_LOSS,
+    CRASH,
+    FaultInjector,
+    FaultSchedule,
+    FaultWindow,
+    fault_profile_entries,
+    list_fault_profiles,
+    register_fault_profile,
+)
+from repro.serving.metrics import (
+    REQUEST_FAILED,
+    REQUEST_OK,
+    REQUEST_SHED,
+    ClusterRequestRecord,
+    ClusterResult,
+    RequestRecord,
+    ServingResult,
+    nearest_rank,
+)
 from repro.serving.scheduler import (
     BatchScheduler,
     ContinuousBatchScheduler,
@@ -40,16 +76,32 @@ from repro.serving.trace import (
 )
 
 __all__ = [
+    "ACCEL_LOSS",
+    "CRASH",
+    "AdmissionPolicy",
     "BatchCost",
     "BatchCostModel",
     "BatchScheduler",
+    "ClusterConfig",
+    "ClusterRequestRecord",
+    "ClusterResult",
+    "ClusterRouter",
     "ContinuousBatchScheduler",
     "Dispatch",
     "DynamicBatchScheduler",
     "FIFOScheduler",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultWindow",
+    "LeastLoadedPolicy",
+    "PowerOfTwoPolicy",
+    "REQUEST_FAILED",
+    "REQUEST_OK",
+    "REQUEST_SHED",
     "Request",
     "RequestRecord",
     "RequestTrace",
+    "RoundRobinPolicy",
     "ServingConfig",
     "ServingEngine",
     "ServingResult",
@@ -57,15 +109,24 @@ __all__ = [
     "batch_cost_from_simulation",
     "bursty_trace",
     "closed_loop_trace",
+    "fault_profile_entries",
+    "get_policy",
     "get_scheduler",
+    "list_fault_profiles",
+    "list_policies",
     "list_schedulers",
     "list_traces",
     "make_trace",
     "nearest_rank",
     "poisson_trace",
+    "policy_entries",
+    "register_fault_profile",
+    "register_policy",
     "register_scheduler",
     "register_trace",
     "resolve_serving_target",
+    "serve_cluster_point",
     "serve_point",
+    "simulate_cluster",
     "simulate_serving",
 ]

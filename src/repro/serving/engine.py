@@ -159,7 +159,8 @@ class ServingEngine:
             if turns > max_turns:
                 raise ServingError(
                     f"scheduler {scheduler.name!r} made no progress after"
-                    f" {max_turns} decision turns ({len(completions)}/{total} done)"
+                    f" {max_turns} decision turns ({len(completions)}/{total} done,"
+                    f" queue depth {scheduler.queue_depth}, clock t={now:.6f}s)"
                 )
             while next_index < total and requests[next_index].arrival_s <= now:
                 scheduler.admit(requests[next_index])
@@ -213,8 +214,9 @@ class ServingEngine:
                     continue
                 raise ServingError(
                     f"scheduler {scheduler.name!r} returned no work with"
-                    f" {total - len(completions)} requests outstanding and the"
-                    " trace exhausted"
+                    f" {total - len(completions)} requests outstanding, the"
+                    f" trace exhausted, queue depth {scheduler.queue_depth},"
+                    f" and clock t={now:.6f}s"
                 )
 
             # float deadline: advance to it (or to an earlier arrival).
@@ -224,7 +226,8 @@ class ServingEngine:
             if wake <= now:
                 raise ServingError(
                     f"scheduler {scheduler.name!r} requested a wake-up at"
-                    f" {wake} that does not advance the clock ({now})"
+                    f" {wake} that does not advance the clock (t={now:.6f}s,"
+                    f" queue depth {scheduler.queue_depth})"
                 )
             now = wake
 

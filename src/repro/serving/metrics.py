@@ -154,3 +154,159 @@ class ServingResult:
             f" p99 {self.p99_s * 1e3:.2f} ms, mean batch {self.mean_batch_size:.2f},"
             f" non-GEMM busy {self.non_gemm_busy_share:.1%}"
         )
+
+
+# -- cluster-level aggregation ----------------------------------------------
+
+#: terminal states of a cluster request.
+REQUEST_OK = "ok"
+REQUEST_SHED = "shed"
+REQUEST_FAILED = "failed"
+
+
+class ClusterRequestRecord(NamedTuple):
+    """Outcome of one request routed through a :class:`ClusterRouter`.
+
+    ``completion_s`` is ``None`` for shed and failed requests.  ``replica``
+    is the replica whose dispatch completed the request (the hedge winner
+    when hedged), or ``-1`` if it never completed.  ``attempts`` counts
+    admissions: 1 for a first-try completion, +1 per timeout retry.
+    """
+
+    request_id: int
+    arrival_s: float
+    completion_s: float | None
+    status: str
+    replica: int
+    attempts: int
+    hedged: bool
+    hedge_won: bool
+
+    @property
+    def latency_s(self) -> float | None:
+        if self.completion_s is None:
+            return None
+        return self.completion_s - self.arrival_s
+
+
+@dataclass
+class ClusterResult:
+    """Aggregate outcome of one multi-replica cluster simulation.
+
+    Per-replica detail lives in ``replicas`` — one plan-free
+    :class:`ServingResult` each (the single-replica no-fault cluster's
+    ``replicas[0]`` is bit-identical to a plain engine run; the equivalence
+    battery pins this).  Cluster-level records track what each *request*
+    experienced across retries, hedges, and shedding.
+    """
+
+    model: str
+    flow: str
+    device: str
+    scheduler: str
+    policy: str
+    trace: str
+    fault_profile: str
+    platform_ids: tuple[str, ...]
+    offered_rate_rps: float
+    #: goodput deadline; ``None`` counts every completion as good.
+    deadline_s: float | None = None
+    records: list[ClusterRequestRecord] = field(default_factory=list)
+    replicas: list[ServingResult] = field(default_factory=list)
+    #: first arrival to last completion.
+    makespan_s: float = 0.0
+    num_shed: int = 0
+    num_failed: int = 0
+    #: timeout-driven re-admissions (not counting each request's first).
+    num_retries: int = 0
+    #: hedge copies launched / hedge copies that finished first.
+    num_hedges: int = 0
+    num_hedge_wins: int = 0
+    #: worst time from a fault window clearing to the afflicted replica's
+    #: first dispatch completion afterwards (0 when no fault or no work).
+    time_to_recovery_s: float = 0.0
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.platform_ids)
+
+    def completed(self) -> list[ClusterRequestRecord]:
+        return [r for r in self.records if r.status == REQUEST_OK]
+
+    def latencies_s(self) -> list[float]:
+        """Ascending latencies of *admitted, completed* requests."""
+        return sorted(r.latency_s for r in self.completed())
+
+    @property
+    def p50_s(self) -> float:
+        return nearest_rank(self.latencies_s(), 0.50)
+
+    @property
+    def p95_s(self) -> float:
+        return nearest_rank(self.latencies_s(), 0.95)
+
+    @property
+    def p99_s(self) -> float:
+        return nearest_rank(self.latencies_s(), 0.99)
+
+    @property
+    def mean_latency_s(self) -> float:
+        latencies = self.latencies_s()
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)
+
+    @property
+    def goodput(self) -> float:
+        """Completed-within-deadline fraction of *all* trace requests.
+
+        Shed and failed requests count against goodput — degrading
+        gracefully means the good fraction stays high even though some
+        requests are turned away.
+        """
+        if not self.records:
+            return 0.0
+        good = sum(
+            1
+            for r in self.completed()
+            if self.deadline_s is None or r.latency_s <= self.deadline_s
+        )
+        return good / len(self.records)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.makespan_s <= 0.0:
+            return 0.0
+        return len(self.completed()) / self.makespan_s
+
+    def utilization(self) -> list[dict[DeviceKind, float]]:
+        """Per-replica busy fraction of the *cluster* makespan."""
+        if self.makespan_s <= 0.0:
+            return [{kind: 0.0 for kind in r.busy_s} for r in self.replicas]
+        return [
+            {kind: busy / self.makespan_s for kind, busy in r.busy_s.items()}
+            for r in self.replicas
+        ]
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(sum(r.energy_j.values()) for r in self.replicas)
+
+    @property
+    def non_gemm_busy_share(self) -> float:
+        gemm = sum(r.gemm_busy_s for r in self.replicas)
+        non_gemm = sum(r.non_gemm_busy_s for r in self.replicas)
+        total = gemm + non_gemm
+        if total <= 0.0:
+            return 0.0
+        return non_gemm / total
+
+    def describe(self) -> str:
+        return (
+            f"{self.model} [{self.flow}, {self.num_replicas}x"
+            f" {'/'.join(self.platform_ids)}, {self.scheduler}, {self.policy},"
+            f" faults={self.fault_profile}] {self.offered_rate_rps:.1f} rps offered:"
+            f" {self.throughput_rps:.1f} rps served, goodput {self.goodput:.1%},"
+            f" p99 {self.p99_s * 1e3:.2f} ms, shed {self.num_shed},"
+            f" retries {self.num_retries}, hedge wins {self.num_hedge_wins}"
+        )

@@ -97,8 +97,26 @@ class BatchScheduler:
         """Anything queued or in flight that still needs dispatches."""
         return bool(self._queue)
 
+    @property
+    def pending_work_steps(self) -> int:
+        """Total decode steps queued (plus in flight, for iteration-level
+        schedulers) — the cluster router's backlog estimate."""
+        return sum(request.decode_steps for request in self._queue)
+
     def next_dispatch(self, now: float, arrivals_pending: bool) -> "Dispatch | float | None":
         raise NotImplementedError
+
+    def cancel(self, request_id: int) -> bool:
+        """Withdraw a request that has not started service (hedge losers,
+        timeout retries).  Returns False when the request is unknown or
+        already inside a running dispatch — such copies run to completion;
+        iteration-level schedulers override this to also drop in-flight
+        members at the next batch boundary."""
+        for index, request in enumerate(self._queue):
+            if request.request_id == request_id:
+                del self._queue[index]
+                return True
+        return False
 
     def _take(self, count: int) -> tuple[Request, ...]:
         taken = tuple(self._queue[:count])
@@ -206,6 +224,18 @@ class ContinuousBatchScheduler(BatchScheduler):
     @property
     def has_pending(self) -> bool:
         return bool(self._queue) or bool(self._in_flight)
+
+    @property
+    def pending_work_steps(self) -> int:
+        return super().pending_work_steps + sum(self._in_flight.values())
+
+    def cancel(self, request_id: int) -> bool:
+        if request_id in self._in_flight:
+            # leaves at the iteration boundary: simply not a member of the
+            # next dispatch.
+            del self._in_flight[request_id]
+            return True
+        return super().cancel(request_id)
 
     def next_dispatch(self, now: float, arrivals_pending: bool) -> "Dispatch | None":
         free_slots = self.max_batch - len(self._in_flight)

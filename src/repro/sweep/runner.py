@@ -37,10 +37,11 @@ class SweepRecord:
     #: accounting object returned by the point's graph transform, if any
     #: (e.g. :class:`~repro.quant.llm_int8.QuantizationStats`).
     transform_stats: object | None = None
-    #: serving metrics for ``load`` points (a
-    #: :class:`~repro.serving.metrics.ServingResult`); None for plain
-    #: per-inference points.  Already plan-free — pool workers ship it
-    #: without a detach step.
+    #: serving metrics for ``load`` points: a
+    #: :class:`~repro.serving.metrics.ServingResult`, or a
+    #: :class:`~repro.serving.metrics.ClusterResult` when the point also
+    #: names an admission ``policy``; None for plain per-inference points.
+    #: Already plan-free — pool workers ship it without a detach step.
     serving: object | None = None
 
 
@@ -112,7 +113,14 @@ def run_point(point: SweepPoint) -> SweepRecord:
             f" ({exc}); drop the seq_len axis or restrict it to sequence models"
         ) from None
     serving = None
-    if point.load is not None:
+    if point.load is not None and point.policy is not None:
+        # cluster points serve the load through a multi-replica router
+        # (``record.serving`` holds a ClusterResult); the replicas' per-batch
+        # plans come from the same cache the profile warmed.
+        from repro.serving.cluster import serve_cluster_point
+
+        serving = serve_cluster_point(point)
+    elif point.load is not None:
         # load points additionally run the discrete-event serving engine;
         # its per-batch plans come from the same cache the profile warmed.
         from repro.serving.engine import serve_point

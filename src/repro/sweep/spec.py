@@ -17,10 +17,12 @@ from repro.errors import RegistryError
 from repro.hardware.device import DeviceKind, as_device_kind
 
 #: canonical dimension nesting order; specs may reorder any prefix subset.
-#: ("load" was appended for the serving simulator; its default singleton
-#: value keeps every pre-existing spec's point grid unchanged.)
+#: ("load" was appended for the serving simulator, and "policy"/"fault" for
+#: the cluster layer; their default singleton values keep every pre-existing
+#: spec's point grid unchanged.)
 DIMENSIONS = (
-    "platform", "model", "seq_len", "batch_size", "flow", "device", "transform", "load",
+    "platform", "model", "seq_len", "batch_size", "flow", "device", "transform",
+    "load", "policy", "fault",
 )
 
 #: legacy device axis values (the axis now accepts any registered
@@ -58,6 +60,18 @@ class SweepPoint:
     max_batch: int = 8
     max_wait_s: float = 2e-3
     decode_steps: tuple[int, int] = (1, 1)
+    #: cluster axes: a non-None ``policy`` routes the load point through a
+    #: multi-replica ClusterRouter instead of a single engine.
+    policy: str | None = None
+    fault_profile: str | None = None
+    #: cluster knobs, copied from the spec (only read when ``policy`` is set).
+    num_replicas: int = 2
+    fault_seed: int = 0
+    timeout_s: float | None = None
+    timeout_cap_s: float | None = None
+    hedge_after_s: float | None = None
+    shed_queue_s: float | None = None
+    deadline_s: float | None = None
 
     @property
     def device(self) -> str:
@@ -78,6 +92,10 @@ class SweepPoint:
             parts.append(self.transform)
         if self.load is not None:
             parts.append(f"load{self.load:g} {self.scheduler}")
+        if self.policy is not None:
+            parts.append(f"{self.num_replicas}x {self.policy}")
+            if self.fault_profile:
+                parts.append(f"faults={self.fault_profile}")
         return " ".join(parts)
 
 
@@ -97,6 +115,13 @@ class SweepSpec:
     #: only; any non-None value makes the runner serve that point through
     #: the discrete-event engine (see ``repro.serving``).
     loads: tuple[float | None, ...] = (None,)
+    #: cluster ``policy`` axis: admission policies for a multi-replica fleet.
+    #: The default singleton None keeps load points on the single engine; a
+    #: non-None policy requires a non-None load (the cluster always serves).
+    policies: tuple[str | None, ...] = (None,)
+    #: cluster ``fault`` axis: fault profile names (see
+    #: ``repro.serving.faults``).  Only meaningful alongside a policy.
+    fault_profiles: tuple[str | None, ...] = (None,)
     #: serving knobs shared by every load point of the grid.
     scheduler: str = "dynamic"
     trace: str = "poisson"
@@ -104,6 +129,14 @@ class SweepSpec:
     max_batch: int = 8
     max_wait_s: float = 2e-3
     decode_steps: tuple[int, int] = (1, 1)
+    #: cluster knobs shared by every policy point of the grid.
+    num_replicas: int = 2
+    fault_seed: int = 0
+    timeout_s: float | None = None
+    timeout_cap_s: float | None = None
+    hedge_after_s: float | None = None
+    shed_queue_s: float | None = None
+    deadline_s: float | None = None
     iterations: int = 3
     seed: int = 0
     #: outermost-to-innermost loop order; unlisted dimensions follow in
@@ -121,6 +154,8 @@ class SweepSpec:
             "seq_len": self.seq_lens,
             "transform": self.transforms,
             "load": self.loads,
+            "policy": self.policies,
+            "fault": self.fault_profiles,
         }[dimension]
 
     def resolved_order(self) -> tuple[str, ...]:
@@ -157,6 +192,10 @@ class SweepSpec:
                 raise RegistryError(
                     f"sweep load values must be positive (or None), got {load!r}"
                 )
+        if self.num_replicas < 1:
+            raise RegistryError(
+                f"num_replicas must be >= 1, got {self.num_replicas}"
+            )
         points = []
         for combo in itertools.product(*(self._values(d) for d in order)):
             values = dict(zip(order, combo))
@@ -164,6 +203,16 @@ class SweepSpec:
                 raise RegistryError(
                     "serving load points do not support graph transforms yet;"
                     " drop the transform axis or the load axis"
+                )
+            if values["policy"] is not None and values["load"] is None:
+                raise RegistryError(
+                    "cluster policy points require a load value; set the"
+                    " spec's loads axis"
+                )
+            if values["fault"] is not None and values["policy"] is None:
+                raise RegistryError(
+                    "fault profile points require an admission policy; set"
+                    " the spec's policies axis"
                 )
             points.append(
                 SweepPoint(
@@ -184,6 +233,15 @@ class SweepSpec:
                     max_batch=self.max_batch,
                     max_wait_s=self.max_wait_s,
                     decode_steps=self.decode_steps,
+                    policy=values["policy"],
+                    fault_profile=values["fault"],
+                    num_replicas=self.num_replicas,
+                    fault_seed=self.fault_seed,
+                    timeout_s=self.timeout_s,
+                    timeout_cap_s=self.timeout_cap_s,
+                    hedge_after_s=self.hedge_after_s,
+                    shed_queue_s=self.shed_queue_s,
+                    deadline_s=self.deadline_s,
                 )
             )
         return points

@@ -184,3 +184,69 @@ class TestServeCLI:
         first = capsys.readouterr().out
         assert cli_main(args) == 0
         assert capsys.readouterr().out == first
+
+class TestClusterCLI:
+    def test_list_policies_and_faults(self, capsys):
+        assert cli_main(["cluster", "--list-policies", "--list-faults"]) == 0
+        out = capsys.readouterr().out
+        for name in ("round-robin", "least-loaded", "power-of-two-choices"):
+            assert name in out
+        for name in ("none", "crash", "accel-loss", "straggler"):
+            assert name in out
+
+    def test_cluster_requires_model(self, capsys):
+        assert cli_main(["cluster"]) == 2
+        assert "model is required" in capsys.readouterr().out
+
+    def test_cluster_run_with_faults(self, capsys):
+        code = cli_main(
+            [
+                "cluster", "gpt2", "--replicas", "3", "--policy", "least-loaded",
+                "--scheduler", "continuous", "--fault", "crash",
+                "--timeout-ms", "20", "--load", "1", "--requests", "16",
+                "--decode-steps", "1:4", "--deadline-ms", "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out and "per-replica occupancy" in out
+        assert "faults=crash" in out and "fleet capacity" in out
+
+    def test_cluster_heterogeneous_platforms(self, capsys):
+        code = cli_main(
+            ["cluster", "vit-b", "--platforms", "A,B", "--requests", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 replicas" in out
+
+    def test_cluster_deterministic_output(self, capsys):
+        args = [
+            "cluster", "gpt2", "--fault", "straggler", "--hedge-ms", "10",
+            "--load", "0.5", "--requests", "10", "--seed", "7",
+        ]
+        assert cli_main(args) == 0
+        first = capsys.readouterr().out
+        assert cli_main(args) == 0
+        assert capsys.readouterr().out == first
+        assert "hedge_wins" in first
+
+
+class TestSweepLoadCLI:
+    def test_sweep_load_adds_serving_columns(self, capsys):
+        code = cli_main(
+            [
+                "sweep", "--models", "gpt2", "--load", "0.5,1.0",
+                "--scheduler", "continuous",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served_rps" in out and "p99_ms" in out
+        assert "continuous" in out
+        assert out.count("gpt2") == 2
+
+    def test_sweep_without_load_keeps_profile_columns(self, capsys):
+        assert cli_main(["sweep", "--models", "gpt2"]) == 0
+        out = capsys.readouterr().out
+        assert "served_rps" not in out and "latency_ms" in out

@@ -70,3 +70,10 @@ def test_llm_deployment_flows(capsys):
 def test_quantization_seqlen_study(capsys):
     out = _run_example("quantization_seqlen_study.py", capsys)
     assert "int8" in out and "quantization pass" in out
+
+def test_fault_study(capsys):
+    out = _run_example("fault_study.py", capsys)
+    assert "fleet capacity" in out
+    assert "crash + shedding" in out and "stragglers + hedging" in out
+    assert "degrading gracefully beats queueing behind a dead replica" in out
+    assert "duplicates" in out and "capacity headroom" in out
