@@ -22,6 +22,9 @@ All tiers produce byte-identical rows (asserted).  Besides the fig6 grid,
 the same five tiers run the N-device Platform C grid, a reduced serving
 grid (the discrete-event engine), and a reduced cluster grid (the
 fault-tolerant fleet) — the latter two gated on their cold-vs-warm ratios.
+A separate ``serving_1m`` tier exercises the columnar fast backend: a
+fast-vs-reference cross-check at 10^5 requests (gated at 5x) and a
+10^6-request trace in a subprocess reporting wall time and peak RSS.
 Results land in ``BENCH_sweep.json`` at the repo root for the performance
 trajectory.
 
@@ -175,6 +178,101 @@ def bench_cluster() -> dict:
     return payload
 
 
+#: child script for the million-request tier: run in a fresh interpreter so
+#: ``ru_maxrss`` measures this trace alone, not the parent's sweep caches.
+_SERVING_1M_CHILD = """\
+import json, resource, sys, time
+import numpy as np
+from repro.serving import ServingConfig, ServingEngine, make_trace
+from repro.sweep.cache import PLAN_CACHE
+
+num_requests = int(sys.argv[1])
+config = ServingConfig(
+    model="gpt2", scheduler="fifo", backend="fast", record_requests=512
+)
+engine = ServingEngine(config, cache=PLAN_CACHE)
+rate = 0.8 / engine.base_latency_s()
+trace = make_trace(
+    "poisson", rate, num_requests, rng=np.random.default_rng(0),
+    decode_steps=(1, 4),
+)
+start = time.perf_counter()
+result = engine.run(trace, offered_rate_rps=rate)
+wall_s = time.perf_counter() - start
+print(json.dumps({
+    "wall_s": round(wall_s, 4),
+    "peak_rss_mb": round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+    ),
+    "num_served": result.num_requests_served,
+    "records_kept": len(result.records),
+    "p99_ms": round(result.p99_s * 1e3, 4),
+}))
+"""
+
+
+def bench_serving_1m(quick: bool = False) -> dict:
+    """The million-request tier: how far the columnar fast backend scales.
+
+    Two measurements:
+
+    * ``crosscheck`` — fifo at 10^5 requests (10^4 under ``--quick``), fast
+      vs reference backend in-process, results asserted equal with a
+      ``record_requests`` cap so both sides build the same streamed metrics.
+      The reference backend cannot reasonably run 10^6 requests, so the
+      speedup gate lives here.
+    * ``trace_1m`` — 10^6 requests (10^5 under ``--quick``) on the fast
+      backend in a subprocess, reporting wall time and peak RSS.  With the
+      record cap the per-request memory is flat: the child's high-water mark
+      is the trace columns plus O(1) streaming state, not a million
+      ``RequestRecord`` objects.
+    """
+    import os
+    import subprocess
+
+    import numpy as np
+
+    from repro.serving import ServingConfig, ServingEngine, make_trace
+
+    crosscheck_n = 10_000 if quick else 100_000
+    trace_n = 100_000 if quick else 1_000_000
+
+    def build(backend: str) -> ServingEngine:
+        config = ServingConfig(
+            model="gpt2", scheduler="fifo", backend=backend, record_requests=512
+        )
+        return ServingEngine(config, cache=PLAN_CACHE)
+
+    fast_engine = build("fast")
+    rate = 0.8 / fast_engine.base_latency_s()
+    trace = make_trace(
+        "poisson", rate, crosscheck_n, rng=np.random.default_rng(0),
+        decode_steps=(1, 4),
+    )
+    fast_s, fast_result = timed(lambda: fast_engine.run(trace, offered_rate_rps=rate))
+    reference_s, reference_result = timed(
+        lambda: build("reference").run(trace, offered_rate_rps=rate)
+    )
+    assert fast_result == reference_result, "fast backend diverged from reference!"
+
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    child = subprocess.run(
+        [sys.executable, "-c", _SERVING_1M_CHILD, str(trace_n)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    trace_1m = json.loads(child.stdout)
+    return {
+        "crosscheck": {
+            "num_requests": crosscheck_n,
+            "reference_s": round(reference_s, 4),
+            "fast_s": round(fast_s, 4),
+            "speedup": round(reference_s / fast_s, 2),
+            "byte_identical": True,
+        },
+        "trace_1m": {"num_requests": trace_n, **trace_1m},
+    }
+
+
 def bench_suite() -> dict:
     def runner():
         return {name: fn() for name, fn in SUITE.items()}
@@ -207,6 +305,7 @@ def main(argv: list[str] | None = None) -> int:
         "platform_c": bench_platform_c(models),
         "serving": bench_serving(),
         "cluster": bench_cluster(),
+        "serving_1m": bench_serving_1m(quick=args.quick),
     }
     if args.full:
         payload["suite"] = bench_suite()
@@ -242,6 +341,17 @@ def main(argv: list[str] | None = None) -> int:
         f" disk-warm {cluster['engine_disk_warm_s']}s,"
         f" warm {cluster['engine_warm_s']}s ({cluster_warm_gain}x vs cold)"
     )
+    serving_1m = payload["serving_1m"]
+    crosscheck = serving_1m["crosscheck"]
+    trace_1m = serving_1m["trace_1m"]
+    print(
+        f"serving_1m: crosscheck@{crosscheck['num_requests']} reference"
+        f" {crosscheck['reference_s']}s -> fast {crosscheck['fast_s']}s"
+        f" ({crosscheck['speedup']}x, bit-identical);"
+        f" {trace_1m['num_requests']}-request fast trace {trace_1m['wall_s']}s,"
+        f" peak RSS {trace_1m['peak_rss_mb']} MB,"
+        f" {trace_1m['records_kept']} records kept"
+    )
     if args.full:
         suite = payload["suite"]
         print(
@@ -269,6 +379,12 @@ def main(argv: list[str] | None = None) -> int:
     # a warm fleet run pays only for the router's event loop.
     if not args.quick and cluster_warm_gain < 2.0:
         print("WARNING: cluster warm speedup below the 2x target", file=sys.stderr)
+        return 1
+    # the columnar gate runs on the fifo cross-check (the highest
+    # events-per-second scheduler, with no batching to amortize the scalar
+    # loop's overhead) — the 10^6 run has no reference to compare against.
+    if not args.quick and crosscheck["speedup"] < 5.0:
+        print("WARNING: columnar speedup below the 5x target", file=sys.stderr)
         return 1
     return 0
 

@@ -145,7 +145,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--rate", type=float, default=None,
         help="explicit arrival rate in requests/s (overrides --load)",
     )
-    p_serve.add_argument("--requests", type=int, default=32)
+    p_serve.add_argument(
+        "--num-requests", "--requests", dest="requests", type=int, default=32,
+        help="trace length in requests (--requests is an alias)",
+    )
+    p_serve.add_argument(
+        "--backend", choices=("fast", "reference"), default="fast",
+        help="columnar fast backend or the scalar reference loop"
+        " (bit-identical results)",
+    )
+    p_serve.add_argument(
+        "--record-requests", type=int, default=None,
+        help="cap materialized per-request records (streaming percentiles +"
+        " a seeded uniform sample); default keeps everything",
+    )
     p_serve.add_argument("--max-batch", type=int, default=8)
     p_serve.add_argument(
         "--max-wait-ms", type=float, default=2.0,
@@ -208,7 +221,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--rate", type=float, default=None,
         help="explicit arrival rate in requests/s (overrides --load)",
     )
-    p_cluster.add_argument("--requests", type=int, default=32)
+    p_cluster.add_argument(
+        "--num-requests", "--requests", dest="requests", type=int, default=32,
+        help="trace length in requests (--requests is an alias)",
+    )
+    p_cluster.add_argument(
+        "--backend", choices=("fast", "reference"), default="fast",
+        help="chunked-arrival fast backend or the per-event reference loop"
+        " (bit-identical results)",
+    )
+    p_cluster.add_argument(
+        "--record-requests", type=int, default=None,
+        help="cap materialized records, cluster-level and per-replica"
+        " (streaming percentiles + a seeded uniform sample)",
+    )
     p_cluster.add_argument("--max-batch", type=int, default=8)
     p_cluster.add_argument(
         "--max-wait-ms", type=float, default=2.0,
@@ -486,6 +512,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_wait_s=args.max_wait_ms * 1e-3,
             seq_len=args.seq_len,
+            backend=args.backend,
+            record_requests=args.record_requests,
         )
     )
     base_s = engine.base_latency_s()
@@ -505,7 +533,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         render_table(
             [
                 {
-                    "requests": len(result.records),
+                    "requests": result.num_requests_served,
+                    "backend": args.backend,
                     "offered_rps": round(result.offered_rate_rps, 2),
                     "served_rps": round(result.throughput_rps, 2),
                     "p50_ms": round(result.p50_s * 1e3, 3),
@@ -610,6 +639,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             hedge_after_s=ms(args.hedge_ms),
             shed_queue_s=ms(args.shed_ms),
             deadline_s=ms(args.deadline_ms),
+            backend=args.backend,
+            record_requests=args.record_requests,
         )
     )
     capacity = router.fleet_capacity_rps()
@@ -628,7 +659,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         render_table(
             [
                 {
-                    "requests": len(result.records),
+                    "requests": (
+                        result.num_requests_total
+                        if result.num_requests_total is not None
+                        else len(result.records)
+                    ),
+                    "backend": args.backend,
                     "offered_rps": round(result.offered_rate_rps, 2),
                     "served_rps": round(result.throughput_rps, 2),
                     "goodput_pct": round(100 * result.goodput, 1),
@@ -654,7 +690,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             {
                 "replica": index,
                 "platform": result.platform_ids[index],
-                "completed": len(replica.records),
+                "completed": replica.num_requests_served,
                 "dispatches": replica.num_dispatches,
                 "utilization_pct": " + ".join(
                     f"{kind.value} {100 * share:.1f}%"

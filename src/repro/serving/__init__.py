@@ -6,8 +6,12 @@ deterministic event loop whose batching scheduler and per-device occupancy
 model turn the same lowered plans into throughput, tail latency, and
 utilization numbers.  On top of the single engine, :mod:`repro.serving.cluster`
 replicates it into a fault-tolerant fleet (admission policies, fault
-injection, retries/hedging, admission control).  See the README's "Serving
-model" and "Cluster & fault model" sections.
+injection, retries/hedging, admission control).  Both the engine and the
+router default to the columnar fast backend (:mod:`repro.serving.columnar`)
+— bit-identical to the scalar reference loops, selected by the configs'
+``backend`` knob — and both support O(1)-memory streaming metrics behind a
+``record_requests`` cap.  See the README's "Serving model", "Cluster &
+fault model", and "Scaling the serving simulator" sections.
 """
 
 from repro.serving.cluster import (
@@ -24,6 +28,7 @@ from repro.serving.cluster import (
     serve_cluster_point,
     simulate_cluster,
 )
+from repro.serving.columnar import kernel_for, run_fast
 from repro.serving.cost import BatchCost, BatchCostModel, batch_cost_from_simulation
 from repro.serving.engine import (
     ServingConfig,
@@ -50,7 +55,13 @@ from repro.serving.metrics import (
     ClusterResult,
     RequestRecord,
     ServingResult,
+    StreamingQuantile,
+    StreamingStats,
+    cap_cluster_result,
+    cap_serving_result,
     nearest_rank,
+    sample_record_indices,
+    streaming_stats,
 )
 from repro.serving.scheduler import (
     BatchScheduler,
@@ -106,12 +117,17 @@ __all__ = [
     "ServingEngine",
     "ServingResult",
     "StaticBatchScheduler",
+    "StreamingQuantile",
+    "StreamingStats",
     "batch_cost_from_simulation",
     "bursty_trace",
+    "cap_cluster_result",
+    "cap_serving_result",
     "closed_loop_trace",
     "fault_profile_entries",
     "get_policy",
     "get_scheduler",
+    "kernel_for",
     "list_fault_profiles",
     "list_policies",
     "list_schedulers",
@@ -119,6 +135,9 @@ __all__ = [
     "make_trace",
     "nearest_rank",
     "poisson_trace",
+    "run_fast",
+    "sample_record_indices",
+    "streaming_stats",
     "policy_entries",
     "register_fault_profile",
     "register_policy",

@@ -54,6 +54,7 @@ from repro.serving.metrics import (
     ClusterResult,
     RequestRecord,
     ServingResult,
+    cap_cluster_result,
 )
 from repro.serving.scheduler import (
     DEFAULT_MAX_BATCH,
@@ -245,10 +246,28 @@ class ClusterConfig:
     shed_queue_s: float | None = None
     #: goodput deadline recorded on the result (``None``: any completion).
     deadline_s: float | None = None
+    #: ``"fast"`` advances arrivals in chunks over the trace columns (no
+    #: per-arrival heap events, no ``Request`` list); ``"reference"`` pushes
+    #: every arrival through the event heap.  Results are bit-identical —
+    #: arrivals are the only priority-2 events, so a cursor merged against
+    #: the heap head preserves the exact event order.
+    backend: str = "fast"
+    #: cap on materialized records (cluster-level and per-replica); ``None``
+    #: keeps full record lists.  See :attr:`ServingConfig.record_requests`.
+    record_requests: int | None = None
 
     def __post_init__(self) -> None:
         if not self.platforms:
             raise ServingError("cluster needs at least one replica platform")
+        if self.backend not in ("fast", "reference"):
+            raise ServingError(
+                f"unknown cluster backend {self.backend!r};"
+                " expected 'fast' or 'reference'"
+            )
+        if self.record_requests is not None and self.record_requests < 1:
+            raise ServingError(
+                f"record_requests must be >= 1, got {self.record_requests}"
+            )
         if self.max_retries < 0:
             raise ServingError(f"max_retries must be >= 0, got {self.max_retries}")
         for knob, value in (
@@ -472,7 +491,6 @@ class ClusterRouter:
     ) -> ClusterResult:
         """Serve ``trace`` through the fleet under the configured faults."""
         config = self.config
-        requests = trace.requests
         result = ClusterResult(
             model=config.model,
             flow=self.engines[0].flow.name,
@@ -487,8 +505,11 @@ class ClusterRouter:
             ),
             deadline_s=config.deadline_s,
         )
-        if not requests:
+        if trace.num_requests == 0:
             return result
+        arrival_times = trace.arrival_column().tolist()
+        request_ids = trace.id_column().tolist()
+        decode_counts = trace.decode_column().tolist()
 
         replicas = [
             _Replica(
@@ -503,7 +524,7 @@ class ClusterRouter:
             )
             for index, engine in enumerate(self.engines)
         ]
-        horizon_s = requests[-1].arrival_s + 4.0 * self.engines[0].base_latency_s()
+        horizon_s = arrival_times[-1] + 4.0 * self.engines[0].base_latency_s()
         injector = FaultInjector(
             config.fault_profile,
             len(replicas),
@@ -521,7 +542,7 @@ class ClusterRouter:
         policy.reset(len(replicas))
         policy_rng = np.random.default_rng(config.policy_seed)
 
-        total = len(requests)
+        total = trace.num_requests
         tracked: dict[int, _Tracked] = {}
         assignment: dict[tuple[int, int], _Copy] = {}
         heap: list[tuple[float, int, int, str, object]] = []
@@ -530,8 +551,14 @@ class ClusterRouter:
         def push(time_s: float, prio: int, kind: str, payload: object) -> None:
             heapq.heappush(heap, (time_s, prio, next(seq), kind, payload))
 
-        for request in requests:
-            push(request.arrival_s, _PRIO_ARRIVE, "arrive", request)
+        # the fast backend keeps arrivals in their trace columns and merges a
+        # cursor against the heap head in the drain loop; the reference
+        # backend materializes every arrival as a heap event up front.
+        chunked_arrivals = config.backend == "fast"
+        arrive_index = 0
+        if not chunked_arrivals:
+            for request in trace.requests:
+                push(request.arrival_s, _PRIO_ARRIVE, "arrive", request)
         for t in injector.transitions():
             push(t, _PRIO_FAULT, "fault", None)
 
@@ -875,6 +902,8 @@ class ClusterRouter:
             candidates: list[float] = []
             if heap:
                 candidates.append(heap[0][0])
+            if chunked_arrivals and arrive_index < total:
+                candidates.append(arrival_times[arrive_index])
             for replica in replicas:
                 if replica.down:
                     continue
@@ -888,7 +917,33 @@ class ClusterRouter:
             if advance_to <= now:
                 raise stall(f"next event at {advance_to} does not advance the clock")
             now = advance_to
-            while heap and heap[0][0] <= now:
+            while True:
+                # merge the arrival cursor against the heap head: arrivals
+                # are the only _PRIO_ARRIVE events, so comparing (time, prio)
+                # reproduces the reference heap's exact processing order
+                # (equal-time arrivals fire in trace order, like heap seq).
+                if chunked_arrivals and arrive_index < total:
+                    arrival_s = arrival_times[arrive_index]
+                    if arrival_s <= now and (
+                        not heap
+                        or (arrival_s, _PRIO_ARRIVE) < (heap[0][0], heap[0][1])
+                    ):
+                        turns += 1
+                        if turns > max_turns:
+                            raise stall(
+                                f"no progress after {max_turns} event turns"
+                            )
+                        request = Request(
+                            request_id=request_ids[arrive_index],
+                            arrival_s=arrival_s,
+                            decode_steps=decode_counts[arrive_index],
+                        )
+                        arrive_index += 1
+                        arrivals_left -= 1
+                        on_arrival(request, now)
+                        continue
+                if not heap or heap[0][0] > now:
+                    break
                 turns += 1
                 if turns > max_turns:
                     raise stall(f"no progress after {max_turns} event turns")
@@ -963,20 +1018,20 @@ class ClusterRouter:
 
         result.records = [
             ClusterRequestRecord(
-                request_id=request.request_id,
-                arrival_s=request.arrival_s,
-                completion_s=tracked[request.request_id].completion_s,
-                status=tracked[request.request_id].status,
-                replica=tracked[request.request_id].winner_replica,
-                attempts=tracked[request.request_id].attempts,
-                hedged=tracked[request.request_id].hedged,
-                hedge_won=tracked[request.request_id].hedge_won,
+                request_id=request_id,
+                arrival_s=arrival_s,
+                completion_s=tracked[request_id].completion_s,
+                status=tracked[request_id].status,
+                replica=tracked[request_id].winner_replica,
+                attempts=tracked[request_id].attempts,
+                hedged=tracked[request_id].hedged,
+                hedge_won=tracked[request_id].hedge_won,
             )
-            for request in requests
+            for request_id, arrival_s in zip(request_ids, arrival_times)
         ]
         completions = [r.completion_s for r in result.records if r.completion_s is not None]
         if completions:
-            result.makespan_s = max(completions) - requests[0].arrival_s
+            result.makespan_s = max(completions) - arrival_times[0]
         result.num_shed = counters["shed"]
         result.num_failed = counters["failed"]
         result.num_retries = counters["retries"]
@@ -989,6 +1044,8 @@ class ClusterRouter:
             if after is not None:
                 recovery = max(recovery, after - window.end_s)
         result.time_to_recovery_s = recovery
+        if config.record_requests is not None:
+            result = cap_cluster_result(result, config.record_requests)
         return result
 
 
@@ -1034,6 +1091,8 @@ def serve_cluster_point(point) -> ClusterResult:
             hedge_after_s=point.hedge_after_s,
             shed_queue_s=point.shed_queue_s,
             deadline_s=point.deadline_s,
+            backend=getattr(point, "backend", "fast"),
+            record_requests=getattr(point, "record_requests", None),
         )
     )
     rate_rps = point.load * router.fleet_capacity_rps()

@@ -8,6 +8,14 @@ backrefs — so results ship over process-pool IPC and pickle lean without a
 Percentiles use the deterministic nearest-rank definition (the
 ``ceil(q * n)``-th smallest sample), so reported tails are actual observed
 latencies and byte-stable across runs and platforms.
+
+Million-request runs don't keep every sample: with a ``record_requests``
+cap on the serving config, results carry a uniform reservoir sample of the
+records plus a :class:`StreamingStats` block — O(1)-memory aggregates with
+percentiles from a fixed log-grid estimator (:class:`StreamingQuantile`,
+relative error below one grid step ≈ 0.9%).  Capping is a deterministic
+pure function of the full run (:func:`cap_serving_result`), so the fast and
+reference backends produce identical capped results.
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from typing import NamedTuple
+
+import numpy as np
 
 from repro.hardware.device import DeviceKind
 
@@ -48,6 +58,166 @@ def nearest_rank(sorted_values: list[float], quantile: float) -> float:
     return sorted_values[max(rank, 1) - 1]
 
 
+# -- streaming (O(1)-memory) aggregation -------------------------------------
+
+
+def _ordered_sum(values: np.ndarray) -> float:
+    """Sequential left-to-right accumulation: ``np.cumsum`` is a running
+    fold, so this matches repeated scalar ``+=`` bit for bit (pairwise
+    ``np.sum`` does not)."""
+    if values.size == 0:
+        return 0.0
+    return float(np.cumsum(values)[-1])
+
+
+#: bounds and resolution of the streaming quantile grid (seconds).
+QUANTILE_GRID_LO = 1e-7
+QUANTILE_GRID_HI = 1e4
+QUANTILE_BINS_PER_DECADE = 256
+
+_GRID_DECADES = 11  # 1e-7 .. 1e4
+_GRID_EDGES = np.geomspace(
+    QUANTILE_GRID_LO, QUANTILE_GRID_HI, _GRID_DECADES * QUANTILE_BINS_PER_DECADE + 1
+)
+
+
+class StreamingQuantile:
+    """Fixed log-grid quantile estimator with O(1) memory.
+
+    Samples are binned into :data:`QUANTILE_BINS_PER_DECADE` log-spaced
+    counters per decade spanning ``[1e-7, 1e4]`` seconds (~22 KB of int64
+    counts).  ``quantile(q)`` locates the bin holding the nearest-rank
+    sample and reports its **upper edge**, clamped into the observed
+    ``[min, max]``:
+
+    * the estimate never undershoots the exact nearest-rank value and
+      overshoots by less than one grid step (``10**(1/256) - 1`` < 0.91%
+      relative) — pinned by the adversarial-sample accuracy tests;
+    * constant samples are exact (the max clamp);
+    * samples outside the grid clamp to its ends, where the min/max clamp
+      keeps the reported value an actually-observed one.
+
+    Unlike P²-style estimators, accuracy is unconditional — bimodal and
+    heavy-tailed samples cannot push the error beyond the grid step.
+    """
+
+    __slots__ = ("_counts", "_count", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._counts = np.zeros(_GRID_EDGES.size, dtype=np.int64)
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def add(self, values: np.ndarray) -> None:
+        """Fold a batch of samples (seconds) into the grid."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        self._count += int(values.size)
+        self._min = min(self._min, float(values.min()))
+        self._max = max(self._max, float(values.max()))
+        bins = np.searchsorted(_GRID_EDGES, values, side="left")
+        np.minimum(bins, _GRID_EDGES.size - 1, out=bins)
+        self._counts += np.bincount(bins, minlength=_GRID_EDGES.size)
+
+    def quantile(self, q: float) -> float:
+        """The nearest-rank quantile estimate (upper grid edge, clamped to
+        the observed extrema)."""
+        if self._count == 0:
+            return 0.0
+        rank = max(math.ceil(q * self._count), 1)
+        cumulative = np.cumsum(self._counts)
+        index = int(np.searchsorted(cumulative, rank, side="left"))
+        if index == 0:
+            # underflow bin: every sample here is below the grid's lowest
+            # edge, so the smallest observed value is the tightest estimate.
+            return self._min
+        if index == _GRID_EDGES.size - 1:
+            # top bin (which also absorbs overflow): the largest observed
+            # value both bounds the bin's samples and covers overflow.
+            return self._max
+        estimate = float(_GRID_EDGES[index])
+        return min(max(estimate, self._min), self._max)
+
+
+@dataclass(frozen=True)
+class StreamingStats:
+    """O(1)-size aggregates of a capped (``record_requests``) run.
+
+    Percentiles come from :class:`StreamingQuantile` (upper-grid-edge
+    estimates, < 0.91% relative error); means are sequential-order float
+    folds, so both backends produce identical blocks.
+    """
+
+    num_requests: int
+    mean_latency_s: float
+    max_latency_s: float
+    mean_queue_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    #: queue-depth samples (one per admission and per dispatch): the
+    #: streaming replacement for ``queue_depth_timeline``.
+    depth_samples: int = 0
+    depth_sum: int = 0
+    depth_max: int = 0
+
+
+def streaming_stats(
+    latencies: np.ndarray,
+    queue_delays: "np.ndarray | None" = None,
+    depth_samples: int = 0,
+    depth_sum: int = 0,
+    depth_max: int = 0,
+) -> StreamingStats:
+    """Fold latency (and optional queueing-delay) columns into a
+    :class:`StreamingStats` block.  Deterministic and order-sensitive —
+    callers must pass columns in the canonical (trace/record) order so both
+    backends agree bit for bit."""
+    latencies = np.asarray(latencies, dtype=np.float64)
+    count = int(latencies.size)
+    estimator = StreamingQuantile()
+    estimator.add(latencies)
+    if queue_delays is None:
+        queue_delays = np.zeros(0)
+    else:
+        queue_delays = np.asarray(queue_delays, dtype=np.float64)
+    return StreamingStats(
+        num_requests=count,
+        mean_latency_s=_ordered_sum(latencies) / count if count else 0.0,
+        max_latency_s=float(latencies.max()) if count else 0.0,
+        mean_queue_s=(
+            _ordered_sum(queue_delays) / int(queue_delays.size)
+            if queue_delays.size
+            else 0.0
+        ),
+        p50_s=estimator.quantile(0.50),
+        p95_s=estimator.quantile(0.95),
+        p99_s=estimator.quantile(0.99),
+        depth_samples=depth_samples,
+        depth_sum=depth_sum,
+        depth_max=depth_max,
+    )
+
+
+def sample_record_indices(total: int, cap: int) -> np.ndarray:
+    """A sorted uniform random size-``cap`` subset of ``range(total)`` — the
+    reservoir-sample distribution, drawn in one vectorized call from a
+    generator seeded by ``(total, cap)`` so repeat runs and both backends
+    keep identical record samples."""
+    if cap >= total:
+        return np.arange(total, dtype=np.int64)
+    rng = np.random.default_rng((total, cap))
+    picks = rng.choice(total, size=cap, replace=False)
+    picks.sort()
+    return picks.astype(np.int64, copy=False)
+
+
 @dataclass
 class ServingResult:
     """Aggregate outcome of one serving simulation."""
@@ -71,8 +241,16 @@ class ServingResult:
     energy_j: dict[DeviceKind, float] = field(default_factory=dict)
     gemm_busy_s: float = 0.0
     non_gemm_busy_s: float = 0.0
-    #: queue depth sampled at every admission and dispatch (time, depth).
+    #: queue depth sampled at every admission and dispatch (time, depth);
+    #: empty in capped runs (``stats`` carries the depth accumulators).
     queue_depth_timeline: tuple[tuple[float, int], ...] = ()
+    #: requests actually served when ``records`` is a capped sample;
+    #: ``None`` means records are complete.
+    num_served: int | None = None
+    #: the ``record_requests`` cap that produced the sample (``None``: none).
+    record_cap: int | None = None
+    #: O(1) streaming aggregates; present exactly when records are capped.
+    stats: StreamingStats | None = None
 
     # -- latency -----------------------------------------------------------
 
@@ -81,30 +259,42 @@ class ServingResult:
 
     @property
     def p50_s(self) -> float:
+        if self.stats is not None:
+            return self.stats.p50_s
         return nearest_rank(self.latencies_s(), 0.50)
 
     @property
     def p95_s(self) -> float:
+        if self.stats is not None:
+            return self.stats.p95_s
         return nearest_rank(self.latencies_s(), 0.95)
 
     @property
     def p99_s(self) -> float:
+        if self.stats is not None:
+            return self.stats.p99_s
         return nearest_rank(self.latencies_s(), 0.99)
 
     @property
     def mean_latency_s(self) -> float:
+        if self.stats is not None:
+            return self.stats.mean_latency_s
         if not self.records:
             return 0.0
         return sum(record.latency_s for record in self.records) / len(self.records)
 
     @property
     def max_latency_s(self) -> float:
+        if self.stats is not None:
+            return self.stats.max_latency_s
         if not self.records:
             return 0.0
         return max(record.latency_s for record in self.records)
 
     @property
     def mean_queue_s(self) -> float:
+        if self.stats is not None:
+            return self.stats.mean_queue_s
         if not self.records:
             return 0.0
         return sum(record.queue_s for record in self.records) / len(self.records)
@@ -112,10 +302,17 @@ class ServingResult:
     # -- throughput & occupancy -------------------------------------------
 
     @property
+    def num_requests_served(self) -> int:
+        """Requests served, whether or not records are capped."""
+        if self.num_served is not None:
+            return self.num_served
+        return len(self.records)
+
+    @property
     def throughput_rps(self) -> float:
         if self.makespan_s <= 0.0:
             return 0.0
-        return len(self.records) / self.makespan_s
+        return self.num_requests_served / self.makespan_s
 
     def utilization(self) -> dict[DeviceKind, float]:
         """Busy fraction of the makespan per device."""
@@ -133,6 +330,8 @@ class ServingResult:
 
     @property
     def max_queue_depth(self) -> int:
+        if self.stats is not None:
+            return self.stats.depth_max
         if not self.queue_depth_timeline:
             return 0
         return max(depth for _, depth in self.queue_depth_timeline)
@@ -140,6 +339,10 @@ class ServingResult:
     @property
     def mean_queue_depth(self) -> float:
         """Mean of the queue-depth samples (taken at every transition)."""
+        if self.stats is not None:
+            if not self.stats.depth_samples:
+                return 0.0
+            return self.stats.depth_sum / self.stats.depth_samples
         if not self.queue_depth_timeline:
             return 0.0
         return sum(depth for _, depth in self.queue_depth_timeline) / len(
@@ -154,6 +357,40 @@ class ServingResult:
             f" p99 {self.p99_s * 1e3:.2f} ms, mean batch {self.mean_batch_size:.2f},"
             f" non-GEMM busy {self.non_gemm_busy_share:.1%}"
         )
+
+
+def cap_serving_result(result: ServingResult, cap: int) -> ServingResult:
+    """Convert a fully-recorded result into its capped/streaming form.
+
+    A deterministic pure function of the full run: streaming aggregates are
+    folded from the record columns in record order, the kept records are the
+    seeded uniform sample of :func:`sample_record_indices`, and the
+    queue-depth timeline collapses into count/sum/max accumulators.  The
+    columnar fast backend produces this same form directly (without ever
+    building the full lists); applying this to a reference run must —
+    and the equivalence battery checks it does — yield identical bytes.
+    """
+    records = result.records
+    latencies = np.array(
+        [record.completion_s - record.arrival_s for record in records], dtype=np.float64
+    )
+    queue_delays = np.array(
+        [record.start_s - record.arrival_s for record in records], dtype=np.float64
+    )
+    depths = [depth for _, depth in result.queue_depth_timeline]
+    result.stats = streaming_stats(
+        latencies,
+        queue_delays,
+        depth_samples=len(depths),
+        depth_sum=sum(depths),
+        depth_max=max(depths) if depths else 0,
+    )
+    result.num_served = len(records)
+    result.record_cap = cap
+    keep = sample_record_indices(len(records), cap)
+    result.records = [records[index] for index in keep.tolist()]
+    result.queue_depth_timeline = ()
+    return result
 
 
 # -- cluster-level aggregation ----------------------------------------------
@@ -225,6 +462,16 @@ class ClusterResult:
     #: worst time from a fault window clearing to the afflicted replica's
     #: first dispatch completion afterwards (0 when no fault or no work).
     time_to_recovery_s: float = 0.0
+    #: trace size / completions / within-deadline completions when
+    #: ``records`` is a capped sample; ``None`` means records are complete.
+    num_requests_total: int | None = None
+    num_completed: int | None = None
+    num_good: int | None = None
+    #: the ``record_requests`` cap that produced the sample (``None``: none).
+    record_cap: int | None = None
+    #: streaming aggregates over admitted-completed latencies; present
+    #: exactly when records are capped.
+    stats: StreamingStats | None = None
 
     @property
     def num_replicas(self) -> int:
@@ -239,18 +486,26 @@ class ClusterResult:
 
     @property
     def p50_s(self) -> float:
+        if self.stats is not None:
+            return self.stats.p50_s
         return nearest_rank(self.latencies_s(), 0.50)
 
     @property
     def p95_s(self) -> float:
+        if self.stats is not None:
+            return self.stats.p95_s
         return nearest_rank(self.latencies_s(), 0.95)
 
     @property
     def p99_s(self) -> float:
+        if self.stats is not None:
+            return self.stats.p99_s
         return nearest_rank(self.latencies_s(), 0.99)
 
     @property
     def mean_latency_s(self) -> float:
+        if self.stats is not None:
+            return self.stats.mean_latency_s
         latencies = self.latencies_s()
         if not latencies:
             return 0.0
@@ -264,6 +519,10 @@ class ClusterResult:
         gracefully means the good fraction stays high even though some
         requests are turned away.
         """
+        if self.num_good is not None:
+            if not self.num_requests_total:
+                return 0.0
+            return self.num_good / self.num_requests_total
         if not self.records:
             return 0.0
         good = sum(
@@ -277,7 +536,10 @@ class ClusterResult:
     def throughput_rps(self) -> float:
         if self.makespan_s <= 0.0:
             return 0.0
-        return len(self.completed()) / self.makespan_s
+        completed = (
+            self.num_completed if self.num_completed is not None else len(self.completed())
+        )
+        return completed / self.makespan_s
 
     def utilization(self) -> list[dict[DeviceKind, float]]:
         """Per-replica busy fraction of the *cluster* makespan."""
@@ -310,3 +572,35 @@ class ClusterResult:
             f" p99 {self.p99_s * 1e3:.2f} ms, shed {self.num_shed},"
             f" retries {self.num_retries}, hedge wins {self.num_hedge_wins}"
         )
+
+
+def cap_cluster_result(result: ClusterResult, cap: int) -> ClusterResult:
+    """Convert a fully-recorded cluster result into its capped form.
+
+    Goodput/throughput counters and streaming latency aggregates are folded
+    from the full record list (in trace order, completed requests only for
+    latencies), then cluster records are reservoir-sampled and each replica
+    result is capped via :func:`cap_serving_result`.  Deterministic, so both
+    router backends produce identical capped results.
+    """
+    completed = [r for r in result.records if r.status == REQUEST_OK]
+    latencies = np.array(
+        [r.completion_s - r.arrival_s for r in completed], dtype=np.float64
+    )
+    result.stats = streaming_stats(latencies)
+    result.num_requests_total = len(result.records)
+    result.num_completed = len(completed)
+    result.num_good = sum(
+        1
+        for r in completed
+        if result.deadline_s is None
+        or (r.completion_s - r.arrival_s) <= result.deadline_s
+    )
+    result.record_cap = cap
+    keep = sample_record_indices(len(result.records), cap)
+    result.records = [result.records[index] for index in keep.tolist()]
+    result.replicas = [
+        replica if replica.record_cap is not None else cap_serving_result(replica, cap)
+        for replica in result.replicas
+    ]
+    return result

@@ -74,6 +74,15 @@ class BatchScheduler:
     #: registry name; subclasses must override.
     name = ""
     description = ""
+    #: name of the columnar fast-path kernel in :mod:`repro.serving.columnar`
+    #: that replays this scheduler's decision sequence without driving the
+    #: scheduler object itself.  A scheduler opts in by **declaring** this in
+    #: its own class body; subclasses that inherit a kernel name but do not
+    #: redeclare it run on the reference loop (their overrides could change
+    #: the decision sequence the kernel hard-codes).  Deliberately a plain
+    #: class attribute, not a dataclass field — it describes the class's
+    #: decision algorithm, not per-instance state.
+    columnar_kernel = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -135,6 +144,7 @@ class FIFOScheduler(BatchScheduler):
 
     name = "fifo"
     description = "one request per dispatch, arrival order, no batching"
+    columnar_kernel = "fifo"
 
     def next_dispatch(self, now: float, arrivals_pending: bool) -> "Dispatch | None":
         if not self._queue:
@@ -158,6 +168,7 @@ class StaticBatchScheduler(BatchScheduler):
 
     name = "static"
     description = "launch only full max_batch batches (flush at end of trace)"
+    columnar_kernel = "static"
 
     def next_dispatch(self, now: float, arrivals_pending: bool) -> "Dispatch | None":
         if not self._queue:
@@ -181,6 +192,7 @@ class DynamicBatchScheduler(BatchScheduler):
 
     name = "dynamic"
     description = "launch when max_batch fills or the oldest waits max_wait_s"
+    columnar_kernel = "dynamic"
 
     def next_dispatch(self, now: float, arrivals_pending: bool) -> "Dispatch | float | None":
         if not self._queue:
@@ -211,6 +223,7 @@ class ContinuousBatchScheduler(BatchScheduler):
 
     name = "continuous"
     description = "iteration-level batching: join/leave at decode-step boundaries"
+    columnar_kernel = "continuous"
 
     def __post_init__(self) -> None:
         super().__post_init__()

@@ -1,12 +1,25 @@
 """Synthetic request-arrival traces for the serving simulator.
 
-A :class:`RequestTrace` is a *static, replayable* record: an ordered tuple of
-:class:`Request`\\ s with absolute arrival times and (for autoregressive
-models) a per-request decode-step count.  Traces are generated once from an
-explicit seeded :class:`numpy.random.Generator` and then replayed verbatim by
-the engine, so every serving simulation is deterministic end to end — the
-same seed yields byte-identical metrics, and a trace saved with
+A :class:`RequestTrace` is a *static, replayable* record: an ordered arrival
+sequence with absolute arrival times and (for autoregressive models) a
+per-request decode-step count.  Traces are generated once from an explicit
+seeded :class:`numpy.random.Generator` and then replayed verbatim by the
+engine, so every serving simulation is deterministic end to end — the same
+seed yields byte-identical metrics, and a trace saved with
 :meth:`RequestTrace.to_rows` replays exactly via :meth:`RequestTrace.from_rows`.
+
+Traces are **column-backed**: arrival times, decode steps, and request ids
+live in immutable numpy arrays (the representation the columnar fast backend
+in :mod:`repro.serving.columnar` consumes directly), while the classic
+``requests`` tuple of :class:`Request` objects is materialized lazily on
+first access — a million-request trace costs ~40 bytes per request until
+something actually asks for Python objects.
+
+Generation is vectorized: every built-in process draws its randomness in
+**one batched call per trace**.  A ``numpy`` Generator produces the same
+stream for one size-``k`` ``exponential`` call as for ``k`` scalar calls, so
+the batched draws are bit-identical to the historical per-request loops
+(pinned by the trace-identity tests).
 
 Three arrival processes ship built in, behind a registry mirroring
 ``register_flow()``:
@@ -28,7 +41,7 @@ them interchangeably.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -46,48 +59,163 @@ class Request:
     decode_steps: int = 1
 
 
-@dataclass(frozen=True)
 class RequestTrace:
-    """An ordered, replayable arrival record (the serving workload input)."""
+    """An ordered, replayable arrival record (the serving workload input).
 
-    name: str
-    requests: tuple[Request, ...]
+    Construct either from ``requests`` (the classic tuple of
+    :class:`Request`) or from columns (``arrival_s`` + ``decode_steps``
+    arrays, with ids defaulting to ``0..n-1``).  Both forms expose both
+    views; the column arrays are defensively copied and frozen, so a trace
+    stays immutable like the frozen dataclass it replaces.
+    """
 
-    def __post_init__(self) -> None:
-        previous = 0.0
-        for request in self.requests:
-            if request.arrival_s < previous:
+    __slots__ = ("name", "_arrival_s", "_decode_steps", "_request_ids", "_requests")
+
+    def __init__(
+        self,
+        name: str,
+        requests: "Iterable[Request] | None" = None,
+        *,
+        arrival_s: "np.ndarray | None" = None,
+        decode_steps: "np.ndarray | None" = None,
+        request_ids: "np.ndarray | None" = None,
+    ):
+        self.name = name
+        if requests is not None:
+            if arrival_s is not None or decode_steps is not None or request_ids is not None:
                 raise ServingError(
-                    f"trace {self.name!r} is not sorted by arrival time"
-                    f" (request {request.request_id} at {request.arrival_s})"
+                    f"trace {name!r}: pass either requests or columns, not both"
                 )
-            if request.decode_steps < 1:
+            requests = tuple(requests)
+            n = len(requests)
+            self._requests = requests
+            self._request_ids = np.fromiter(
+                (r.request_id for r in requests), dtype=np.int64, count=n
+            )
+            self._arrival_s = np.fromiter(
+                (r.arrival_s for r in requests), dtype=np.float64, count=n
+            )
+            self._decode_steps = np.fromiter(
+                (r.decode_steps for r in requests), dtype=np.int64, count=n
+            )
+        else:
+            if arrival_s is None or decode_steps is None:
                 raise ServingError(
-                    f"trace {self.name!r} request {request.request_id}"
-                    f" has decode_steps={request.decode_steps} (must be >= 1)"
+                    f"trace {name!r}: column construction needs both arrival_s"
+                    " and decode_steps"
                 )
-            previous = request.arrival_s
+            self._requests = None
+            self._arrival_s = np.array(arrival_s, dtype=np.float64, ndmin=1)
+            self._decode_steps = np.array(decode_steps, dtype=np.int64, ndmin=1)
+            n = self._arrival_s.shape[0]
+            if request_ids is None:
+                self._request_ids = np.arange(n, dtype=np.int64)
+            else:
+                self._request_ids = np.array(request_ids, dtype=np.int64, ndmin=1)
+            if self._decode_steps.shape[0] != n or self._request_ids.shape[0] != n:
+                raise ServingError(
+                    f"trace {name!r}: column lengths disagree"
+                    f" ({n} arrivals, {self._decode_steps.shape[0]} decode"
+                    f" counts, {self._request_ids.shape[0]} ids)"
+                )
+        for column in (self._arrival_s, self._decode_steps, self._request_ids):
+            column.flags.writeable = False
+        self._validate()
+
+    def _validate(self) -> None:
+        arrivals = self._arrival_s
+        n = arrivals.shape[0]
+        if n == 0:
+            return
+        previous = np.empty_like(arrivals)
+        previous[0] = 0.0
+        previous[1:] = arrivals[:-1]
+        unsorted = arrivals < previous
+        if bool(unsorted.any()):
+            index = int(np.argmax(unsorted))
+            raise ServingError(
+                f"trace {self.name!r} is not sorted by arrival time"
+                f" (request {int(self._request_ids[index])} at"
+                f" {float(arrivals[index])})"
+            )
+        bad_steps = self._decode_steps < 1
+        if bool(bad_steps.any()):
+            index = int(np.argmax(bad_steps))
+            raise ServingError(
+                f"trace {self.name!r} request {int(self._request_ids[index])}"
+                f" has decode_steps={int(self._decode_steps[index])} (must be >= 1)"
+            )
+
+    # -- the two views -------------------------------------------------------
+
+    @property
+    def requests(self) -> tuple[Request, ...]:
+        """The Python-object view, materialized on first access."""
+        if self._requests is None:
+            self._requests = tuple(
+                Request(request_id=rid, arrival_s=t, decode_steps=steps)
+                for rid, t, steps in zip(
+                    self._request_ids.tolist(),
+                    self._arrival_s.tolist(),
+                    self._decode_steps.tolist(),
+                )
+            )
+        return self._requests
+
+    def arrival_column(self) -> np.ndarray:
+        """Arrival times as a frozen float64 column (seconds)."""
+        return self._arrival_s
+
+    def decode_column(self) -> np.ndarray:
+        """Per-request decode-step counts as a frozen int64 column."""
+        return self._decode_steps
+
+    def id_column(self) -> np.ndarray:
+        """Request ids as a frozen int64 column (trace order)."""
+        return self._request_ids
+
+    # -- value semantics -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RequestTrace):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and np.array_equal(self._request_ids, other._request_ids)
+            and np.array_equal(self._arrival_s, other._arrival_s)
+            and np.array_equal(self._decode_steps, other._decode_steps)
+        )
+
+    __hash__ = None  # mutable-array backed; compare by value, don't hash
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestTrace(name={self.name!r}, num_requests={self.num_requests},"
+            f" duration_s={self.duration_s!r})"
+        )
+
+    # -- aggregate views -----------------------------------------------------
 
     @property
     def num_requests(self) -> int:
-        return len(self.requests)
+        return int(self._arrival_s.shape[0])
 
     @property
     def duration_s(self) -> float:
         """Time span between the first and last arrival."""
-        if not self.requests:
+        if not self.num_requests:
             return 0.0
-        return self.requests[-1].arrival_s - self.requests[0].arrival_s
+        return float(self._arrival_s[-1]) - float(self._arrival_s[0])
 
     @property
     def offered_rate_rps(self) -> float:
         """Average arrival rate over the trace (requests per second)."""
-        if len(self.requests) < 2 or self.duration_s <= 0.0:
+        if self.num_requests < 2 or self.duration_s <= 0.0:
             return 0.0
-        return (len(self.requests) - 1) / self.duration_s
+        return (self.num_requests - 1) / self.duration_s
 
     def total_decode_steps(self) -> int:
-        return sum(request.decode_steps for request in self.requests)
+        return int(self._decode_steps.sum())
 
     # -- replayable record format -------------------------------------------
 
@@ -96,50 +224,50 @@ class RequestTrace:
         arrival times are serialized via ``repr`` round-tripping floats."""
         return [
             {
-                "request_id": request.request_id,
-                "arrival_s": repr(request.arrival_s),
-                "decode_steps": request.decode_steps,
+                "request_id": rid,
+                "arrival_s": repr(t),
+                "decode_steps": steps,
             }
-            for request in self.requests
+            for rid, t, steps in zip(
+                self._request_ids.tolist(),
+                self._arrival_s.tolist(),
+                self._decode_steps.tolist(),
+            )
         ]
 
     @classmethod
     def from_rows(cls, name: str, rows: Iterable[dict]) -> "RequestTrace":
+        rows = list(rows)
         return cls(
             name=name,
-            requests=tuple(
-                Request(
-                    request_id=int(row["request_id"]),
-                    arrival_s=float(row["arrival_s"]),
-                    decode_steps=int(row.get("decode_steps", 1)),
-                )
-                for row in rows
+            arrival_s=np.array([float(row["arrival_s"]) for row in rows], dtype=np.float64),
+            decode_steps=np.array(
+                [int(row.get("decode_steps", 1)) for row in rows], dtype=np.int64
             ),
+            request_ids=np.array([int(row["request_id"]) for row in rows], dtype=np.int64),
         )
 
 
 def _decode_step_counts(
     decode_steps: "int | tuple[int, int]", count: int, rng: np.random.Generator
-) -> Sequence[int]:
+) -> np.ndarray:
     """Per-request decode iterations: a constant, or seeded uniform draws
-    from an inclusive ``(lo, hi)`` range."""
+    from an inclusive ``(lo, hi)`` range — one batched call."""
     if isinstance(decode_steps, int):
         if decode_steps < 1:
             raise ServingError(f"decode_steps must be >= 1, got {decode_steps}")
-        return [decode_steps] * count
+        return np.full(count, decode_steps, dtype=np.int64)
     lo, hi = decode_steps
     if lo < 1 or hi < lo:
         raise ServingError(f"invalid decode_steps range {decode_steps!r}")
-    return [int(v) for v in rng.integers(lo, hi + 1, size=count)]
+    return rng.integers(lo, hi + 1, size=count).astype(np.int64, copy=False)
 
 
-def _build(name: str, arrivals: Sequence[float], steps: Sequence[int]) -> RequestTrace:
+def _build(name: str, arrivals: np.ndarray, steps: np.ndarray) -> RequestTrace:
     return RequestTrace(
         name=name,
-        requests=tuple(
-            Request(request_id=i, arrival_s=float(t), decode_steps=steps[i])
-            for i, t in enumerate(arrivals)
-        ),
+        arrival_s=np.asarray(arrivals, dtype=np.float64),
+        decode_steps=np.asarray(steps, dtype=np.int64),
     )
 
 
@@ -171,17 +299,21 @@ def bursty_trace(
 
     Burst starts are spaced ``burst_size / rate_rps`` apart (preserving the
     offered rate); members of a burst land within a jitter window two orders
-    of magnitude tighter than the burst interval.
+    of magnitude tighter than the burst interval.  Jitter is drawn in one
+    batched call for the non-leading burst members — the same generator
+    stream, and so the same floats, as one scalar draw per member.
     """
     _check_rate(rate_rps, num_requests)
     if burst_size < 1:
         raise ServingError(f"burst_size must be >= 1, got {burst_size}")
     interval = burst_size / rate_rps
-    arrivals = []
-    for i in range(num_requests):
-        burst = i // burst_size
-        jitter = float(rng.exponential(interval / 100.0)) if i % burst_size else 0.0
-        arrivals.append(burst * interval + jitter)
+    index = np.arange(num_requests, dtype=np.int64)
+    jitter = np.zeros(num_requests, dtype=np.float64)
+    jittered = index % burst_size != 0
+    draws = int(np.count_nonzero(jittered))
+    if draws:
+        jitter[jittered] = rng.exponential(interval / 100.0, size=draws)
+    arrivals = (index // burst_size) * interval + jitter
     arrivals.sort()
     return _build("bursty", arrivals, _decode_step_counts(decode_steps, num_requests, rng))
 
@@ -201,7 +333,8 @@ def closed_loop_trace(
 
     Each of ``num_clients`` clients contributes requests at a per-client
     cycle of ``num_clients / rate_rps`` (aggregate rate ``rate_rps``), with a
-    seeded jitter on each think time.  Because traces are static records the
+    seeded jitter on each think time (one batched draw for every
+    round-index-above-zero request).  Because traces are static records the
     cycle uses the configured rate, not engine completion feedback — the
     standard replayable approximation of a closed loop.  Client start
     offsets stagger uniformly across one cycle; client 0 starts at t=0.
@@ -210,12 +343,15 @@ def closed_loop_trace(
     if num_clients < 1:
         raise ServingError(f"num_clients must be >= 1, got {num_clients}")
     cycle = num_clients / rate_rps
-    arrivals = []
-    for i in range(num_requests):
-        client = i % num_clients
-        round_index = i // num_clients
-        jitter = float(rng.exponential(cycle / 20.0)) if round_index else 0.0
-        arrivals.append(client * cycle / num_clients + round_index * cycle + jitter)
+    index = np.arange(num_requests, dtype=np.int64)
+    client = index % num_clients
+    round_index = index // num_clients
+    jitter = np.zeros(num_requests, dtype=np.float64)
+    jittered = round_index > 0
+    draws = int(np.count_nonzero(jittered))
+    if draws:
+        jitter[jittered] = rng.exponential(cycle / 20.0, size=draws)
+    arrivals = client * cycle / num_clients + round_index * cycle + jitter
     arrivals.sort()
     return _build(
         "closed-loop", arrivals, _decode_step_counts(decode_steps, num_requests, rng)

@@ -72,6 +72,11 @@ class SweepPoint:
     hedge_after_s: float | None = None
     shed_queue_s: float | None = None
     deadline_s: float | None = None
+    #: serving backend ("fast" columnar kernels or the scalar "reference"
+    #: loop — bit-identical results either way).
+    backend: str = "fast"
+    #: cap on materialized per-request records; None keeps everything.
+    record_requests: int | None = None
 
     @property
     def device(self) -> str:
@@ -137,6 +142,10 @@ class SweepSpec:
     hedge_after_s: float | None = None
     shed_queue_s: float | None = None
     deadline_s: float | None = None
+    #: serving backend for every load point of the grid ("fast"/"reference").
+    backend: str = "fast"
+    #: record cap for every load point of the grid (None: keep everything).
+    record_requests: int | None = None
     iterations: int = 3
     seed: int = 0
     #: outermost-to-innermost loop order; unlisted dimensions follow in
@@ -242,6 +251,8 @@ class SweepSpec:
                     hedge_after_s=self.hedge_after_s,
                     shed_queue_s=self.shed_queue_s,
                     deadline_s=self.deadline_s,
+                    backend=self.backend,
+                    record_requests=self.record_requests,
                 )
             )
         return points
