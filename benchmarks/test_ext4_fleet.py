@@ -1,0 +1,69 @@
+"""Extension 4 bench: the fleet knee — p99 vs fleet size at fixed demand.
+
+Fleets of 1/2/4/8 replicas serve the same absolute arrival trace (demand is
+a fraction of one replica's capacity, so load = demand / replicas) at 10⁵
+requests per point through the columnar cluster fast path.  The bench
+asserts the provisioning truths: growing the fleet never hurts the tail,
+continuous batching reaches the flat part of the curve with far fewer
+replicas than unbatched fifo, and the saturated points stay pinned at full
+utilization while the over-provisioned ones idle.
+"""
+
+from benchmarks.conftest import save_experiment
+from repro.analysis import run_ext4
+from repro.analysis.ext4_fleet import (
+    FLEET_DEMANDS,
+    FLEET_SCHEDULERS,
+    FLEET_SIZES,
+)
+
+
+def _row(rows, **filters):
+    matched = [r for r in rows if all(r[k] == v for k, v in filters.items())]
+    assert len(matched) == 1, f"expected one row for {filters}, got {len(matched)}"
+    return matched[0]
+
+
+def test_ext4_fleet_knee(benchmark, results_dir):
+    result = benchmark.pedantic(lambda: run_ext4(), rounds=1, iterations=1)
+    save_experiment(result, results_dir)
+
+    # 2 schedulers x 4 fleet sizes x 5 demands, all on platform A.
+    assert len(result.rows) == len(FLEET_SCHEDULERS) * len(FLEET_SIZES) * len(
+        FLEET_DEMANDS
+    )
+
+    for scheduler in FLEET_SCHEDULERS:
+        for demand in FLEET_DEMANDS:
+            curve = [
+                _row(result.rows, scheduler=scheduler, demand=demand, replicas=size)
+                for size in FLEET_SIZES
+            ]
+            # the same absolute trace is offered to every fleet size.
+            offered = {row["offered_rps"] for row in curve}
+            assert len(offered) == 1, (scheduler, demand, offered)
+            # more replicas never hurt the tail (equal traces, pooled queues).
+            p99s = [row["p99_ms"] for row in curve]
+            assert all(a >= b for a, b in zip(p99s, p99s[1:])), (scheduler, demand, p99s)
+
+    # unbatched fifo is still queue-bound at 4 replicas under demand 4 while
+    # continuous batching has already flattened at 2 — the headline knee gap.
+    fifo4 = _row(result.rows, scheduler="fifo", demand=4.0, replicas=4)
+    cont2 = _row(result.rows, scheduler="continuous", demand=4.0, replicas=2)
+    cont8 = _row(result.rows, scheduler="continuous", demand=4.0, replicas=8)
+    assert fifo4["p99_ms"] > 100 * cont2["p99_ms"]
+    assert cont2["p99_ms"] < 1.5 * cont8["p99_ms"]
+
+    # saturated fleets are pinned at full target utilization; doubling an
+    # already-flat fleet halves it (same work, twice the machines).
+    assert _row(result.rows, scheduler="fifo", demand=2.0, replicas=1)[
+        "mean_target_util_pct"
+    ] == 100.0
+    low = _row(result.rows, scheduler="continuous", demand=0.25, replicas=8)
+    assert low["mean_target_util_pct"] < 15.0
+
+    # the notes narrate one knee per discipline and overload demand.
+    notes = "\n".join(result.notes)
+    assert "knee at" in notes
+    for scheduler in FLEET_SCHEDULERS:
+        assert scheduler in notes

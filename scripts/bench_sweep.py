@@ -22,11 +22,14 @@ All tiers produce byte-identical rows (asserted).  Besides the fig6 grid,
 the same five tiers run the N-device Platform C grid, a reduced serving
 grid (the discrete-event engine), and a reduced cluster grid (the
 fault-tolerant fleet) — the latter two gated on their cold-vs-warm ratios.
-A separate ``serving_1m`` tier exercises the columnar fast backend: a
-fast-vs-reference cross-check at 10^5 requests (gated at 5x) and a
-10^6-request trace in a subprocess reporting wall time and peak RSS.
-Results land in ``BENCH_sweep.json`` at the repo root for the performance
-trajectory.
+A separate ``serving_1m`` tier exercises the columnar fast backend:
+fast-vs-reference cross-checks at 10^5 requests (fifo gated at 5x, dynamic
+and continuous at 1.5x) and 10^6-request traces in a subprocess reporting
+wall time and peak RSS at a served and an overloaded rate.  The
+``cluster_1m`` tier does the same for the columnar *fleet* fast path: a
+4-replica cross-check asserted bit-identical and gated at 5x, plus a
+10^6-request fleet run.  Results land in ``BENCH_sweep.json`` at the repo
+root for the performance trajectory.
 
 Usage::
 
@@ -187,11 +190,12 @@ from repro.serving import ServingConfig, ServingEngine, make_trace
 from repro.sweep.cache import PLAN_CACHE
 
 num_requests = int(sys.argv[1])
+load_factor = float(sys.argv[2])
 config = ServingConfig(
     model="gpt2", scheduler="fifo", backend="fast", record_requests=512
 )
 engine = ServingEngine(config, cache=PLAN_CACHE)
-rate = 0.8 / engine.base_latency_s()
+rate = load_factor / engine.base_latency_s()
 trace = make_trace(
     "poisson", rate, num_requests, rng=np.random.default_rng(0),
     decode_steps=(1, 4),
@@ -211,21 +215,35 @@ print(json.dumps({
 """
 
 
+#: rate factors for the 10^6-request rows: 0.8 / batch-1 step latency
+#: oversubscribes the serial fifo server 2x once the 1-4 decode-step draws
+#: (mean 2.5 steps per request) are paid — exactly what the RSS measurement
+#: wants, since the queue grows to the full trace; dividing the same knob by
+#: the mean draw instead offers a *served* load 0.8 whose p99 is a readable
+#: tail latency rather than a queueing ramp.
+_OVERLOAD_FACTOR = 0.8
+_SERVED_FACTOR = 0.8 / 2.5
+
+
 def bench_serving_1m(quick: bool = False) -> dict:
     """The million-request tier: how far the columnar fast backend scales.
 
     Two measurements:
 
-    * ``crosscheck`` — fifo at 10^5 requests (10^4 under ``--quick``), fast
-      vs reference backend in-process, results asserted equal with a
-      ``record_requests`` cap so both sides build the same streamed metrics.
-      The reference backend cannot reasonably run 10^6 requests, so the
-      speedup gate lives here.
-    * ``trace_1m`` — 10^6 requests (10^5 under ``--quick``) on the fast
-      backend in a subprocess, reporting wall time and peak RSS.  With the
-      record cap the per-request memory is flat: the child's high-water mark
-      is the trace columns plus O(1) streaming state, not a million
-      ``RequestRecord`` objects.
+    * cross-checks — fifo, dynamic, and continuous at 10^5 requests (10^4
+      under ``--quick``), fast vs reference backend in-process, results
+      asserted equal with a ``record_requests`` cap so both sides build the
+      same streamed metrics.  The reference backend cannot reasonably run
+      10^6 requests, so the speedup gates live here: fifo (the highest
+      events-per-second scheduler, nothing batched to amortize the scalar
+      loop) at 5x, dynamic and continuous at 1.5x.
+    * ``trace_1m`` / ``trace_1m_served`` — 10^6 requests (10^5 under
+      ``--quick``) on the fast backend in a subprocess, reporting wall time
+      and peak RSS: once 2x oversubscribed (the RSS high-water mark) and
+      once at served load 0.8 (a readable p99).  With the record cap the
+      per-request memory is flat: the child's high-water mark is the trace
+      columns plus O(1) streaming state, not a million ``RequestRecord``
+      objects.
     """
     import os
     import subprocess
@@ -237,39 +255,149 @@ def bench_serving_1m(quick: bool = False) -> dict:
     crosscheck_n = 10_000 if quick else 100_000
     trace_n = 100_000 if quick else 1_000_000
 
-    def build(backend: str) -> ServingEngine:
+    def build(scheduler: str, backend: str) -> ServingEngine:
         config = ServingConfig(
-            model="gpt2", scheduler="fifo", backend=backend, record_requests=512
+            model="gpt2", scheduler=scheduler, backend=backend, record_requests=512
         )
         return ServingEngine(config, cache=PLAN_CACHE)
 
-    fast_engine = build("fast")
-    rate = 0.8 / fast_engine.base_latency_s()
-    trace = make_trace(
-        "poisson", rate, crosscheck_n, rng=np.random.default_rng(0),
-        decode_steps=(1, 4),
-    )
-    fast_s, fast_result = timed(lambda: fast_engine.run(trace, offered_rate_rps=rate))
-    reference_s, reference_result = timed(
-        lambda: build("reference").run(trace, offered_rate_rps=rate)
-    )
-    assert fast_result == reference_result, "fast backend diverged from reference!"
-
-    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
-    child = subprocess.run(
-        [sys.executable, "-c", _SERVING_1M_CHILD, str(trace_n)],
-        capture_output=True, text=True, env=env, check=True,
-    )
-    trace_1m = json.loads(child.stdout)
-    return {
-        "crosscheck": {
+    crosschecks = {}
+    for scheduler in ("fifo", "dynamic", "continuous"):
+        fast_engine = build(scheduler, "fast")
+        rate = _OVERLOAD_FACTOR / fast_engine.base_latency_s()
+        trace = make_trace(
+            "poisson", rate, crosscheck_n, rng=np.random.default_rng(0),
+            decode_steps=(1, 4),
+        )
+        fast_s, fast_result = timed(
+            lambda: fast_engine.run(trace, offered_rate_rps=rate)
+        )
+        reference_s, reference_result = timed(
+            lambda: build(scheduler, "reference").run(trace, offered_rate_rps=rate)
+        )
+        assert fast_result == reference_result, (
+            f"fast backend diverged from reference ({scheduler})!"
+        )
+        crosschecks[scheduler] = {
             "num_requests": crosscheck_n,
             "reference_s": round(reference_s, 4),
             "fast_s": round(fast_s, 4),
             "speedup": round(reference_s / fast_s, 2),
             "byte_identical": True,
+        }
+
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+
+    def child_row(load_factor: float) -> dict:
+        child = subprocess.run(
+            [sys.executable, "-c", _SERVING_1M_CHILD, str(trace_n), str(load_factor)],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        return {"num_requests": trace_n, **json.loads(child.stdout)}
+
+    return {
+        "crosscheck": crosschecks["fifo"],
+        "crosscheck_dynamic": crosschecks["dynamic"],
+        "crosscheck_continuous": crosschecks["continuous"],
+        "trace_1m": child_row(_OVERLOAD_FACTOR),
+        "trace_1m_served": child_row(_SERVED_FACTOR),
+    }
+
+
+#: child script for the fleet-scale tier: the columnar cluster fast path in
+#: a fresh interpreter, so ``ru_maxrss`` measures the fleet run alone.
+_CLUSTER_1M_CHILD = """\
+import json, resource, sys, time
+import numpy as np
+from repro.serving import ClusterConfig, ClusterRouter, make_trace
+from repro.sweep.cache import PLAN_CACHE
+
+num_requests = int(sys.argv[1])
+num_replicas = int(sys.argv[2])
+config = ClusterConfig(
+    model="gpt2", platforms=("A",) * num_replicas, scheduler="fifo",
+    policy="round-robin", backend="fast", record_requests=512,
+)
+router = ClusterRouter(config, cache=PLAN_CACHE)
+rate = 0.8 * router.fleet_capacity_rps()
+trace = make_trace(
+    "poisson", rate, num_requests, rng=np.random.default_rng(0),
+    decode_steps=(1, 4),
+)
+start = time.perf_counter()
+result = router.run(trace, offered_rate_rps=rate)
+wall_s = time.perf_counter() - start
+print(json.dumps({
+    "wall_s": round(wall_s, 4),
+    "peak_rss_mb": round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+    ),
+    "num_completed": result.num_completed,
+    "records_kept": len(result.records),
+    "p99_ms": round(result.p99_s * 1e3, 4),
+}))
+"""
+
+
+def bench_cluster_1m(quick: bool = False) -> dict:
+    """The fleet-scale tier: the columnar cluster fast path at 10^5-10^6.
+
+    * ``crosscheck`` — a 4-replica round-robin fifo fleet at 10^5 requests
+      (10^4 under ``--quick``), fast vs reference router in-process, the
+      full ``ClusterResult`` asserted equal under the same record cap.  The
+      reference heap cannot reasonably run 10^6 fleet events, so the >= 5x
+      speedup gate lives here.
+    * ``fleet_1m`` — 10^6 requests (10^5 under ``--quick``) across the same
+      fleet on the fast path in a subprocess, reporting wall time and peak
+      RSS; with the record cap the memory high-water mark tracks the trace
+      columns, not per-request router state.
+    """
+    import os
+    import subprocess
+
+    import numpy as np
+
+    from repro.serving import ClusterConfig, ClusterRouter, make_trace
+
+    crosscheck_n = 10_000 if quick else 100_000
+    fleet_n = 100_000 if quick else 1_000_000
+    replicas = 4
+
+    def build(backend: str) -> ClusterRouter:
+        config = ClusterConfig(
+            model="gpt2", platforms=("A",) * replicas, scheduler="fifo",
+            policy="round-robin", backend=backend, record_requests=512,
+        )
+        return ClusterRouter(config, cache=PLAN_CACHE)
+
+    fast_router = build("fast")
+    rate = _OVERLOAD_FACTOR * fast_router.fleet_capacity_rps()
+    trace = make_trace(
+        "poisson", rate, crosscheck_n, rng=np.random.default_rng(0),
+        decode_steps=(1, 4),
+    )
+    fast_s, fast_result = timed(lambda: fast_router.run(trace, offered_rate_rps=rate))
+    reference_s, reference_result = timed(
+        lambda: build("reference").run(trace, offered_rate_rps=rate)
+    )
+    assert fast_result == reference_result, "fast cluster diverged from reference!"
+
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    child = subprocess.run(
+        [sys.executable, "-c", _CLUSTER_1M_CHILD, str(fleet_n), str(replicas)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    fleet_1m = json.loads(child.stdout)
+    return {
+        "crosscheck": {
+            "num_requests": crosscheck_n,
+            "num_replicas": replicas,
+            "reference_s": round(reference_s, 4),
+            "fast_s": round(fast_s, 4),
+            "speedup": round(reference_s / fast_s, 2),
+            "byte_identical": True,
         },
-        "trace_1m": {"num_requests": trace_n, **trace_1m},
+        "fleet_1m": {"num_requests": fleet_n, "num_replicas": replicas, **fleet_1m},
     }
 
 
@@ -306,6 +434,7 @@ def main(argv: list[str] | None = None) -> int:
         "serving": bench_serving(),
         "cluster": bench_cluster(),
         "serving_1m": bench_serving_1m(quick=args.quick),
+        "cluster_1m": bench_cluster_1m(quick=args.quick),
     }
     if args.full:
         payload["suite"] = bench_suite()
@@ -343,14 +472,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     serving_1m = payload["serving_1m"]
     crosscheck = serving_1m["crosscheck"]
+    check_dynamic = serving_1m["crosscheck_dynamic"]
+    check_continuous = serving_1m["crosscheck_continuous"]
     trace_1m = serving_1m["trace_1m"]
+    trace_served = serving_1m["trace_1m_served"]
     print(
-        f"serving_1m: crosscheck@{crosscheck['num_requests']} reference"
-        f" {crosscheck['reference_s']}s -> fast {crosscheck['fast_s']}s"
-        f" ({crosscheck['speedup']}x, bit-identical);"
+        f"serving_1m: crosscheck@{crosscheck['num_requests']} fifo"
+        f" {crosscheck['speedup']}x, dynamic {check_dynamic['speedup']}x,"
+        f" continuous {check_continuous['speedup']}x (all bit-identical);"
         f" {trace_1m['num_requests']}-request fast trace {trace_1m['wall_s']}s,"
         f" peak RSS {trace_1m['peak_rss_mb']} MB,"
-        f" {trace_1m['records_kept']} records kept"
+        f" {trace_1m['records_kept']} records kept;"
+        f" served-load p99 {trace_served['p99_ms']} ms"
+    )
+    cluster_1m = payload["cluster_1m"]
+    fleet_check = cluster_1m["crosscheck"]
+    fleet_1m = cluster_1m["fleet_1m"]
+    print(
+        f"cluster_1m: crosscheck@{fleet_check['num_requests']}"
+        f"x{fleet_check['num_replicas']} reference {fleet_check['reference_s']}s ->"
+        f" fast {fleet_check['fast_s']}s ({fleet_check['speedup']}x,"
+        f" bit-identical); {fleet_1m['num_requests']}-request fleet"
+        f" {fleet_1m['wall_s']}s, peak RSS {fleet_1m['peak_rss_mb']} MB,"
+        f" {fleet_1m['records_kept']} records kept"
     )
     if args.full:
         suite = payload["suite"]
@@ -385,6 +529,19 @@ def main(argv: list[str] | None = None) -> int:
     # loop's overhead) — the 10^6 run has no reference to compare against.
     if not args.quick and crosscheck["speedup"] < 5.0:
         print("WARNING: columnar speedup below the 5x target", file=sys.stderr)
+        return 1
+    # batched kernels do fewer, bigger events, so their columnar headroom is
+    # smaller (~3x measured) — gate at a safe 1.5x to catch regressions.
+    if not args.quick and check_dynamic["speedup"] < 1.5:
+        print("WARNING: columnar dynamic speedup below the 1.5x target", file=sys.stderr)
+        return 1
+    if not args.quick and check_continuous["speedup"] < 1.5:
+        print("WARNING: columnar continuous speedup below the 1.5x target", file=sys.stderr)
+        return 1
+    # the fleet gate runs on the 4-replica cross-check: the fast path must
+    # beat the reference heap by 5x while staying bit-identical.
+    if not args.quick and fleet_check["speedup"] < 5.0:
+        print("WARNING: columnar cluster speedup below the 5x target", file=sys.stderr)
         return 1
     return 0
 

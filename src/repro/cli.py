@@ -214,12 +214,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arrival process (poisson, bursty, closed-loop)",
     )
     p_cluster.add_argument(
-        "--load", type=float, default=1.0,
-        help="offered load as a fraction of fleet capacity",
+        "--load", default="1.0",
+        help="offered load as a fraction of fleet capacity; a comma-separated"
+        " list sweeps every load through the sweep runner (see --workers)",
     )
     p_cluster.add_argument(
         "--rate", type=float, default=None,
-        help="explicit arrival rate in requests/s (overrides --load)",
+        help="explicit arrival rate in requests/s (overrides a single --load)",
+    )
+    p_cluster.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size for multi-load sweeps (0/1 = in-process)",
     )
     p_cluster.add_argument(
         "--num-requests", "--requests", dest="requests", type=int, default=32,
@@ -408,8 +413,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     hits = sum(result.cache_info.get("hits", {}).values())
     disk_hits = sum(result.cache_info.get("disk_hits", {}).values())
     misses = sum(result.cache_info.get("misses", {}).values())
-    # pool runs (--workers > 1) hit per-worker caches: the parent-side
-    # delta printed here is legitimately all zeros for them.
+    # pool runs (--workers > 1) sum the deltas each worker ships back with
+    # its records, so these counters cover every per-process cache.
     print(
         f"\n{len(result.records)} points in {result.wall_s:.2f}s"
         f" (cache: {hits} hits, {disk_hits} disk hits, {misses} misses)"
@@ -610,6 +615,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         )
         return 2
 
+    loads = tuple(float(part) for part in str(args.load).split(",") if part.strip())
+    if len(loads) > 1:
+        return _cluster_sweep(args, loads)
+    load = loads[0] if loads else 1.0
+
     if args.platforms:
         platforms = tuple(
             part.strip() for part in args.platforms.split(",") if part.strip()
@@ -644,7 +654,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         )
     )
     capacity = router.fleet_capacity_rps()
-    rate = args.rate if args.rate is not None else args.load * capacity
+    rate = args.rate if args.rate is not None else load * capacity
     trace = make_trace(
         args.trace,
         rate,
@@ -701,6 +711,87 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         )
     print(render_table(replica_rows))
     print(f"\nfleet capacity {capacity:.1f} rps across {len(platforms)} replicas")
+    return 0
+
+
+def _cluster_sweep(args: argparse.Namespace, loads: tuple[float, ...]) -> int:
+    """Serve one cluster configuration at several loads through the sweep
+    runner — optionally fanned out over a worker pool (``--workers``)."""
+    from repro.sweep.runner import SweepRunner
+    from repro.sweep.spec import SweepSpec
+
+    if args.rate is not None:
+        print("error: --rate fixes one arrival rate; use a single --load with it")
+        return 2
+    if args.platforms:
+        print(
+            "error: multi-load sweeps replicate --platform across the fleet;"
+            " --platforms mixes are single-load only"
+        )
+        return 2
+    if args.retries != 3:
+        print("error: multi-load sweeps use the default retry budget (3)")
+        return 2
+
+    def ms(value: float | None) -> float | None:
+        return None if value is None else value * 1e-3
+
+    steps = _parse_decode_steps(args.decode_steps)
+    if isinstance(steps, int):
+        steps = (steps, steps)
+    spec = SweepSpec(
+        name="cli-cluster",
+        models=(args.model,),
+        platforms=(args.platform,),
+        flows=(args.flow,),
+        devices=(args.device,),
+        seq_lens=(args.seq_len,),
+        loads=loads,
+        policies=(args.policy,),
+        fault_profiles=(args.fault,),
+        scheduler=args.scheduler,
+        trace=args.trace,
+        num_requests=args.requests,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms * 1e-3,
+        decode_steps=steps,
+        num_replicas=args.replicas,
+        fault_seed=args.fault_seed,
+        timeout_s=ms(args.timeout_ms),
+        timeout_cap_s=ms(args.timeout_cap_ms),
+        hedge_after_s=ms(args.hedge_ms),
+        shed_queue_s=ms(args.shed_ms),
+        deadline_s=ms(args.deadline_ms),
+        backend=args.backend,
+        record_requests=args.record_requests,
+        seed=args.seed,
+    )
+    result = SweepRunner(workers=args.workers).run(spec)
+    rows = []
+    for record in result.records:
+        cluster = record.serving
+        rows.append(
+            {
+                "load": record.point.load,
+                "offered_rps": round(cluster.offered_rate_rps, 2),
+                "served_rps": round(cluster.throughput_rps, 2),
+                "goodput_pct": round(100 * cluster.goodput, 1),
+                "p50_ms": round(cluster.p50_s * 1e3, 3),
+                "p99_ms": round(cluster.p99_s * 1e3, 3),
+                "shed": cluster.num_shed,
+                "failed": cluster.num_failed,
+                "retries": cluster.num_retries,
+            }
+        )
+    print(render_table(rows))
+    hits = sum(result.cache_info.get("hits", {}).values())
+    disk_hits = sum(result.cache_info.get("disk_hits", {}).values())
+    misses = sum(result.cache_info.get("misses", {}).values())
+    print(
+        f"\n{len(result.records)} loads x {args.replicas} replicas in"
+        f" {result.wall_s:.2f}s (cache: {hits} hits, {disk_hits} disk hits,"
+        f" {misses} misses)"
+    )
     return 0
 
 

@@ -542,6 +542,15 @@ class ClusterRouter:
         policy.reset(len(replicas))
         policy_rng = np.random.default_rng(config.policy_seed)
 
+        if config.backend == "fast":
+            from repro.serving.columnar_cluster import (
+                run_fast_cluster,
+                supports_fast_path,
+            )
+
+            if supports_fast_path(config, injector, policy, replicas[0].scheduler):
+                return run_fast_cluster(self, trace, result, policy, policy_rng)
+
         total = trace.num_requests
         tracked: dict[int, _Tracked] = {}
         assignment: dict[tuple[int, int], _Copy] = {}

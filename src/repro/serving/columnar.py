@@ -187,7 +187,7 @@ class _Run:
 # -- kernels ------------------------------------------------------------------
 
 
-def _run_fifo(run: _Run) -> None:
+def _run_fifo(run: _Run, more_until: float = float("-inf")) -> None:
     """FIFO: one barrier dispatch per request, in arrival order.
 
     Closed form (proven against the reference loop): ``start_i =
@@ -255,12 +255,21 @@ def _run_fifo(run: _Run) -> None:
         )
 
 
-def _run_batched(run: _Run, dynamic: bool) -> None:
+def _run_batched(
+    run: _Run, dynamic: bool, more_until: float = float("-inf")
+) -> None:
     """Static/dynamic batching: chunked admissions, scalar occupancy.
 
     One loop turn per *dispatch* (plus deadline waits for dynamic), with the
     reference's exact iteration arithmetic — including the contended
     accelerator branch these non-barrier schedulers can hit.
+
+    ``more_until`` models the cluster's *global* ``arrivals_pending`` flag:
+    a replica's sub-trace may exhaust while other replicas still have
+    arrivals due, and the reference scheduler keeps holding a partial batch
+    until the whole trace's last arrival (exclusive) has been drained.  The
+    solo engine passes the default ``-inf`` (no outside arrivals), which
+    reduces to the original ``admitted < n`` predicate.
     """
     scheduler = run.scheduler
     batch_cap = scheduler.max_batch
@@ -289,14 +298,15 @@ def _run_batched(run: _Run, dynamic: bool) -> None:
         if queued == 0:
             now = arrivals[admitted]
             continue
-        if queued < batch_cap and admitted < n:
+        if queued < batch_cap and (admitted < n or now < more_until):
             if not dynamic:
-                # static: keep accumulating until the batch fills.
-                now = arrivals[admitted]
+                # static: keep accumulating until the batch fills (or, in a
+                # cluster, until the global arrival stream dries up).
+                now = arrivals[admitted] if admitted < n else more_until
                 continue
             deadline = arrivals[taken] + max_wait_s
             if now < deadline:
-                next_arrival = arrivals[admitted]
+                next_arrival = arrivals[admitted] if admitted < n else more_until
                 now = deadline if deadline < next_arrival else next_arrival
                 continue
         size = batch_cap if queued > batch_cap else queued
@@ -333,15 +343,15 @@ def _run_batched(run: _Run, dynamic: bool) -> None:
     run.batch = np.array(batches, dtype=np.int64)
 
 
-def _run_static(run: _Run) -> None:
-    _run_batched(run, dynamic=False)
+def _run_static(run: _Run, more_until: float = float("-inf")) -> None:
+    _run_batched(run, dynamic=False, more_until=more_until)
 
 
-def _run_dynamic(run: _Run) -> None:
-    _run_batched(run, dynamic=True)
+def _run_dynamic(run: _Run, more_until: float = float("-inf")) -> None:
+    _run_batched(run, dynamic=True, more_until=more_until)
 
 
-def _run_continuous(run: _Run) -> None:
+def _run_continuous(run: _Run, more_until: float = float("-inf")) -> None:
     """Continuous (iteration-level) batching: one turn per model iteration.
 
     Membership lives in insertion-ordered parallel position/remaining lists

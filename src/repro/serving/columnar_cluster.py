@@ -1,0 +1,530 @@
+"""Columnar fast path for the multi-replica cluster router.
+
+``backend="fast"`` on a :class:`~repro.serving.cluster.ClusterConfig` already
+advances arrivals in chunks; this module removes the per-event Python heap
+entirely on the **no-fault / no-retry / no-hedge rail**:
+
+1. **Routing pass** — admission decisions are computed in columns.
+   Round-robin without shedding is closed form (``i mod R``: the cursor
+   advances once per arrival, shed or not).  Least-loaded, power-of-two, and
+   any shedding configuration replay the scalar router's
+   :meth:`~repro.serving.cluster._Replica.est_delay_s` against per-replica
+   *virtual clock machines*: tiny recurrences over (host_free, accel_free,
+   pending decode steps) that replay each scheduler's launch times without
+   scheduler objects, ``Request`` objects, or heap events.
+2. **Serving pass** — each replica's admitted sub-stream is a column slice
+   of the trace, fed through the existing per-scheduler columnar kernels of
+   :mod:`repro.serving.columnar`.  The only cluster-specific wrinkle is the
+   *global* ``arrivals_pending`` flag: static/dynamic batching hold a
+   partial final batch until the whole trace's last arrival has been
+   drained, which the kernels model with their ``more_until`` horizon.
+3. **Assembly** — per-replica results and cluster records are rebuilt in
+   the reference router's exact orders (records by ``(admitted_s, id)``,
+   accounting folded in launch order), so the result is **bit-identical**
+   to ``backend="reference"``: same ``ClusterResult``, same float
+   accumulations, same capped/streaming blocks.
+
+The rail is checked by :func:`supports_fast_path`; any unsupported knob —
+a fault profile that produces windows or stragglers, timeout retries,
+hedging, a custom admission policy, or a custom/subclassed scheduler —
+falls back to the reference event loop in
+:meth:`~repro.serving.cluster.ClusterRouter.run` automatically.
+
+Why launch times are a recurrence: the reference loop runs one decision
+pass per distinct event time, *after* draining that time's arrivals, and a
+replica launches at most one dispatch per pass (every dispatch pushes its
+``ready_s`` strictly past the clock).  So a replica's next launch time is a
+pure function of its queue and occupancy registers — ``max(ready, head
+admit)`` for fifo/continuous, ``max(host_free, cap-th admit)`` for a full
+batch, ``max(host_free, head admit + max_wait)`` for a dynamic flush — and
+admissions at time T strictly precede launches at T (the machines advance
+with a strict ``< T`` bound before every admission and delay probe).
+During routing the global arrival stream is never exhausted, so static
+batching never flushes a partial batch inside the machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.columnar import _Run, kernel_for
+from repro.serving.metrics import (
+    REQUEST_OK,
+    REQUEST_SHED,
+    ClusterRequestRecord,
+    ClusterResult,
+    ServingResult,
+    sample_record_indices,
+    streaming_stats,
+)
+from repro.serving.scheduler import (
+    ContinuousBatchScheduler,
+    DynamicBatchScheduler,
+    FIFOScheduler,
+    StaticBatchScheduler,
+    get_scheduler,
+)
+from repro.serving.trace import RequestTrace
+
+_BUILTIN_SCHEDULERS = (
+    FIFOScheduler,
+    StaticBatchScheduler,
+    DynamicBatchScheduler,
+    ContinuousBatchScheduler,
+)
+
+
+def supports_fast_path(config, injector, policy, scheduler) -> bool:
+    """Is this cluster run on the columnar rail?
+
+    Everything here mirrors a documented fallback condition: the README's
+    "rail conditions" list and the fallback test battery enumerate exactly
+    these knobs.  ``injector`` is the run's already-built
+    :class:`~repro.serving.faults.FaultInjector` — the check is semantic
+    (does the drawn schedule actually perturb anything), so a custom
+    profile that yields no windows and no stragglers still qualifies.
+    """
+    from repro.serving.cluster import (
+        LeastLoadedPolicy,
+        PowerOfTwoPolicy,
+        RoundRobinPolicy,
+    )
+
+    if config.backend != "fast":
+        return False
+    if config.timeout_s is not None or config.hedge_after_s is not None:
+        return False
+    schedule = injector.schedule
+    if schedule.windows or schedule.straggler_prob > 0.0:
+        return False
+    if type(policy) not in (RoundRobinPolicy, LeastLoadedPolicy, PowerOfTwoPolicy):
+        return False
+    if type(scheduler) not in _BUILTIN_SCHEDULERS:
+        return False
+    return kernel_for(scheduler) is not None
+
+
+# -- routing pass -------------------------------------------------------------
+
+
+class _Machine:
+    """Virtual clock of one replica: replays launch times and queue-delay
+    estimates without a scheduler object or heap events.
+
+    State is exactly what :meth:`_Replica.est_delay_s` reads — ``host_free``,
+    the per-device ``accel_free`` horizon, and the scheduler's pending decode
+    steps — plus the admitted queue (admit time, steps) and, for continuous
+    batching, the in-flight remaining-step list.  ``advance(T)`` executes
+    every launch decided strictly before ``T`` with the reference launch
+    arithmetic verbatim, so a delay probe at an arrival time sees the same
+    registers as the scalar router's policy does.
+    """
+
+    __slots__ = (
+        "index",
+        "kind",
+        "max_batch",
+        "max_wait_s",
+        "_cost",
+        "unit_total_s",
+        "host_free",
+        "ready_s",
+        "accel_free",
+        "pending_steps",
+        "q_admit",
+        "q_steps",
+        "head",
+        "flight",
+    )
+
+    def __init__(self, index: int, engine, kind: str, max_batch: int, max_wait_s: float):
+        self.index = index
+        self.kind = kind
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self._cost = engine.costs.cost  # memoized per batch size
+        self.unit_total_s = engine.costs.cost(1).total_s
+        self.host_free = 0.0
+        self.ready_s = 0.0
+        self.accel_free: dict = {}
+        self.pending_steps = 0
+        self.q_admit: list[float] = []
+        self.q_steps: list[int] = []
+        self.head = 0
+        self.flight: list[int] = []
+
+    def est_delay_s(self, now: float) -> float:
+        """Verbatim :meth:`_Replica.est_delay_s` over the machine registers."""
+        horizon = self.host_free
+        for t in self.accel_free.values():
+            if t > horizon:
+                horizon = t
+        backlog = self.pending_steps * self.unit_total_s
+        delay = horizon - now
+        if delay < 0.0:
+            delay = 0.0
+        return delay + backlog
+
+    def admit(self, when: float, steps: int) -> None:
+        self.advance(when)
+        self.q_admit.append(when)
+        self.q_steps.append(steps)
+        self.pending_steps += steps
+
+    def advance(self, until: float) -> None:
+        """Execute every launch decided strictly before ``until``."""
+        while True:
+            t = self._next_launch()
+            if t is None or t >= until:
+                return
+            self._launch(t)
+
+    def _next_launch(self) -> "float | None":
+        kind = self.kind
+        if kind == "continuous":
+            if self.flight:
+                return self.ready_s
+            if self.head < len(self.q_admit):
+                a = self.q_admit[self.head]
+                return a if a > self.ready_s else self.ready_s
+            return None
+        qlen = len(self.q_admit) - self.head
+        if qlen == 0:
+            return None
+        if kind == "fifo":
+            a = self.q_admit[self.head]
+            return a if a > self.ready_s else self.ready_s
+        if qlen >= self.max_batch:
+            a = self.q_admit[self.head + self.max_batch - 1]
+            return a if a > self.host_free else self.host_free
+        if kind == "dynamic":
+            d = self.q_admit[self.head] + self.max_wait_s
+            return d if d > self.host_free else self.host_free
+        # static partial batches flush only once the *global* arrival stream
+        # is exhausted — which never happens while requests are still routing.
+        return None
+
+    def _launch(self, t: float) -> None:
+        kind = self.kind
+        if kind == "continuous":
+            flight = self.flight
+            free = self.max_batch - len(flight)
+            if free > 0:
+                qlen = len(self.q_admit) - self.head
+                take = free if free < qlen else qlen
+                if take:
+                    stop = self.head + take
+                    flight.extend(self.q_steps[self.head : stop])
+                    self.head = stop
+            size = len(flight)
+            end = self._iterate(self._cost(size), t, 1)
+            self.flight = [rem - 1 for rem in flight if rem != 1]
+            self.pending_steps -= size
+            self.ready_s = end  # barrier
+        elif kind == "fifo":
+            steps = self.q_steps[self.head]
+            self.head += 1
+            end = self._iterate(self._cost(1), t, steps)
+            self.pending_steps -= steps
+            self.ready_s = end  # barrier
+        else:  # static / dynamic full-or-flush batch
+            qlen = len(self.q_admit) - self.head
+            size = qlen if qlen < self.max_batch else self.max_batch
+            stop = self.head + size
+            members = self.q_steps[self.head : stop]
+            self.head = stop
+            self._iterate(self._cost(size), t, max(members))
+            self.pending_steps -= sum(members)
+            # non-barrier: ready is max(when, host_free), and host_free has
+            # just advanced past the dispatch start.
+            self.ready_s = t if t > self.host_free else self.host_free
+        if self.head >= 8192:  # amortized queue compaction
+            del self.q_admit[: self.head]
+            del self.q_steps[: self.head]
+            self.head = 0
+
+    def _iterate(self, cost, when: float, iterations: int) -> float:
+        """The reference ``launch()`` occupancy arithmetic, verbatim
+        (straggler multiplier omitted: it is exactly 1.0 on this rail)."""
+        start = when if when > self.host_free else self.host_free
+        cursor = start
+        if cost.has_accel:
+            host_s = cost.host_s
+            accel_s = cost.accel_s
+            total_s = cost.total_s
+            target = cost.target
+            accel_free = self.accel_free
+            for _ in range(iterations):
+                host_end = cursor + host_s
+                accel_start = accel_free.get(target, 0.0)
+                if accel_start < host_end:
+                    accel_start = host_end
+                if accel_start == host_end:
+                    end = cursor + total_s
+                else:
+                    end = accel_start + accel_s
+                accel_free[target] = end
+                self.host_free = host_end
+                cursor = end
+        else:
+            total_s = cost.total_s
+            for _ in range(iterations):
+                cursor += total_s
+            self.host_free = cursor
+        return cursor
+
+
+def _route(config, engines, trace: RequestTrace, policy, rng) -> np.ndarray:
+    """Assign every arrival to a replica index (``-1``: shed).
+
+    Sequential in trace order — exactly the drain order of the reference
+    loop — with the policy's own state transitions: the round-robin cursor
+    advances even on shed arrivals (``choose`` runs before the shed check),
+    and power-of-two draws from the seeded generator once per arrival.
+    """
+    from repro.serving.cluster import LeastLoadedPolicy, RoundRobinPolicy
+
+    n = trace.num_requests
+    num_replicas = len(engines)
+    shed_s = config.shed_queue_s
+    round_robin = type(policy) is RoundRobinPolicy
+    if round_robin and shed_s is None:
+        return np.arange(n, dtype=np.int64) % num_replicas
+
+    kind = type(get_scheduler(config.scheduler)).__dict__["columnar_kernel"]
+    machines = [
+        _Machine(index, engine, kind, config.max_batch, config.max_wait_s)
+        for index, engine in enumerate(engines)
+    ]
+    arrivals = trace.arrival_column().tolist()
+    steps = trace.decode_column().tolist()
+    assigned = np.empty(n, dtype=np.int64)
+    if round_robin:
+        for i in range(n):
+            when = arrivals[i]
+            chosen = machines[i % num_replicas]
+            chosen.advance(when)
+            if chosen.est_delay_s(when) > shed_s:
+                assigned[i] = -1
+                continue
+            chosen.admit(when, steps[i])
+            assigned[i] = chosen.index
+    elif type(policy) is LeastLoadedPolicy:
+        for i in range(n):
+            when = arrivals[i]
+            chosen = None
+            chosen_delay = 0.0
+            # min(key=(delay, index)) in index order: strict < keeps the
+            # lowest-index replica on ties, like the reference min().
+            for machine in machines:
+                machine.advance(when)
+                delay = machine.est_delay_s(when)
+                if chosen is None or delay < chosen_delay:
+                    chosen = machine
+                    chosen_delay = delay
+            if shed_s is not None and chosen_delay > shed_s:
+                assigned[i] = -1
+                continue
+            chosen.admit(when, steps[i])
+            assigned[i] = chosen.index
+    else:  # power-of-two-choices
+        for i in range(n):
+            when = arrivals[i]
+            if num_replicas == 1:
+                chosen = machines[0]
+                chosen.advance(when)
+            else:
+                first_i, second_i = sorted(
+                    int(x) for x in rng.choice(num_replicas, size=2, replace=False)
+                )
+                first = machines[first_i]
+                second = machines[second_i]
+                first.advance(when)
+                second.advance(when)
+                if second.est_delay_s(when) < first.est_delay_s(when):
+                    chosen = second
+                else:
+                    chosen = first
+            if shed_s is not None and chosen.est_delay_s(when) > shed_s:
+                assigned[i] = -1
+                continue
+            chosen.admit(when, steps[i])
+            assigned[i] = chosen.index
+    return assigned
+
+
+# -- serving pass -------------------------------------------------------------
+
+
+def _empty_replica_result(
+    engine, scheduler_name: str, config, platform_id: str, trace_name: str, rate: float
+) -> ServingResult:
+    """A replica that admitted nothing, in the reference's exact shape."""
+    result = ServingResult(
+        model=config.model,
+        flow=engine.flow.name,
+        platform_id=platform_id,
+        device=engine.target.value,
+        scheduler=scheduler_name,
+        trace=trace_name,
+        offered_rate_rps=rate,
+        busy_s={spec.kind: 0.0 for spec in engine.platform.devices},
+        energy_j={spec.kind: 0.0 for spec in engine.platform.devices},
+    )
+    if config.record_requests is not None:
+        empty = np.zeros(0, dtype=np.float64)
+        result.stats = streaming_stats(empty, empty)
+        result.num_served = 0
+        result.record_cap = config.record_requests
+    return result
+
+
+def _serve_replica(
+    engine, config, trace: RequestTrace, indices: np.ndarray, more_until: float, rate: float
+) -> "tuple[ServingResult, np.ndarray]":
+    """Run one replica's admitted sub-stream through its columnar kernel.
+
+    Returns the per-replica :class:`ServingResult` (in the reference
+    router's record order and capping shape) and the completion column in
+    sub-stream (trace) order for cluster-level scatter.
+    """
+    sub = RequestTrace(
+        trace.name,
+        arrival_s=trace.arrival_column()[indices],
+        decode_steps=trace.decode_column()[indices],
+        request_ids=trace.id_column()[indices],
+    )
+    scheduler = get_scheduler(
+        config.scheduler, max_batch=config.max_batch, max_wait_s=config.max_wait_s
+    )
+    run = _Run(engine, sub, scheduler)
+    run.cap = config.record_requests
+    run.full = run.cap is None
+    kernel_for(scheduler)(run, more_until=more_until)
+
+    # the reference router lists a replica's records by (admitted_s, id) —
+    # identical to sub-stream order except when equal-time arrivals carry
+    # out-of-order ids, so order stats and records through the permutation.
+    perm = np.lexsort((sub.id_column(), run.arrival))
+    result = ServingResult(
+        model=config.model,
+        flow=engine.flow.name,
+        platform_id=engine.config.platform,
+        device=engine.target.value,
+        scheduler=scheduler.name,
+        trace=trace.name,
+        offered_rate_rps=rate,
+    )
+    result.makespan_s = float(run.completion.max()) - float(run.arrival[0])
+    result.num_dispatches = run.dispatches
+    result.num_iterations = run.iterations
+    result.mean_batch_size = run.weighted / run.iterations if run.iterations else 0.0
+    result.busy_s = run.busy
+    result.energy_j = run.energy
+    result.gemm_busy_s = run.gemm
+    result.non_gemm_busy_s = run.non_gemm
+    if run.full:
+        result.records = run._records(perm)
+        result.queue_depth_timeline = tuple(run.timeline)
+    else:
+        # metrics.cap_serving_result's arithmetic, fed from columns in the
+        # reference's record order.
+        result.stats = streaming_stats(
+            run.completion[perm] - run.arrival[perm],
+            run.start[perm] - run.arrival[perm],
+            depth_samples=run.depth_count,
+            depth_sum=run.depth_sum,
+            depth_max=run.depth_max,
+        )
+        result.num_served = run.n
+        result.record_cap = run.cap
+        result.records = run._records(perm[sample_record_indices(run.n, run.cap)])
+    return result, run.completion
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def run_fast_cluster(
+    router, trace: RequestTrace, result: ClusterResult, policy, policy_rng
+) -> ClusterResult:
+    """Serve ``trace`` through the fleet on the columnar rail.
+
+    ``result`` is the pre-populated :class:`ClusterResult` shell from
+    :meth:`ClusterRouter.run`; the caller has already verified
+    :func:`supports_fast_path`.  Bit-identical to the reference event loop.
+    """
+    config = router.config
+    engines = router.engines
+    n = trace.num_requests
+    arrivals = trace.arrival_column()
+    rate = result.offered_rate_rps
+
+    assigned = _route(config, engines, trace, policy, policy_rng)
+    more_until = float(arrivals[-1])
+
+    scheduler_name = get_scheduler(config.scheduler).name
+    completion_all = np.empty(n, dtype=np.float64)
+    for index, engine in enumerate(engines):
+        indices = np.nonzero(assigned == index)[0]
+        if indices.size == 0:
+            result.replicas.append(
+                _empty_replica_result(
+                    engine, scheduler_name, config, config.platforms[index],
+                    trace.name, rate,
+                )
+            )
+            continue
+        replica_result, completions = _serve_replica(
+            engine, config, trace, indices, more_until, rate
+        )
+        result.replicas.append(replica_result)
+        completion_all[indices] = completions
+
+    ok_mask = assigned >= 0
+    num_ok = int(ok_mask.sum())
+    result.num_shed = n - num_ok
+    if num_ok:
+        result.makespan_s = float(completion_all[ok_mask].max()) - float(arrivals[0])
+
+    cap = config.record_requests
+    if cap is None:
+        keep = np.arange(n, dtype=np.int64)
+    else:
+        # metrics.cap_cluster_result's counters and streaming block, fed
+        # from columns (trace order, completed requests only) — the full
+        # record list is never materialized.
+        latencies = completion_all[ok_mask] - arrivals[ok_mask]
+        result.stats = streaming_stats(latencies)
+        result.num_requests_total = n
+        result.num_completed = num_ok
+        if config.deadline_s is None:
+            result.num_good = num_ok
+        else:
+            result.num_good = int((latencies <= config.deadline_s).sum())
+        result.record_cap = cap
+        keep = sample_record_indices(n, cap)
+
+    ids_kept = trace.id_column()[keep].tolist()
+    arrivals_kept = arrivals[keep].tolist()
+    replicas_kept = assigned[keep].tolist()
+    completions_kept = completion_all[keep].tolist()
+    records = []
+    for request_id, arrival_s, replica, completion_s in zip(
+        ids_kept, arrivals_kept, replicas_kept, completions_kept
+    ):
+        if replica < 0:
+            records.append(
+                ClusterRequestRecord(
+                    request_id, arrival_s, None, REQUEST_SHED, -1, 0, False, False
+                )
+            )
+        else:
+            records.append(
+                ClusterRequestRecord(
+                    request_id, arrival_s, completion_s, REQUEST_OK, replica,
+                    1, False, False,
+                )
+            )
+    result.records = records
+    return result

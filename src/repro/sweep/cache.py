@@ -484,6 +484,57 @@ class PlanCache:
         self._put(key, cached)
         return cached
 
+    def warm_from_store(
+        self,
+        flow: "DeploymentFlow",
+        graph: "Graph | GraphRef",
+        use_gpu: "bool | str | DeviceKind",
+        platform=None,
+    ) -> int:
+        """Promote one point's plan/memory/serving entries from the disk tier.
+
+        Best-effort pre-warm for pool workers: looks up the keys the profile
+        (and, when ``platform`` is given, the serving-cost) passes will need
+        and promotes any store entry into the LRU.  Nothing is computed on a
+        miss, and no hit/miss/disk-hit counters move — the store is read
+        directly rather than through :meth:`_store_get` — so per-point cache
+        deltas measured afterwards attribute activity to points, not to the
+        warm-up.  Returns the number of entries promoted.
+        """
+        if not self._enabled or self.store is None:
+            return 0
+        target = as_device_kind(use_gpu)
+        graph_hash = graph.content_hash()
+        pipeline_sig = flow.pipeline_signature() + self._flow_identity(flow)
+        promoted = 0
+        plan_key = ("plan", pipeline_sig, graph_hash, target.value)
+        if self._peek(plan_key) is None:
+            payload = self.store.get(plan_key)
+            if payload is not None:
+                self._put(plan_key, plan_from_payload(payload, graph))
+                promoted += 1
+        memory_key = ("memory", graph_hash)
+        if self._peek(memory_key) is None:
+            cached = self.store.get(memory_key)
+            if cached is not None:
+                self._put(memory_key, cached)
+                promoted += 1
+        if platform is not None:
+            serving_key = (
+                "serving",
+                pipeline_sig,
+                graph_hash,
+                target.value,
+                platform.platform_id,
+                platform.content_signature(),
+            )
+            if self._peek(serving_key) is None:
+                cached = self.store.get(serving_key)
+                if cached is not None:
+                    self._put(serving_key, cached)
+                    promoted += 1
+        return promoted
+
 
 #: the process-global cache used by the profiler and sweep runner; its disk
 #: tier follows REPRO_CACHE_DIR (set to 0/off/empty to disable).

@@ -26,6 +26,7 @@ from repro.profiler.profiler import profile_graph
 from repro.profiler.records import ProfileResult
 from repro.sweep.cache import PLAN_CACHE, cached_transform
 from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.sweep.store import ArtifactStore
 
 
 @dataclass
@@ -50,11 +51,13 @@ class SweepResult:
     """All records of one sweep run, in grid order.
 
     ``cache_info`` is the :class:`~repro.sweep.cache.CacheStats` delta this
-    run produced on the process-global cache: per-stage ``hits`` (in-memory
-    LRU), ``disk_hits`` (persistent artifact store), and ``misses``
-    (computed from scratch).  Worker-pool runs (``workers > 1``) hit each
-    worker's own per-process cache, so the parent-side delta is empty for
-    them — only serial runs report meaningful counters.
+    run produced: per-stage ``hits`` (in-memory LRU), ``disk_hits``
+    (persistent artifact store), and ``misses`` (computed from scratch).
+    Serial runs measure the process-global cache directly; worker-pool runs
+    (``workers > 1``) sum the per-point deltas each worker ships back with
+    its records, so the counters cover every worker's per-process cache
+    (initializer pre-warm promotions are excluded by design — they are
+    attributable to no point).
     """
 
     spec: SweepSpec
@@ -131,7 +134,7 @@ def run_point(point: SweepPoint) -> SweepRecord:
     )
 
 
-def _run_point_for_pool(point: SweepPoint) -> SweepRecord:
+def _run_point_for_pool(point: SweepPoint) -> tuple[SweepRecord, dict[str, object]]:
     """Worker-side wrapper: shed the heavy per-record state before pickling.
 
     A ProfileResult lazily references its ExecutionPlan (and through it the
@@ -139,10 +142,93 @@ def _run_point_for_pool(point: SweepPoint) -> SweepRecord:
     would grow linearly with the grid.  ``detach`` materializes the
     per-kernel records (still needed by reports) and drops every lazy
     backref — including any added after this wrapper was written.
+
+    Alongside the record, the worker ships the per-point delta of its own
+    process-local :data:`PLAN_CACHE` counters, so the parent can aggregate
+    pool-wide cache activity that would otherwise be invisible to it.
     """
+    before = PLAN_CACHE.stats.snapshot()
     record = run_point(point)
     record.profile.detach()
-    return record
+    return record, PLAN_CACHE.stats.delta_since(before)
+
+
+def _warm_tasks(points: list[SweepPoint]) -> tuple[tuple, ...]:
+    """Unique pre-warm combinations for a grid, in first-seen order.
+
+    One entry per distinct profile combination; the trailing
+    ``serve_max_batch`` carries the largest serving batch cap over the
+    combo's load points (0 when the combo never serves) so workers can also
+    warm the per-batch-size serving-cost entries.  Transform points are
+    skipped: their plan/memory keys hang off the transformed graph's hash,
+    which only running the transform can produce.
+    """
+    tasks: dict[tuple, int] = {}
+    for point in points:
+        if point.transform:
+            continue
+        key = (
+            point.model,
+            point.batch_size,
+            point.seq_len,
+            point.flow,
+            point.target.value,
+            point.platform,
+        )
+        serve = point.max_batch if point.load is not None else 0
+        tasks[key] = max(tasks.get(key, 0), serve)
+    return tuple(key + (serve,) for key, serve in tasks.items())
+
+
+def _pool_init(store_directory: str | None, warm_tasks: tuple[tuple, ...]) -> None:
+    """Process-pool initializer: attach the parent's store and pre-warm.
+
+    Workers pick up an environment-configured store on import; when the
+    parent was pointed at a store programmatically instead,
+    ``store_directory`` re-attaches the same directory here.  Pre-warm then
+    promotes each unique combination's plan / memory / serving entries from
+    the shared disk store into the worker's LRU *before* any point runs, so
+    per-point deltas start from a warm tier-1 exactly like a serial run
+    against a warm store.  Best-effort by construction: a combination that
+    cannot warm (model unknown in this process, store disabled, cold store)
+    is skipped and the points simply compute as before.
+    """
+    if store_directory is not None and PLAN_CACHE.store is None:
+        PLAN_CACHE.store = ArtifactStore(store_directory)
+    if PLAN_CACHE.store is None:
+        return
+    for model, batch_size, seq_len, flow_name, device_value, platform_id, serve_cap in warm_tasks:
+        try:
+            flow = get_flow(flow_name)
+            target = DeviceKind(device_value)
+            overrides = {} if seq_len is None else {"seq_len": seq_len}
+            graph = PLAN_CACHE.graph_ref(model, batch_size, **overrides)
+            PLAN_CACHE.warm_from_store(flow, graph, target)
+            if serve_cap:
+                from repro.serving.engine import resolve_serving_target
+
+                platform, serve_target = resolve_serving_target(
+                    get_platform(platform_id), target
+                )
+                for size in range(1, serve_cap + 1):
+                    batch_graph = PLAN_CACHE.graph_ref(model, size, **overrides)
+                    PLAN_CACHE.warm_from_store(
+                        flow, batch_graph, serve_target, platform=platform
+                    )
+        except Exception:  # pragma: no cover - warm-up must never fail a run
+            continue
+
+
+def _merge_cache_deltas(deltas) -> dict[str, object]:
+    """Sum per-worker per-point cache deltas into one pool-wide delta."""
+    merged: dict[str, object] = {"hits": {}, "misses": {}, "disk_hits": {}, "evictions": 0}
+    for delta in deltas:
+        for kind in ("hits", "misses", "disk_hits"):
+            bucket: dict[str, int] = merged[kind]  # type: ignore[assignment]
+            for stage, count in delta.get(kind, {}).items():
+                bucket[stage] = bucket.get(stage, 0) + count
+        merged["evictions"] = int(merged["evictions"]) + int(delta.get("evictions", 0))  # type: ignore[arg-type]
+    return merged
 
 
 class SweepRunner:
@@ -163,17 +249,27 @@ class SweepRunner:
         if self.workers and self.workers > 1 and len(points) > 1:
             workers = min(self.workers, len(points), os.cpu_count() or 1)
             chunksize = max(1, len(points) // (workers * 4))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                records = list(pool.map(_run_point_for_pool, points, chunksize=chunksize))
+            store = PLAN_CACHE.store
+            store_directory = None if store is None else os.fspath(store.directory)
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_pool_init,
+                initargs=(store_directory, _warm_tasks(points)),
+            ) as pool:
+                outcomes = list(pool.map(_run_point_for_pool, points, chunksize=chunksize))
+            records = [record for record, _ in outcomes]
+            # workers run against per-process caches; each point's delta
+            # comes back with its record and sums into one pool-wide view.
+            cache_info = _merge_cache_deltas(delta for _, delta in outcomes)
         else:
             records = [run_point(point) for point in points]
-        # cache activity attributable to this run; note that worker-pool runs
-        # hit per-process caches, so the parent-side delta is empty there.
+            # cache activity attributable to this run on the in-process cache.
+            cache_info = PLAN_CACHE.stats.delta_since(stats_before)
         return SweepResult(
             spec=spec,
             records=records,
             wall_s=time.perf_counter() - started,
-            cache_info=PLAN_CACHE.stats.delta_since(stats_before),
+            cache_info=cache_info,
         )
 
 

@@ -513,10 +513,12 @@ class TestSweepCluster:
             models=(MODEL,), loads=(0.5,), policies=("round-robin",),
             num_requests=4, iterations=2,
         )
-        record = _run_point_for_pool(spec.points()[0])
+        record, cache_delta = _run_point_for_pool(spec.points()[0])
         restored = pickle.loads(pickle.dumps(record))
         assert restored.serving.records == record.serving.records
         assert restored.serving.replicas == record.serving.replicas
+        # the worker ships its per-point cache delta back alongside the record
+        assert isinstance(cache_delta, dict)
 
 
 # -- ext3 experiment ---------------------------------------------------------

@@ -1,0 +1,281 @@
+"""The columnar cluster fast path: bit-identity, rails, and fallback.
+
+``run_fast_cluster`` (serving/columnar_cluster.py) replays the reference
+router's event loop in columns: routing decisions come from closed forms and
+per-replica virtual-clock recurrences, per-replica streams run through the
+per-scheduler columnar kernels.  These tests pin its three contracts:
+
+* **equivalence** — on the supported rail (no faults, retries, or hedging;
+  builtin policy and scheduler) the fast path's ``ClusterResult`` equals the
+  reference router's, field for field, across schedulers, policies,
+  shedding, capped streaming metrics, heterogeneous fleets, and trace
+  shapes;
+* **the single-replica rail** — a 1-replica no-fault fast cluster stays
+  bit-identical to plain ``ServingEngine.run`` for every registered
+  scheduler;
+* **fallback** — every unsupported knob routes to the reference loop (the
+  fast kernels must never run) and still returns identical results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ClusterConfig,
+    ClusterRouter,
+    ServingConfig,
+    ServingEngine,
+    make_trace,
+)
+from repro.serving import columnar_cluster
+from repro.serving.cluster import (
+    _POLICIES,
+    AdmissionPolicy,
+    get_policy,
+    register_policy,
+)
+from repro.serving.columnar_cluster import supports_fast_path
+from repro.serving.faults import FaultInjector
+from repro.serving.scheduler import (
+    _SCHEDULERS,
+    FIFOScheduler,
+    get_scheduler,
+    register_scheduler,
+)
+
+POLICIES = ("round-robin", "least-loaded", "power-of-two-choices")
+SCHEDULERS = ("fifo", "static", "dynamic", "continuous")
+
+
+def run_cluster(
+    backend,
+    *,
+    num_requests=400,
+    load=1.5,
+    seed=0,
+    trace_kind="poisson",
+    decode_steps=(1, 4),
+    **overrides,
+):
+    config = ClusterConfig(model="gpt2", backend=backend, **overrides)
+    router = ClusterRouter(config)
+    rate = load * router.fleet_capacity_rps()
+    trace = make_trace(
+        trace_kind,
+        rate,
+        num_requests,
+        rng=np.random.default_rng(seed),
+        decode_steps=decode_steps,
+    )
+    return router.run(trace, offered_rate_rps=rate)
+
+
+def assert_backends_identical(**overrides):
+    fast = run_cluster("fast", **overrides)
+    reference = run_cluster("reference", **overrides)
+    assert fast == reference
+    return fast
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_matches_reference(self, scheduler, policy):
+        assert_backends_identical(
+            scheduler=scheduler, policy=policy, platforms=("A", "A")
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_shedding_matches_reference(self, policy):
+        result = assert_backends_identical(
+            scheduler="fifo",
+            policy=policy,
+            platforms=("A", "A"),
+            shed_queue_s=0.02,
+            load=2.0,
+        )
+        assert result.num_shed > 0
+
+    def test_capped_metrics_and_deadline_match_reference(self):
+        result = assert_backends_identical(
+            scheduler="continuous",
+            policy="least-loaded",
+            platforms=("A", "A", "A"),
+            record_requests=64,
+            deadline_s=0.05,
+        )
+        assert result.record_cap == 64
+        assert len(result.records) <= 64
+        assert 0.0 < result.goodput <= 1.0
+
+    def test_heterogeneous_fleet_matches_reference(self):
+        assert_backends_identical(
+            scheduler="dynamic", policy="least-loaded", platforms=("A", "B", "C")
+        )
+
+    @pytest.mark.parametrize("trace_kind", ("bursty", "closed-loop"))
+    def test_other_trace_shapes_match_reference(self, trace_kind):
+        assert_backends_identical(
+            scheduler="static",
+            policy="round-robin",
+            platforms=("A", "A"),
+            trace_kind=trace_kind,
+        )
+
+    def test_policy_seed_respected(self):
+        draws = [
+            run_cluster(
+                "fast",
+                scheduler="fifo",
+                policy="power-of-two-choices",
+                platforms=("A",) * 4,
+                policy_seed=policy_seed,
+            )
+            for policy_seed in (1, 2)
+        ]
+        assert draws[0] != draws[1]
+
+    def test_fast_rail_actually_taken(self, monkeypatch):
+        calls = []
+        original = columnar_cluster.run_fast_cluster
+
+        def spy(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(columnar_cluster, "run_fast_cluster", spy)
+        run_cluster("fast", scheduler="fifo", policy="round-robin")
+        assert len(calls) == 1
+
+
+class TestSingleReplicaRail:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_matches_plain_engine(self, scheduler):
+        config = ClusterConfig(
+            model="gpt2",
+            platforms=("A",),
+            scheduler=scheduler,
+            policy="round-robin",
+            backend="fast",
+        )
+        router = ClusterRouter(config)
+        rate = 1.5 * router.fleet_capacity_rps()
+        trace = make_trace(
+            "poisson", rate, 300, rng=np.random.default_rng(0), decode_steps=(1, 4)
+        )
+        cluster = router.run(trace, offered_rate_rps=rate)
+        solo = ServingEngine(
+            ServingConfig(model="gpt2", scheduler=scheduler, backend="fast")
+        ).run(trace, offered_rate_rps=rate)
+        assert cluster.replicas[0] == solo
+
+
+def _refuse_fast_path(*args, **kwargs):
+    raise AssertionError("the fast path must not run for unsupported knobs")
+
+
+#: every unsupported-knob combination that must take the reference rail.
+FALLBACK_KNOBS = {
+    "crash": dict(fault_profile="crash", timeout_s=0.02, timeout_cap_s=0.32),
+    "accel-loss": dict(fault_profile="accel-loss", timeout_s=0.02, timeout_cap_s=0.32),
+    "straggler": dict(fault_profile="straggler"),
+    "hedging": dict(hedge_after_s=0.01),
+    "retries": dict(timeout_s=0.05, timeout_cap_s=0.4),
+}
+
+
+class TestFallback:
+    @pytest.mark.parametrize("knob", sorted(FALLBACK_KNOBS))
+    def test_unsupported_knob_runs_reference_loop(self, knob, monkeypatch):
+        monkeypatch.setattr(
+            columnar_cluster, "run_fast_cluster", _refuse_fast_path
+        )
+        overrides = FALLBACK_KNOBS[knob]
+        fast = run_cluster(
+            "fast", scheduler="continuous", policy="least-loaded", **overrides
+        )
+        reference = run_cluster(
+            "reference", scheduler="continuous", policy="least-loaded", **overrides
+        )
+        assert fast == reference
+
+    def test_custom_policy_falls_back(self, monkeypatch):
+        class HighestIndexPolicy(AdmissionPolicy):
+            name = "test-highest-index"
+            description = "always the highest alive index (test-only)"
+
+            def choose(self, now, candidates, rng):
+                return candidates[-1]
+
+        register_policy(HighestIndexPolicy, replace=True)
+        monkeypatch.setattr(
+            columnar_cluster, "run_fast_cluster", _refuse_fast_path
+        )
+        try:
+            fast = run_cluster("fast", scheduler="fifo", policy="test-highest-index")
+            reference = run_cluster(
+                "reference", scheduler="fifo", policy="test-highest-index"
+            )
+        finally:
+            _POLICIES.pop(HighestIndexPolicy.name, None)
+        assert fast == reference
+
+    def test_subclassed_scheduler_falls_back(self, monkeypatch):
+        class SubclassedFIFOScheduler(FIFOScheduler):
+            name = "test-fifo-subclass"
+            description = "fifo subclass without its own columnar kernel"
+
+        register_scheduler(SubclassedFIFOScheduler, replace=True)
+        monkeypatch.setattr(
+            columnar_cluster, "run_fast_cluster", _refuse_fast_path
+        )
+        try:
+            fast = run_cluster(
+                "fast", scheduler="test-fifo-subclass", policy="round-robin"
+            )
+            reference = run_cluster(
+                "reference", scheduler="test-fifo-subclass", policy="round-robin"
+            )
+        finally:
+            _SCHEDULERS.pop(SubclassedFIFOScheduler.name, None)
+        assert fast == reference
+
+
+class TestSupportsFastPath:
+    def _probe(
+        self,
+        *,
+        profile="none",
+        scheduler="fifo",
+        policy="round-robin",
+        backend="fast",
+        **config_overrides,
+    ):
+        config = ClusterConfig(
+            model="gpt2",
+            platforms=("A", "A"),
+            scheduler=scheduler,
+            policy=policy,
+            fault_profile=profile,
+            backend=backend,
+            **config_overrides,
+        )
+        injector = FaultInjector(profile, 2, 100.0, seed=0)
+        return supports_fast_path(
+            config, injector, get_policy(policy), get_scheduler(scheduler)
+        )
+
+    def test_rail_conditions_hold(self):
+        for scheduler in SCHEDULERS:
+            for policy in POLICIES:
+                assert self._probe(scheduler=scheduler, policy=policy)
+        # shedding, capping, and deadlines stay on the rail
+        assert self._probe(shed_queue_s=0.01, record_requests=32, deadline_s=0.1)
+
+    def test_unsupported_knobs_fall_off(self):
+        assert not self._probe(profile="crash", timeout_s=0.02)
+        assert not self._probe(profile="accel-loss", timeout_s=0.02)
+        assert not self._probe(profile="straggler")
+        assert not self._probe(hedge_after_s=0.01)
+        assert not self._probe(timeout_s=0.02)
+        assert not self._probe(backend="reference")

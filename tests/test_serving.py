@@ -385,9 +385,10 @@ class TestSweepServing:
         spec = SweepSpec(
             models=(MODEL,), loads=(0.5,), num_requests=4, iterations=2,
         )
-        record = _run_point_for_pool(spec.points()[0])
+        record, cache_delta = _run_point_for_pool(spec.points()[0])
         restored = pickle.loads(pickle.dumps(record))
         assert restored.serving.records == record.serving.records
+        assert isinstance(cache_delta, dict)
 
 
 # -- ext2 experiment --------------------------------------------------------

@@ -14,7 +14,7 @@ from repro.models import build_model
 from repro.profiler import profile_graph
 from repro.runtime.memory import profile_memory
 from repro.runtime.simulator import simulate, simulate_reference, use_reference_backend
-from repro.sweep.cache import PlanCache
+from repro.sweep.cache import PLAN_CACHE, PlanCache
 from repro.sweep.runner import SweepRunner, run_point
 from repro.sweep.spec import SweepPoint, SweepSpec
 
@@ -267,6 +267,32 @@ class TestPlanCache:
         assert fresh is not graph
         assert len(fresh.nodes) == clean_len
 
+    def test_warm_from_store_promotes_without_counting(self):
+        store = PLAN_CACHE.store
+        assert store is not None  # the test session pins a hermetic store
+        flow = get_flow("pytorch")
+        writer = PlanCache(store=store)
+        writer.plan(flow, writer.graph_ref("segformer", 3), use_gpu=True)
+        writer.memory(writer.graph_ref("segformer", 3))
+
+        reader = PlanCache(store=store)
+        before = reader.stats.snapshot()
+        promoted = reader.warm_from_store(
+            flow, reader.graph_ref("segformer", 3), use_gpu=True
+        )
+        assert promoted == 2  # plan + memory (no platform, so no serving key)
+        # the warm-up itself never moves a counter...
+        assert reader.stats.snapshot() == before
+        # ...but the promoted entries serve in-memory hits afterwards
+        reader.plan(flow, reader.graph_ref("segformer", 3), use_gpu=True)
+        assert reader.stats.hits.get("plan") == 1
+        assert not reader.stats.misses
+        assert not reader.stats.disk_hits
+        # a second warm-up is a no-op: everything already sits in the LRU
+        assert (
+            reader.warm_from_store(flow, reader.graph_ref("segformer", 3), True) == 0
+        )
+
     def test_transform_cached_and_hash_derived(self):
         cache = PlanCache()
         graph = build_model("gpt2", batch_size=1)
@@ -366,6 +392,22 @@ class TestSweepRunner:
             assert a.point == b.point
             assert a.profile.total_latency_s == b.profile.total_latency_s
             assert a.profile.latency_by_group() == b.profile.latency_by_group()
+
+    def test_pool_run_aggregates_worker_cache_deltas(self):
+        spec = SweepSpec(
+            models=("segformer",), batch_sizes=(1, 2), iterations=2,
+            order=("model", "batch_size"),
+        )
+        result = SweepRunner(workers=2).run(spec)
+        info = result.cache_info
+        # each of the two points touches the plan stage exactly once in its
+        # worker — as an LRU hit when the initializer pre-warmed it from the
+        # store, as a miss/disk-hit otherwise — and the deltas ship back.
+        plan_events = sum(
+            info.get(kind, {}).get("plan", 0)
+            for kind in ("hits", "misses", "disk_hits")
+        )
+        assert plan_events == 2
 
 
 class TestSweepCLI:
