@@ -23,12 +23,16 @@ the same five tiers run the N-device Platform C grid, a reduced serving
 grid (the discrete-event engine), and a reduced cluster grid (the
 fault-tolerant fleet) — the latter two gated on their cold-vs-warm ratios.
 A separate ``serving_1m`` tier exercises the columnar fast backend:
-fast-vs-reference cross-checks at 10^5 requests (fifo gated at 5x, dynamic
-and continuous at 1.5x) and 10^6-request traces in a subprocess reporting
-wall time and peak RSS at a served and an overloaded rate.  The
-``cluster_1m`` tier does the same for the columnar *fleet* fast path: a
-4-replica cross-check asserted bit-identical and gated at 5x, plus a
-10^6-request fleet run.  Results land in ``BENCH_sweep.json`` at the repo
+fast-vs-reference cross-checks at 10^5 requests (fifo gated at 5x; dynamic
+and continuous at 6x now that they dispatch through dense batch-cost
+tables) and 10^6-request traces in a subprocess reporting wall time and
+peak RSS at a served and an overloaded rate (the overloaded row's p99 is
+labeled ``regime: overload`` — it measures the queueing ramp, not a
+service tail).  The ``cluster_1m`` tier does the same for the columnar
+*fleet* fast path: a 4-replica cross-check asserted bit-identical and
+gated at 5x, plus a faulted cross-check (crash window + timeout retries
+on the event-replaying faulted rail) gated at 5x, plus a 10^6-request
+fleet run.  Results land in ``BENCH_sweep.json`` at the repo
 root for the performance trajectory.
 
 Usage::
@@ -39,6 +43,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform as platform_mod
 import shutil
@@ -72,9 +77,23 @@ SUITE = {
 
 
 def timed(fn):
+    """Time one workload run with the GC's scan set frozen.
+
+    Later tiers run with millions of objects from earlier tiers still
+    alive; without freezing, generational collections re-traverse that
+    baseline on every threshold crossing, taxing whichever side of a
+    ratio allocates faster (the columnar paths) and skewing the gates by
+    2x+.  Objects allocated *during* the run are still collected normally.
+    """
+    gc.collect()
+    gc.freeze()
     start = time.perf_counter()
-    result = fn()
-    return time.perf_counter() - start, result
+    try:
+        result = fn()
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.unfreeze()
+    return elapsed, result
 
 
 def bench_tiers(runner, describe) -> tuple:
@@ -236,14 +255,19 @@ def bench_serving_1m(quick: bool = False) -> dict:
       same streamed metrics.  The reference backend cannot reasonably run
       10^6 requests, so the speedup gates live here: fifo (the highest
       events-per-second scheduler, nothing batched to amortize the scalar
-      loop) at 5x, dynamic and continuous at 1.5x.
+      loop) at 5x; dynamic and continuous at 6x — their kernels resolve
+      batch costs through dense ``BatchCostModel.cost_table`` lookups, so
+      they carry the same columnar headroom as fifo rather than paying a
+      per-launch cost-model call.
     * ``trace_1m`` / ``trace_1m_served`` — 10^6 requests (10^5 under
       ``--quick``) on the fast backend in a subprocess, reporting wall time
       and peak RSS: once 2x oversubscribed (the RSS high-water mark) and
-      once at served load 0.8 (a readable p99).  With the record cap the
-      per-request memory is flat: the child's high-water mark is the trace
-      columns plus O(1) streaming state, not a million ``RequestRecord``
-      objects.
+      once at served load 0.8 (a readable p99).  The rows carry a
+      ``regime`` label: the oversubscribed p99 is a queueing ramp (latency
+      grows with queue position for the whole trace), not a service tail,
+      and must not be read as one.  With the record cap the per-request
+      memory is flat: the child's high-water mark is the trace columns
+      plus O(1) streaming state, not a million ``RequestRecord`` objects.
     """
     import os
     import subprocess
@@ -288,19 +312,29 @@ def bench_serving_1m(quick: bool = False) -> dict:
 
     env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
 
-    def child_row(load_factor: float) -> dict:
+    def child_row(load_factor: float, regime: str) -> dict:
         child = subprocess.run(
             [sys.executable, "-c", _SERVING_1M_CHILD, str(trace_n), str(load_factor)],
             capture_output=True, text=True, env=env, check=True,
         )
-        return {"num_requests": trace_n, **json.loads(child.stdout)}
+        row = {"num_requests": trace_n, "regime": regime, **json.loads(child.stdout)}
+        if regime == "overload":
+            # 2x oversubscribed: every request queues behind the whole
+            # backlog, so p99 tracks the queueing ramp (~minutes at 10^6
+            # requests), not the service-time tail.  Label it so downstream
+            # readers of BENCH_sweep.json never quote it as a latency.
+            row["p99_note"] = (
+                "overload regime: p99 is the queueing ramp of a 2x"
+                " oversubscribed serial server, not a service tail"
+            )
+        return row
 
     return {
         "crosscheck": crosschecks["fifo"],
         "crosscheck_dynamic": crosschecks["dynamic"],
         "crosscheck_continuous": crosschecks["continuous"],
-        "trace_1m": child_row(_OVERLOAD_FACTOR),
-        "trace_1m_served": child_row(_SERVED_FACTOR),
+        "trace_1m": child_row(_OVERLOAD_FACTOR, "overload"),
+        "trace_1m_served": child_row(_SERVED_FACTOR, "served"),
     }
 
 
@@ -347,6 +381,12 @@ def bench_cluster_1m(quick: bool = False) -> dict:
       full ``ClusterResult`` asserted equal under the same record cap.  The
       reference heap cannot reasonably run 10^6 fleet events, so the >= 5x
       speedup gate lives here.
+    * ``crosscheck_faulted`` — the same fleet under the dynamic scheduler
+      at the served rate, with a crash window and ~13k timeout-driven
+      retries, which rides the event-replaying faulted rail
+      (``run_fast_faulted``) instead of the closed forms.  Asserted
+      bit-identical to the reference and that the faulted rail was actually
+      taken (``backend_used == "columnar-faulted"``); gated at >= 5x.
     * ``fleet_1m`` — 10^6 requests (10^5 under ``--quick``) across the same
       fleet on the fast path in a subprocess, reporting wall time and peak
       RSS; with the record cap the memory high-water mark tracks the trace
@@ -363,10 +403,25 @@ def bench_cluster_1m(quick: bool = False) -> dict:
     fleet_n = 100_000 if quick else 1_000_000
     replicas = 4
 
-    def build(backend: str) -> ClusterRouter:
+    def build(backend: str, faulted: bool = False) -> ClusterRouter:
+        knobs = (
+            # the faulted tier runs the dynamic scheduler at the served rate
+            # with tight timeouts: the crash window plus ~13k timeout-driven
+            # retries all replay on the event-replaying faulted rail.
+            dict(
+                scheduler="dynamic",
+                fault_profile="crash",
+                timeout_s=0.02,
+                timeout_cap_s=0.16,
+                max_retries=3,
+            )
+            if faulted
+            else dict(scheduler="fifo")
+        )
         config = ClusterConfig(
-            model="gpt2", platforms=("A",) * replicas, scheduler="fifo",
+            model="gpt2", platforms=("A",) * replicas,
             policy="round-robin", backend=backend, record_requests=512,
+            **knobs,
         )
         return ClusterRouter(config, cache=PLAN_CACHE)
 
@@ -382,6 +437,33 @@ def bench_cluster_1m(quick: bool = False) -> dict:
     )
     assert fast_result == reference_result, "fast cluster diverged from reference!"
 
+    faulted_rate = _SERVED_FACTOR * fast_router.fleet_capacity_rps()
+    faulted_trace = make_trace(
+        "poisson", faulted_rate, crosscheck_n, rng=np.random.default_rng(0),
+        decode_steps=(1, 4),
+    )
+    faulted_fast_s, faulted_fast = timed(
+        lambda: build("fast", faulted=True).run(
+            faulted_trace, offered_rate_rps=faulted_rate
+        )
+    )
+    faulted_reference_s, faulted_reference = timed(
+        lambda: build("reference", faulted=True).run(
+            faulted_trace, offered_rate_rps=faulted_rate
+        )
+    )
+    assert faulted_fast == faulted_reference, (
+        "faulted fast cluster diverged from reference!"
+    )
+    assert faulted_fast.backend_used == "columnar-faulted", (
+        f"faulted crosscheck rode {faulted_fast.backend_used!r},"
+        " not the faulted rail"
+    )
+    assert faulted_fast.num_retries > 0, (
+        "faulted crosscheck produced no retries — the crash window missed"
+        " the trace, so nothing was exercised"
+    )
+
     env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
     child = subprocess.run(
         [sys.executable, "-c", _CLUSTER_1M_CHILD, str(fleet_n), str(replicas)],
@@ -395,6 +477,20 @@ def bench_cluster_1m(quick: bool = False) -> dict:
             "reference_s": round(reference_s, 4),
             "fast_s": round(fast_s, 4),
             "speedup": round(reference_s / fast_s, 2),
+            "byte_identical": True,
+        },
+        "crosscheck_faulted": {
+            "num_requests": crosscheck_n,
+            "num_replicas": replicas,
+            "scheduler": "dynamic",
+            "load_factor": _SERVED_FACTOR,
+            "fault_profile": "crash",
+            "timeout_ms": 20.0,
+            "num_retries": faulted_fast.num_retries,
+            "num_failed": faulted_fast.num_failed,
+            "reference_s": round(faulted_reference_s, 4),
+            "fast_s": round(faulted_fast_s, 4),
+            "speedup": round(faulted_reference_s / faulted_fast_s, 2),
             "byte_identical": True,
         },
         "fleet_1m": {"num_requests": fleet_n, "num_replicas": replicas, **fleet_1m},
@@ -482,17 +578,25 @@ def main(argv: list[str] | None = None) -> int:
         f" continuous {check_continuous['speedup']}x (all bit-identical);"
         f" {trace_1m['num_requests']}-request fast trace {trace_1m['wall_s']}s,"
         f" peak RSS {trace_1m['peak_rss_mb']} MB,"
-        f" {trace_1m['records_kept']} records kept;"
+        f" {trace_1m['records_kept']} records kept,"
+        f" p99 {trace_1m['p99_ms']} ms (overload regime — queueing ramp,"
+        f" not a service tail);"
         f" served-load p99 {trace_served['p99_ms']} ms"
     )
     cluster_1m = payload["cluster_1m"]
     fleet_check = cluster_1m["crosscheck"]
+    faulted_check = cluster_1m["crosscheck_faulted"]
     fleet_1m = cluster_1m["fleet_1m"]
     print(
         f"cluster_1m: crosscheck@{fleet_check['num_requests']}"
         f"x{fleet_check['num_replicas']} reference {fleet_check['reference_s']}s ->"
         f" fast {fleet_check['fast_s']}s ({fleet_check['speedup']}x,"
-        f" bit-identical); {fleet_1m['num_requests']}-request fleet"
+        f" bit-identical); faulted crosscheck (crash +"
+        f" {faulted_check['timeout_ms']}ms timeouts,"
+        f" {faulted_check['num_retries']} retries)"
+        f" {faulted_check['reference_s']}s -> {faulted_check['fast_s']}s"
+        f" ({faulted_check['speedup']}x, bit-identical);"
+        f" {fleet_1m['num_requests']}-request fleet"
         f" {fleet_1m['wall_s']}s, peak RSS {fleet_1m['peak_rss_mb']} MB,"
         f" {fleet_1m['records_kept']} records kept"
     )
@@ -530,18 +634,24 @@ def main(argv: list[str] | None = None) -> int:
     if not args.quick and crosscheck["speedup"] < 5.0:
         print("WARNING: columnar speedup below the 5x target", file=sys.stderr)
         return 1
-    # batched kernels do fewer, bigger events, so their columnar headroom is
-    # smaller (~3x measured) — gate at a safe 1.5x to catch regressions.
-    if not args.quick and check_dynamic["speedup"] < 1.5:
-        print("WARNING: columnar dynamic speedup below the 1.5x target", file=sys.stderr)
+    # the batched kernels now resolve costs through dense cost-table lookups
+    # instead of per-launch cost-model calls (~18x dynamic / ~9x continuous
+    # measured) — gate at 6x to catch regressions back to scalar dispatch.
+    if not args.quick and check_dynamic["speedup"] < 6.0:
+        print("WARNING: columnar dynamic speedup below the 6x target", file=sys.stderr)
         return 1
-    if not args.quick and check_continuous["speedup"] < 1.5:
-        print("WARNING: columnar continuous speedup below the 1.5x target", file=sys.stderr)
+    if not args.quick and check_continuous["speedup"] < 6.0:
+        print("WARNING: columnar continuous speedup below the 6x target", file=sys.stderr)
         return 1
     # the fleet gate runs on the 4-replica cross-check: the fast path must
     # beat the reference heap by 5x while staying bit-identical.
     if not args.quick and fleet_check["speedup"] < 5.0:
         print("WARNING: columnar cluster speedup below the 5x target", file=sys.stderr)
+        return 1
+    # same bar for the faulted rail: replaying crash windows and timeout
+    # retries through the lazy machines must still clear 5x.
+    if not args.quick and faulted_check["speedup"] < 5.0:
+        print("WARNING: columnar faulted-cluster speedup below the 5x target", file=sys.stderr)
         return 1
     return 0
 

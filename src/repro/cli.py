@@ -539,7 +539,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             [
                 {
                     "requests": result.num_requests_served,
-                    "backend": args.backend,
+                    "backend": result.backend_used or args.backend,
                     "offered_rps": round(result.offered_rate_rps, 2),
                     "served_rps": round(result.throughput_rps, 2),
                     "p50_ms": round(result.p50_s * 1e3, 3),
@@ -553,6 +553,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ]
         )
     )
+    if result.fast_path_fallback_reason is not None:
+        print(
+            "note: fast path fell back to the reference loop:"
+            f" {result.fast_path_fallback_reason}"
+        )
     print()
     print("device occupancy:")
     print(
@@ -674,7 +679,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                         if result.num_requests_total is not None
                         else len(result.records)
                     ),
-                    "backend": args.backend,
+                    "backend": result.backend_used or args.backend,
                     "offered_rps": round(result.offered_rate_rps, 2),
                     "served_rps": round(result.throughput_rps, 2),
                     "goodput_pct": round(100 * result.goodput, 1),
@@ -690,6 +695,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             ]
         )
     )
+    if result.fast_path_fallback_reason is not None:
+        print(
+            "note: fast path fell back to the reference loop:"
+            f" {result.fast_path_fallback_reason}"
+        )
     print()
     print("per-replica occupancy (of the cluster makespan):")
     replica_rows = []

@@ -93,6 +93,13 @@ class AdmissionPolicy:
     name = ""
     description = ""
 
+    #: does ``choose`` read ``est_delay_s`` from its candidates?  The
+    #: columnar faulted rail advances candidate machines before probing
+    #: policies so load estimates reflect every launch decided so far;
+    #: policies that pick by index or coin flip declare False and skip
+    #: that work.  Conservative default: True.
+    probes_load = True
+
     def reset(self, num_replicas: int) -> None:
         """Drop instance state before a fresh run."""
 
@@ -110,6 +117,7 @@ class RoundRobinPolicy(AdmissionPolicy):
 
     name = "round-robin"
     description = "rotate through alive replicas in index order"
+    probes_load = False
 
     def reset(self, num_replicas: int) -> None:
         self._cursor = 0
@@ -506,6 +514,9 @@ class ClusterRouter:
             deadline_s=config.deadline_s,
         )
         if trace.num_requests == 0:
+            result.backend_used = "reference"
+            if config.backend == "fast":
+                result.fast_path_fallback_reason = "empty trace"
             return result
         arrival_times = trace.arrival_column().tolist()
         request_ids = trace.id_column().tolist()
@@ -542,13 +553,23 @@ class ClusterRouter:
         policy.reset(len(replicas))
         policy_rng = np.random.default_rng(config.policy_seed)
 
+        fallback_reason = None
         if config.backend == "fast":
             from repro.serving.columnar_cluster import (
+                fast_path_fallback_reason,
+                needs_faulted_path,
                 run_fast_cluster,
-                supports_fast_path,
+                run_fast_faulted,
             )
 
-            if supports_fast_path(config, injector, policy, replicas[0].scheduler):
+            fallback_reason = fast_path_fallback_reason(
+                config, policy, replicas[0].scheduler
+            )
+            if fallback_reason is None:
+                if needs_faulted_path(config, injector):
+                    return run_fast_faulted(
+                        self, trace, result, policy, policy_rng, injector
+                    )
                 return run_fast_cluster(self, trace, result, policy, policy_rng)
 
         total = trace.num_requests
@@ -1055,6 +1076,8 @@ class ClusterRouter:
         result.time_to_recovery_s = recovery
         if config.record_requests is not None:
             result = cap_cluster_result(result, config.record_requests)
+        result.backend_used = "reference"
+        result.fast_path_fallback_reason = fallback_reason
         return result
 
 

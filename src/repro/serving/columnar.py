@@ -43,6 +43,8 @@ and nothing else.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 import numpy as np
 
 from repro.errors import ServingError
@@ -72,6 +74,10 @@ class _Run:
         self.n = trace.num_requests
         self.arrival = trace.arrival_column()
         self.steps = trace.decode_column()
+        self.max_steps = int(self.steps.max()) if self.n else 0
+        #: dense (plan, platform) cost columns shared with the reference
+        #: loop; the iteration planes bound k by the trace's longest decode.
+        self.table = engine.costs.cost_table(scheduler.max_batch, self.max_steps)
         # per-request output columns (trace order); every kernel assigns all
         # three before finalize() reads them.
         self.start: np.ndarray = None
@@ -91,13 +97,55 @@ class _Run:
         self.dispatches = 0
         self.iterations = 0
         self.weighted = 0
-        self._costs: dict[int, object] = {}
 
     def cost(self, size: int):
-        cached = self._costs.get(size)
-        if cached is None:
-            cached = self._costs[size] = self.engine.costs.cost(size)
-        return cached
+        return self.table.row(size)
+
+    def account_columns(self, sizes: np.ndarray, iters: np.ndarray) -> None:
+        """The reference loop's sequential per-dispatch accounting, folded
+        with ``cumsum`` over iteration-plane lookups (bit-identical: each
+        plane cell is the reference's ``seconds * iterations`` product, and
+        ``cumsum`` is a running left fold)."""
+        table = self.table
+        for kind in self.busy:
+            self.busy[kind] = _running_total(table.busy_k[kind][sizes, iters])
+        for kind in self.energy:
+            self.energy[kind] = _running_total(table.energy_k[kind][sizes, iters])
+        self.gemm = _running_total(table.gemm_k[sizes, iters])
+        self.non_gemm = _running_total(table.non_gemm_k[sizes, iters])
+        self.dispatches = int(sizes.size)
+        self.iterations = int(iters.sum())
+        self.weighted = int((sizes * iters).sum())
+
+    def depth_columns(
+        self,
+        admit_key: np.ndarray,
+        admit_depth: np.ndarray,
+        sample_time: np.ndarray,
+        sample_depth: np.ndarray,
+    ) -> None:
+        """Rebuild the queue-depth timeline (or its streaming accumulators)
+        from per-admission and per-dispatch columns.
+
+        ``admit_key`` is the index of the dispatch each admission precedes;
+        interleaving uses the stable-sort key trick (``2*admit_key`` vs
+        ``2*d + 1``) so admissions for a dispatch precede its sample and
+        equal-key admissions stay in arrival order — the reference's exact
+        append order."""
+        if self.full:
+            times = np.concatenate([self.arrival, sample_time])
+            depths = np.concatenate([admit_depth, sample_depth])
+            keys = np.concatenate(
+                [2 * admit_key, 2 * np.arange(sample_time.size, dtype=np.int64) + 1]
+            )
+            order = np.argsort(keys, kind="stable")
+            self.timeline = list(zip(times[order].tolist(), depths[order].tolist()))
+        else:
+            self.depth_count = int(admit_depth.size + sample_depth.size)
+            self.depth_sum = int(admit_depth.sum() + sample_depth.sum())
+            self.depth_max = int(
+                max(admit_depth.max(initial=0), sample_depth.max(initial=0))
+            )
 
     # -- per-dispatch bookkeeping (scalar kernels) --------------------------
 
@@ -262,7 +310,20 @@ def _run_batched(
 
     One loop turn per *dispatch* (plus deadline waits for dynamic), with the
     reference's exact iteration arithmetic — including the contended
-    accelerator branch these non-barrier schedulers can hit.
+    accelerator branch these non-barrier schedulers can hit.  The loop only
+    records one row per dispatch (decision clock, start, end, size,
+    iterations); per-request columns, accounting folds, and the queue-depth
+    timeline are all reconstructed vectorially afterwards:
+
+    * admissions advance in chunks via ``bisect_right`` over the arrival
+      column — the reference admits every due arrival at the top of each
+      turn, so only the *count* matters during the loop;
+    * request ``j`` is admitted before dispatch ``d(j)``, the first dispatch
+      turn whose decision clock is ``>= arrival_j`` (turn clocks are
+      monotone, so one ``searchsorted`` recovers every admission's position
+      and therefore its noted queue depth);
+    * the post-dispatch depth sample is ``(# arrivals <= clock) - taken``,
+      another ``searchsorted``.
 
     ``more_until`` models the cluster's *global* ``arrivals_pending`` flag:
     a replica's sub-trace may exhaust while other replicas still have
@@ -277,13 +338,12 @@ def _run_batched(
     n = run.n
     arrivals = run.arrival.tolist()
     steps = run.steps.tolist()
-    # per-request outputs accumulate in plain lists (appending size scalars
-    # per dispatch beats numpy slice-assignment at serving batch sizes) and
-    # convert to columns once at the end.
-    starts: list[float] = []
-    completions: list[float] = []
-    batches: list[int] = []
-    note_depth = run.note_depth
+    # one row per dispatch, converted to columns once at the end.
+    now_l: list[float] = []
+    start_l: list[float] = []
+    end_l: list[float] = []
+    size_l: list[int] = []
+    iter_l: list[int] = []
 
     now = 0.0
     host_free = 0.0
@@ -291,9 +351,8 @@ def _run_batched(
     admitted = 0  # arrivals admitted so far (queue tail)
     taken = 0  # requests dispatched so far (queue head)
     while taken < n:
-        while admitted < n and arrivals[admitted] <= now:
-            note_depth(arrivals[admitted], admitted + 1 - taken)
-            admitted += 1
+        if admitted < n and arrivals[admitted] <= now:
+            admitted = bisect_right(arrivals, now, admitted + 1)
         queued = admitted - taken
         if queued == 0:
             now = arrivals[admitted]
@@ -331,16 +390,35 @@ def _run_batched(
                 host_end = end
             host_free = host_end
             cursor = end
-        starts.extend([start] * size)
-        completions.extend([cursor] * size)
-        batches.extend([size] * size)
-        run.account_dispatch(cost, size, iterations)
+        now_l.append(now)
+        start_l.append(start)
+        end_l.append(cursor)
+        size_l.append(size)
+        iter_l.append(iterations)
         taken += size
-        note_depth(start, admitted - taken)
         now = now if now > host_free else host_free
-    run.start = np.array(starts, dtype=np.float64)
-    run.completion = np.array(completions, dtype=np.float64)
-    run.batch = np.array(batches, dtype=np.int64)
+
+    sizes = np.array(size_l, dtype=np.int64)
+    iters = np.array(iter_l, dtype=np.int64)
+    start_arr = np.array(start_l, dtype=np.float64)
+    end_arr = np.array(end_l, dtype=np.float64)
+    now_arr = np.array(now_l, dtype=np.float64)
+    run.start = np.repeat(start_arr, sizes)
+    run.completion = np.repeat(end_arr, sizes)
+    run.batch = np.repeat(sizes, sizes)
+    run.account_columns(sizes, iters)
+
+    # queue-depth reconstruction (see docstring): taken_before[d] is the
+    # queue head when dispatch d's turn starts — also the head at every wait
+    # turn since the previous dispatch, so it prices each admission exactly.
+    taken_before = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    admit_dispatch = np.searchsorted(now_arr, run.arrival, side="left")
+    admit_depth = (
+        np.arange(1, n + 1, dtype=np.int64) - taken_before[admit_dispatch]
+    )
+    admitted_at = np.searchsorted(run.arrival, now_arr, side="right")
+    sample_depth = admitted_at - (taken_before + sizes)
+    run.depth_columns(admit_dispatch, admit_depth, start_arr, sample_depth)
 
 
 def _run_static(run: _Run, more_until: float = float("-inf")) -> None:
@@ -354,41 +432,56 @@ def _run_dynamic(run: _Run, more_until: float = float("-inf")) -> None:
 def _run_continuous(run: _Run, more_until: float = float("-inf")) -> None:
     """Continuous (iteration-level) batching: one turn per model iteration.
 
-    Membership lives in insertion-ordered parallel position/remaining lists
-    (the kernel's stand-in for the scheduler's ``_in_flight`` dict).  Every
-    dispatch is a barrier, so the accelerator is always uncontended and each
-    iteration ends at ``start + total_s`` exactly.
+    Requests join in arrival order and each runs for exactly ``steps[j]``
+    consecutive turns, so the in-flight set never needs to be materialized:
+    a *leave calendar* (``leaves[t]`` = members whose last iteration is turn
+    ``t - 1``, stamped once at join) drives the size recurrence, and the
+    loop records one row per turn (decision clock, start, end, size, joined
+    head before/after).  Per-request columns fall out afterwards:
+
+    * ``j`` joins at the first turn with ``joined_post > j`` (one
+      ``searchsorted`` over the monotone joined-head column) — its start is
+      that turn's start;
+    * it completes at turn ``join + steps_j - 1`` — its completion/batch
+      are that turn's end/size;
+    * queue depths replay exactly as in :func:`_run_batched` (turn clocks
+      are strictly increasing: every dispatch is a barrier).
+
+    Every dispatch is a barrier, so the accelerator is always uncontended
+    and each iteration ends at ``start + total_s`` exactly.
     """
     scheduler = run.scheduler
     batch_cap = scheduler.max_batch
     n = run.n
     arrivals = run.arrival.tolist()
     step_counts = run.steps.tolist()
-    # scattered per-position writes land in plain lists (cheaper than numpy
-    # scalar assignment), converted to columns once at the end.
-    start_list = [0.0] * n
-    completion_list = [0.0] * n
-    batch_list = [0] * n
-    note_depth = run.note_depth
+    # one row per turn, converted to columns once at the end.
+    now_l: list[float] = []
+    start_l: list[float] = []
+    end_l: list[float] = []
+    size_l: list[int] = []
+    joined_pre_l: list[int] = []
+    joined_post_l: list[int] = []
+    # every turn retires at least one member step, so the turn count is
+    # bounded by the total step count; +2 pads the final lookahead.
+    leaves = [0] * (int(run.steps.sum()) + run.max_steps + 2)
 
     now = 0.0
     host_free = 0.0
     admitted = 0
     joined = 0  # queue head: requests moved into the in-flight set
-    flight_pos: list[int] = []
-    flight_rem: list[int] = []
+    size = 0  # in-flight set cardinality
     completed = 0
+    turn = 0
     while completed < n:
-        while admitted < n and arrivals[admitted] <= now:
-            note_depth(arrivals[admitted], admitted + 1 - joined)
-            admitted += 1
-        free = batch_cap - len(flight_pos)
-        fresh: range = range(0)
+        if admitted < n and arrivals[admitted] <= now:
+            admitted = bisect_right(arrivals, now, admitted + 1)
+        free = batch_cap - size
+        take = 0
         if free > 0 and admitted > joined:
-            take = free if free < admitted - joined else admitted - joined
-            fresh = range(joined, joined + take)
-            joined += take
-        if not flight_pos and not fresh:
+            backlog = admitted - joined
+            take = free if free < backlog else backlog
+        if size == 0 and take == 0:
             if admitted < n:
                 now = arrivals[admitted]
                 continue
@@ -396,35 +489,48 @@ def _run_continuous(run: _Run, more_until: float = float("-inf")) -> None:
                 f"continuous kernel stalled with {n - completed} requests"
                 f" outstanding at t={now:.6f}s"
             )
-        for position in fresh:
-            flight_pos.append(position)
-            flight_rem.append(step_counts[position])
-        size = len(flight_pos)
+        joined_pre_l.append(joined)
+        if take:
+            for position in range(joined, joined + take):
+                leaves[turn + step_counts[position]] += 1
+            joined += take
+            size += take
+        joined_post_l.append(joined)
         cost = run.cost(size)
         start = now if now > host_free else host_free
         end = start + cost.total_s
         host_free = start + cost.host_s if cost.has_accel else end
-        for position in fresh:
-            start_list[position] = start
-        surviving_pos: list[int] = []
-        surviving_rem: list[int] = []
-        for position, remaining in zip(flight_pos, flight_rem):
-            remaining -= 1
-            if remaining == 0:
-                completion_list[position] = end
-                batch_list[position] = size
-                completed += 1
-            else:
-                surviving_pos.append(position)
-                surviving_rem.append(remaining)
-        flight_pos = surviving_pos
-        flight_rem = surviving_rem
-        run.account_dispatch(cost, size, 1)
-        note_depth(start, admitted - joined)
+        now_l.append(now)
+        start_l.append(start)
+        end_l.append(end)
+        size_l.append(size)
+        turn += 1
+        leavers = leaves[turn]
+        completed += leavers
+        size -= leavers
         now = end  # barrier
-    run.start = np.array(start_list, dtype=np.float64)
-    run.completion = np.array(completion_list, dtype=np.float64)
-    run.batch = np.array(batch_list, dtype=np.int64)
+
+    turns = len(size_l)
+    sizes = np.array(size_l, dtype=np.int64)
+    start_arr = np.array(start_l, dtype=np.float64)
+    end_arr = np.array(end_l, dtype=np.float64)
+    now_arr = np.array(now_l, dtype=np.float64)
+    joined_pre = np.array(joined_pre_l, dtype=np.int64)
+    joined_post = np.array(joined_post_l, dtype=np.int64)
+
+    positions = np.arange(n, dtype=np.int64)
+    join_turn = np.searchsorted(joined_post, positions, side="right")
+    final_turn = join_turn + run.steps - 1
+    run.start = start_arr[join_turn]
+    run.completion = end_arr[final_turn]
+    run.batch = sizes[final_turn]
+    run.account_columns(sizes, np.ones(turns, dtype=np.int64))
+
+    admit_turn = np.searchsorted(now_arr, run.arrival, side="left")
+    admit_depth = positions + 1 - joined_pre[admit_turn]
+    admitted_at = np.searchsorted(run.arrival, now_arr, side="right")
+    sample_depth = admitted_at - joined_post
+    run.depth_columns(admit_turn, admit_depth, start_arr, sample_depth)
 
 
 _KERNELS = {
@@ -466,7 +572,16 @@ def run_fast(
     )
     kernel = kernel_for(scheduler)
     if kernel is None or trace.num_requests == 0:
-        return engine._run_reference(trace, offered_rate_rps)
+        result = engine._run_reference(trace, offered_rate_rps)
+        result.backend_used = "reference"
+        result.fast_path_fallback_reason = (
+            f"scheduler {scheduler.name!r} declares no columnar kernel"
+            if kernel is None
+            else "empty trace"
+        )
+        return result
     run = _Run(engine, trace, scheduler)
     kernel(run)
-    return run.finalize(offered_rate_rps)
+    result = run.finalize(offered_rate_rps)
+    result.backend_used = "columnar"
+    return result

@@ -102,6 +102,103 @@ def batch_cost_from_simulation(sim: SimulationResult, batch_size: int) -> BatchC
     )
 
 
+class BatchCostTable:
+    """Dense per-batch-size cost columns for one :class:`BatchCostModel`.
+
+    One float64 column per decomposition field, indexed by batch size (row 0
+    is unused), plus — when ``decode_steps`` is given — *iteration planes*:
+    ``plane[size, k]`` holds the per-dispatch accounting contribution
+    ``column[size] * k``, the exact float product the reference loop computes
+    as ``seconds * iterations``, so a vectorized ``cumsum`` over plane
+    lookups reproduces the scalar accumulators bit for bit.
+
+    Rows fill lazily through :meth:`BatchCostModel.cost`, so the table
+    shares :class:`BatchCost` objects (and the PlanCache behind them) with
+    every other consumer and never lowers a plan the run would not have
+    lowered anyway.  ``row()`` is the inner-loop replacement for the
+    model's dict lookup: a list index plus a ``None`` check.
+    """
+
+    __slots__ = (
+        "model",
+        "max_batch",
+        "decode_steps",
+        "rows",
+        "total_s",
+        "host_s",
+        "accel_s",
+        "gemm_s",
+        "non_gemm_s",
+        "busy_s",
+        "energy_j",
+        "gemm_k",
+        "non_gemm_k",
+        "busy_k",
+        "energy_k",
+    )
+
+    def __init__(self, model: "BatchCostModel", max_batch: int, decode_steps: int | None = None):
+        self.model = model
+        self.max_batch = max_batch
+        self.decode_steps = decode_steps
+        n = max_batch + 1
+        self.rows: list[BatchCost | None] = [None] * n
+        self.total_s = np.zeros(n)
+        self.host_s = np.zeros(n)
+        self.accel_s = np.zeros(n)
+        self.gemm_s = np.zeros(n)
+        self.non_gemm_s = np.zeros(n)
+        kinds = tuple(spec.kind for spec in model.platform.devices)
+        self.busy_s = {kind: np.zeros(n) for kind in kinds}
+        self.energy_j = {kind: np.zeros(n) for kind in kinds}
+        if decode_steps is None:
+            self.gemm_k = None
+            self.non_gemm_k = None
+            self.busy_k = None
+            self.energy_k = None
+        else:
+            shape = (n, decode_steps + 1)
+            self.gemm_k = np.zeros(shape)
+            self.non_gemm_k = np.zeros(shape)
+            self.busy_k = {kind: np.zeros(shape) for kind in kinds}
+            self.energy_k = {kind: np.zeros(shape) for kind in kinds}
+
+    def row(self, batch_size: int) -> BatchCost:
+        """The :class:`BatchCost` for ``batch_size``, filling the columns on
+        first touch.  Out-of-range sizes resolve through the model directly
+        (defensive: built-in schedulers never exceed ``max_batch``)."""
+        if batch_size > self.max_batch:
+            return self.model.cost(batch_size)
+        cached = self.rows[batch_size]
+        if cached is None:
+            cached = self._fill(batch_size)
+        return cached
+
+    def _fill(self, batch_size: int) -> BatchCost:
+        cost = self.model.cost(batch_size)
+        self.rows[batch_size] = cost
+        self.total_s[batch_size] = cost.total_s
+        self.host_s[batch_size] = cost.host_s
+        self.accel_s[batch_size] = cost.accel_s
+        self.gemm_s[batch_size] = cost.gemm_s
+        self.non_gemm_s[batch_size] = cost.non_gemm_s
+        for kind, seconds in cost.busy_s.items():
+            self.busy_s[kind][batch_size] = seconds
+        for kind, joules in cost.energy_j.items():
+            self.energy_j[kind][batch_size] = joules
+        if self.decode_steps is not None:
+            # plane[size, k] = column[size] * k — a single float64 multiply
+            # per cell, the reference's ``seconds * iterations`` exactly.
+            ks = np.arange(self.decode_steps + 1, dtype=np.float64)
+            self.gemm_k[batch_size] = cost.gemm_s * ks
+            self.non_gemm_k[batch_size] = cost.non_gemm_s * ks
+            for kind, seconds in cost.busy_s.items():
+                self.busy_k[kind][batch_size] = seconds * ks
+            for kind, joules in cost.energy_j.items():
+                self.energy_k[kind][batch_size] = joules * ks
+        return cost
+
+
 class BatchCostModel:
     """Memoized (batch size -> :class:`BatchCost`) resolver for one serving
     configuration.
@@ -109,7 +206,10 @@ class BatchCostModel:
     The per-run dict makes every engine run self-sufficient (a disabled
     global cache still lowers each batch size once per run); the
     :class:`~repro.sweep.cache.PlanCache` behind it shares lowered plans and
-    stored costs across runs, schedulers, and processes.
+    stored costs across runs, schedulers, and processes.  Hot loops resolve
+    through :meth:`cost_table` instead — a dense, shared
+    :class:`BatchCostTable` whose ``row()`` avoids dict hashing entirely and
+    whose columns feed the columnar kernels' vectorized accounting.
     """
 
     def __init__(
@@ -128,6 +228,19 @@ class BatchCostModel:
         self.seq_len = seq_len
         self.cache = cache if cache is not None else PLAN_CACHE
         self._costs: dict[int, BatchCost] = {}
+        self._tables: dict[tuple[int, int | None], BatchCostTable] = {}
+
+    def cost_table(
+        self, max_batch: int, decode_steps: int | None = None
+    ) -> BatchCostTable:
+        """The memoized dense table for ``max_batch`` (and optionally a
+        ``decode_steps`` bound enabling the iteration planes).  Shared by the
+        reference loops and every columnar kernel of this model."""
+        key = (max_batch, decode_steps)
+        table = self._tables.get(key)
+        if table is None:
+            table = self._tables[key] = BatchCostTable(self, max_batch, decode_steps)
+        return table
 
     def cost(self, batch_size: int) -> BatchCost:
         cached = self._costs.get(batch_size)

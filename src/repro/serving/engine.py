@@ -144,9 +144,13 @@ class ServingEngine:
             result = run_fast(self, trace, offered_rate_rps)
         else:
             result = self._run_reference(trace, offered_rate_rps)
+            result.backend_used = "reference"
         cap = self.config.record_requests
         if cap is not None and result.record_cap is None:
-            result = cap_serving_result(result, cap)
+            capped = cap_serving_result(result, cap)
+            capped.backend_used = result.backend_used
+            capped.fast_path_fallback_reason = result.fast_path_fallback_reason
+            result = capped
         return result
 
     def _run_reference(
@@ -158,6 +162,9 @@ class ServingEngine:
             config.scheduler, max_batch=config.max_batch, max_wait_s=config.max_wait_s
         )
         requests = trace.requests
+        # dense cost rows (shared with the columnar kernels): list index +
+        # None check instead of a dict hash per dispatch.
+        cost_table = self.costs.cost_table(scheduler.max_batch)
         result = ServingResult(
             model=config.model,
             flow=self.flow.name,
@@ -211,7 +218,7 @@ class ServingEngine:
 
             verdict = scheduler.next_dispatch(now, arrivals_pending)
             if isinstance(verdict, Dispatch):
-                cost = self.costs.cost(verdict.size)
+                cost = cost_table.row(verdict.size)
                 start = max(now, host_free)
                 cursor = start
                 for _ in range(verdict.iterations):

@@ -86,6 +86,18 @@ class FaultSchedule:
         if lo < 1.0 or hi < lo:
             raise ServingError(f"invalid straggler_range {self.straggler_range!r}")
 
+    @property
+    def perturbs(self) -> bool:
+        """Does this drawn schedule actually perturb a run?  A profile that
+        yields no windows and no straggler probability is equivalent to
+        ``none`` — rail selection keys off this, not the profile name."""
+        return bool(self.windows) or self.straggler_prob > 0.0
+
+    def crash_replicas(self) -> frozenset[int]:
+        """Indices of replicas the schedule ever crashes (these pay for
+        open-dispatch bookkeeping on the columnar faulted rail)."""
+        return frozenset(w.replica for w in self.windows if w.kind == CRASH)
+
 
 #: a fault profile maps (num_replicas, horizon_s, rng) -> FaultSchedule.
 FaultProfile = Callable[[int, float, np.random.Generator], FaultSchedule]

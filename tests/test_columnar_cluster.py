@@ -1,20 +1,25 @@
-"""The columnar cluster fast path: bit-identity, rails, and fallback.
+"""The columnar cluster fast paths: bit-identity, rails, and fallback.
 
-``run_fast_cluster`` (serving/columnar_cluster.py) replays the reference
-router's event loop in columns: routing decisions come from closed forms and
-per-replica virtual-clock recurrences, per-replica streams run through the
-per-scheduler columnar kernels.  These tests pin its three contracts:
+``serving/columnar_cluster.py`` replays the reference router's event loop in
+columns on two rails: ``run_fast_cluster`` (closed forms + per-scheduler
+columnar kernels, no faults/retries) and ``run_fast_faulted`` (minimal event
+heap over fault transitions and retry timers, lazy launches and lazily
+resolved completions).  These tests pin four contracts:
 
-* **equivalence** — on the supported rail (no faults, retries, or hedging;
-  builtin policy and scheduler) the fast path's ``ClusterResult`` equals the
-  reference router's, field for field, across schedulers, policies,
-  shedding, capped streaming metrics, heterogeneous fleets, and trace
-  shapes;
+* **equivalence** — on the no-fault rail the fast path's ``ClusterResult``
+  equals the reference router's, field for field, across schedulers,
+  policies, shedding, capped streaming metrics, heterogeneous fleets, and
+  trace shapes;
 * **the single-replica rail** — a 1-replica no-fault fast cluster stays
   bit-identical to plain ``ServingEngine.run`` for every registered
   scheduler;
-* **fallback** — every unsupported knob routes to the reference loop (the
-  fast kernels must never run) and still returns identical results.
+* **faulted equivalence** — crash / accel-loss / straggler windows and
+  timeout retries ride ``run_fast_faulted`` (the no-fault kernels must not
+  run) and stay bit-identical to the reference loop, including retry
+  exhaustion, shed-under-fault, and capped streaming metrics;
+* **fallback** — hedging and custom policies/schedulers route to the
+  reference loop (neither fast entry point may run), still returning
+  identical results, with the reason recorded on the result.
 """
 
 import numpy as np
@@ -34,7 +39,11 @@ from repro.serving.cluster import (
     get_policy,
     register_policy,
 )
-from repro.serving.columnar_cluster import supports_fast_path
+from repro.serving.columnar_cluster import (
+    fast_path_fallback_reason,
+    needs_faulted_path,
+    supports_fast_path,
+)
 from repro.serving.faults import FaultInjector
 from repro.serving.scheduler import (
     _SCHEDULERS,
@@ -45,6 +54,14 @@ from repro.serving.scheduler import (
 
 POLICIES = ("round-robin", "least-loaded", "power-of-two-choices")
 SCHEDULERS = ("fifo", "static", "dynamic", "continuous")
+
+#: fault knobs that must ride the fault-capable fast rail.
+FAULT_KNOBS = {
+    "crash": dict(fault_profile="crash", timeout_s=0.02, timeout_cap_s=0.32),
+    "accel-loss": dict(fault_profile="accel-loss", timeout_s=0.02, timeout_cap_s=0.32),
+    "straggler": dict(fault_profile="straggler"),
+    "retries": dict(timeout_s=0.05, timeout_cap_s=0.4),
+}
 
 
 def run_cluster(
@@ -70,10 +87,13 @@ def run_cluster(
     return router.run(trace, offered_rate_rps=rate)
 
 
-def assert_backends_identical(**overrides):
+def assert_backends_identical(expect_backend="columnar", **overrides):
     fast = run_cluster("fast", **overrides)
     reference = run_cluster("reference", **overrides)
     assert fast == reference
+    assert fast.backend_used == expect_backend
+    assert fast.fast_path_fallback_reason is None
+    assert reference.backend_used == "reference"
     return fast
 
 
@@ -170,26 +190,137 @@ class TestSingleReplicaRail:
         assert cluster.replicas[0] == solo
 
 
+class TestFaultedFastPath:
+    """Crash / accel-loss / straggler windows and timeout retries ride the
+    fault-capable replay — never the no-fault kernels — bit-identically."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("scheduler", ("fifo", "dynamic", "continuous"))
+    @pytest.mark.parametrize("knob", ("crash", "accel-loss", "straggler"))
+    def test_fault_windows_match_reference(
+        self, knob, scheduler, policy, monkeypatch
+    ):
+        monkeypatch.setattr(columnar_cluster, "run_fast_cluster", _refuse_fast_path)
+        result = assert_backends_identical(
+            expect_backend="columnar-faulted",
+            scheduler=scheduler,
+            policy=policy,
+            platforms=("A", "A", "A"),
+            **FAULT_KNOBS[knob],
+        )
+        assert result.num_failed + result.num_shed < len(result.records)
+
+    def test_timeout_retries_match_reference(self, monkeypatch):
+        monkeypatch.setattr(columnar_cluster, "run_fast_cluster", _refuse_fast_path)
+        assert_backends_identical(
+            expect_backend="columnar-faulted",
+            scheduler="static",
+            policy="round-robin",
+            platforms=("A", "A"),
+            **FAULT_KNOBS["retries"],
+        )
+
+    def test_retry_exhaustion_matches_reference(self):
+        result = assert_backends_identical(
+            expect_backend="columnar-faulted",
+            scheduler="static",
+            policy="round-robin",
+            platforms=("A", "A", "A"),
+            fault_profile="crash",
+            timeout_s=0.004,
+            timeout_cap_s=0.004,
+            max_retries=1,
+        )
+        assert result.num_failed > 0
+
+    def test_shed_under_fault_matches_reference(self):
+        result = assert_backends_identical(
+            expect_backend="columnar-faulted",
+            scheduler="dynamic",
+            policy="least-loaded",
+            platforms=("A", "A", "A"),
+            fault_profile="crash",
+            timeout_s=0.02,
+            timeout_cap_s=0.32,
+            shed_queue_s=0.05,
+            load=2.0,
+        )
+        assert result.num_shed > 0
+        assert result.num_retries > 0
+
+    def test_capped_streaming_metrics_match_reference(self):
+        result = assert_backends_identical(
+            expect_backend="columnar-faulted",
+            scheduler="dynamic",
+            policy="power-of-two-choices",
+            platforms=("A", "A", "A"),
+            fault_profile="crash",
+            timeout_s=0.02,
+            timeout_cap_s=0.32,
+            record_requests=64,
+            deadline_s=0.1,
+        )
+        assert result.record_cap == 64
+        assert len(result.records) <= 64
+
+    def test_heterogeneous_accel_loss_matches_reference(self):
+        assert_backends_identical(
+            expect_backend="columnar-faulted",
+            scheduler="dynamic",
+            policy="least-loaded",
+            platforms=("A", "B", "C"),
+            fault_profile="accel-loss",
+            timeout_s=0.02,
+            timeout_cap_s=0.32,
+        )
+
+    def test_faulted_rail_actually_taken(self, monkeypatch):
+        calls = []
+        original = columnar_cluster.run_fast_faulted
+
+        def spy(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(columnar_cluster, "run_fast_faulted", spy)
+        result = run_cluster(
+            "fast",
+            scheduler="dynamic",
+            policy="round-robin",
+            fault_profile="crash",
+            timeout_s=0.02,
+            timeout_cap_s=0.32,
+        )
+        assert len(calls) == 1
+        assert result.backend_used == "columnar-faulted"
+
+
 def _refuse_fast_path(*args, **kwargs):
     raise AssertionError("the fast path must not run for unsupported knobs")
 
 
+def _refuse_both_fast_paths(monkeypatch):
+    """Hedged / custom runs must enter neither fast entry point."""
+    monkeypatch.setattr(columnar_cluster, "run_fast_cluster", _refuse_fast_path)
+    monkeypatch.setattr(columnar_cluster, "run_fast_faulted", _refuse_fast_path)
+
+
 #: every unsupported-knob combination that must take the reference rail.
 FALLBACK_KNOBS = {
-    "crash": dict(fault_profile="crash", timeout_s=0.02, timeout_cap_s=0.32),
-    "accel-loss": dict(fault_profile="accel-loss", timeout_s=0.02, timeout_cap_s=0.32),
-    "straggler": dict(fault_profile="straggler"),
     "hedging": dict(hedge_after_s=0.01),
-    "retries": dict(timeout_s=0.05, timeout_cap_s=0.4),
+    "hedging-with-faults": dict(
+        hedge_after_s=0.01,
+        fault_profile="crash",
+        timeout_s=0.02,
+        timeout_cap_s=0.32,
+    ),
 }
 
 
 class TestFallback:
     @pytest.mark.parametrize("knob", sorted(FALLBACK_KNOBS))
     def test_unsupported_knob_runs_reference_loop(self, knob, monkeypatch):
-        monkeypatch.setattr(
-            columnar_cluster, "run_fast_cluster", _refuse_fast_path
-        )
+        _refuse_both_fast_paths(monkeypatch)
         overrides = FALLBACK_KNOBS[knob]
         fast = run_cluster(
             "fast", scheduler="continuous", policy="least-loaded", **overrides
@@ -198,6 +329,9 @@ class TestFallback:
             "reference", scheduler="continuous", policy="least-loaded", **overrides
         )
         assert fast == reference
+        assert fast.backend_used == "reference"
+        assert "hedge_after_s" in fast.fast_path_fallback_reason
+        assert reference.fast_path_fallback_reason is None
 
     def test_custom_policy_falls_back(self, monkeypatch):
         class HighestIndexPolicy(AdmissionPolicy):
@@ -208,9 +342,7 @@ class TestFallback:
                 return candidates[-1]
 
         register_policy(HighestIndexPolicy, replace=True)
-        monkeypatch.setattr(
-            columnar_cluster, "run_fast_cluster", _refuse_fast_path
-        )
+        _refuse_both_fast_paths(monkeypatch)
         try:
             fast = run_cluster("fast", scheduler="fifo", policy="test-highest-index")
             reference = run_cluster(
@@ -226,9 +358,7 @@ class TestFallback:
             description = "fifo subclass without its own columnar kernel"
 
         register_scheduler(SubclassedFIFOScheduler, replace=True)
-        monkeypatch.setattr(
-            columnar_cluster, "run_fast_cluster", _refuse_fast_path
-        )
+        _refuse_both_fast_paths(monkeypatch)
         try:
             fast = run_cluster(
                 "fast", scheduler="test-fifo-subclass", policy="round-robin"
@@ -242,7 +372,7 @@ class TestFallback:
 
 
 class TestSupportsFastPath:
-    def _probe(
+    def _config(
         self,
         *,
         profile="none",
@@ -251,7 +381,7 @@ class TestSupportsFastPath:
         backend="fast",
         **config_overrides,
     ):
-        config = ClusterConfig(
+        return ClusterConfig(
             model="gpt2",
             platforms=("A", "A"),
             scheduler=scheduler,
@@ -260,9 +390,21 @@ class TestSupportsFastPath:
             backend=backend,
             **config_overrides,
         )
-        injector = FaultInjector(profile, 2, 100.0, seed=0)
+
+    def _probe(self, **kwargs):
+        config = self._config(**kwargs)
+        injector = FaultInjector(config.fault_profile, 2, 100.0, seed=0)
         return supports_fast_path(
-            config, injector, get_policy(policy), get_scheduler(scheduler)
+            config,
+            injector,
+            get_policy(config.policy),
+            get_scheduler(config.scheduler),
+        )
+
+    def _reason(self, **kwargs):
+        config = self._config(**kwargs)
+        return fast_path_fallback_reason(
+            config, get_policy(config.policy), get_scheduler(config.scheduler)
         )
 
     def test_rail_conditions_hold(self):
@@ -271,11 +413,27 @@ class TestSupportsFastPath:
                 assert self._probe(scheduler=scheduler, policy=policy)
         # shedding, capping, and deadlines stay on the rail
         assert self._probe(shed_queue_s=0.01, record_requests=32, deadline_s=0.1)
+        # faults and timeout retries now ride the fault-capable rail
+        assert self._probe(profile="crash", timeout_s=0.02)
+        assert self._probe(profile="accel-loss", timeout_s=0.02)
+        assert self._probe(profile="straggler")
+        assert self._probe(timeout_s=0.02)
 
     def test_unsupported_knobs_fall_off(self):
-        assert not self._probe(profile="crash", timeout_s=0.02)
-        assert not self._probe(profile="accel-loss", timeout_s=0.02)
-        assert not self._probe(profile="straggler")
+        assert "hedge_after_s" in self._reason(hedge_after_s=0.01)
+        assert "backend" in self._reason(backend="reference")
         assert not self._probe(hedge_after_s=0.01)
-        assert not self._probe(timeout_s=0.02)
         assert not self._probe(backend="reference")
+
+    def test_faulted_rail_selection(self):
+        def needs(**kwargs):
+            config = self._config(**kwargs)
+            injector = FaultInjector(config.fault_profile, 2, 100.0, seed=0)
+            return needs_faulted_path(config, injector)
+
+        # the drawn schedule (not the profile name) decides the rail
+        assert not needs()
+        assert needs(profile="crash", timeout_s=0.02)
+        assert needs(profile="accel-loss")
+        assert needs(profile="straggler")
+        assert needs(timeout_s=0.02)
