@@ -5,6 +5,7 @@ from repro.analysis.ext1_edge import run_ext1
 from repro.analysis.ext2_serving import run_ext2
 from repro.analysis.ext3_faults import run_ext3
 from repro.analysis.ext4_fleet import run_ext4
+from repro.analysis.ext5_autoscale import run_ext5
 from repro.analysis.fig1 import run_fig1
 from repro.analysis.fig5 import run_fig5
 from repro.analysis.fig6 import run_fig6
@@ -27,6 +28,7 @@ EXPERIMENTS = {
     "ext2": run_ext2,
     "ext3": run_ext3,
     "ext4": run_ext4,
+    "ext5": run_ext5,
 }
 
 __all__ = [
@@ -36,6 +38,7 @@ __all__ = [
     "run_ext2",
     "run_ext3",
     "run_ext4",
+    "run_ext5",
     "run_fig1",
     "run_fig5",
     "run_fig6",

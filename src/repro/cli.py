@@ -175,6 +175,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-schedulers", action="store_true",
         help="list registered batching schedulers and exit",
     )
+    p_serve.add_argument(
+        "--list-traces", action="store_true",
+        help="list registered arrival processes and exit",
+    )
     p_serve.set_defaults(handler=_cmd_serve)
 
     p_cluster = sub.add_parser(
@@ -269,6 +273,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--deadline-ms", type=float, default=None,
         help="goodput deadline (completions slower than this are not good)",
     )
+    p_cluster.add_argument(
+        "--autoscaler", default=None,
+        help="elastic-fleet controller (see --list-autoscalers); the"
+        " replica count becomes the provisioned ceiling",
+    )
+    p_cluster.add_argument(
+        "--min-replicas", type=int, default=1,
+        help="autoscale floor (replicas that always stay online)",
+    )
+    p_cluster.add_argument(
+        "--scale-interval-ms", type=float, default=100.0,
+        help="autoscale controller evaluation period",
+    )
+    p_cluster.add_argument(
+        "--scale-cooldown-ms", type=float, default=0.0,
+        help="minimum time between autoscale actions",
+    )
+    p_cluster.add_argument(
+        "--provision-ms", type=float, default=100.0,
+        help="cold-start delay before a scaled-up replica admits work",
+    )
+    p_cluster.add_argument(
+        "--target-util", type=float, default=0.6,
+        help="busy-fraction set-point for the target-utilization controller",
+    )
+    p_cluster.add_argument(
+        "--slo-ms", type=float, default=None,
+        help="latency SLO for the goodput controller (default: --deadline-ms)",
+    )
     p_cluster.add_argument("--seq-len", type=int, default=None)
     p_cluster.add_argument("--seed", type=int, default=0)
     p_cluster.add_argument(
@@ -278,6 +311,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument(
         "--list-faults", action="store_true",
         help="list registered fault profiles and exit",
+    )
+    p_cluster.add_argument(
+        "--list-autoscalers", action="store_true",
+        help="list registered autoscale controllers and exit",
+    )
+    p_cluster.add_argument(
+        "--list-traces", action="store_true",
+        help="list registered arrival processes and exit",
     )
     p_cluster.set_defaults(handler=_cmd_cluster)
 
@@ -489,20 +530,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ServingEngine,
         make_trace,
         scheduler_entries,
+        trace_entries,
     )
 
-    if args.list_schedulers:
-        print(
-            render_table(
-                [
-                    {"scheduler": name, "policy": description}
-                    for name, description in scheduler_entries()
-                ]
+    if args.list_schedulers or args.list_traces:
+        if args.list_schedulers:
+            print(
+                render_table(
+                    [
+                        {"scheduler": name, "policy": description}
+                        for name, description in scheduler_entries()
+                    ]
+                )
             )
-        )
+        if args.list_traces:
+            if args.list_schedulers:
+                print()
+            print(
+                render_table(
+                    [
+                        {"trace": name, "arrival process": description}
+                        for name, description in trace_entries()
+                    ]
+                )
+            )
         return 0
     if args.model is None:
-        print("error: a model is required unless --list-schedulers is given")
+        print(
+            "error: a model is required unless --list-schedulers/--list-traces"
+            " is given"
+        )
         return 2
 
     decode_steps = _parse_decode_steps(args.decode_steps)
@@ -584,38 +641,56 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.serving import (
+        AutoscaleConfig,
         ClusterConfig,
         ClusterRouter,
+        autoscaler_entries,
         fault_profile_entries,
         make_trace,
         policy_entries,
+        trace_entries,
     )
 
-    if args.list_policies or args.list_faults:
+    if (
+        args.list_policies
+        or args.list_faults
+        or args.list_autoscalers
+        or args.list_traces
+    ):
+        tables = []
         if args.list_policies:
-            print(
-                render_table(
-                    [
-                        {"policy": name, "strategy": description}
-                        for name, description in policy_entries()
-                    ]
-                )
+            tables.append(
+                [
+                    {"policy": name, "strategy": description}
+                    for name, description in policy_entries()
+                ]
             )
         if args.list_faults:
-            if args.list_policies:
-                print()
-            print(
-                render_table(
-                    [
-                        {"profile": name, "faults": description}
-                        for name, description in fault_profile_entries()
-                    ]
-                )
+            tables.append(
+                [
+                    {"profile": name, "faults": description}
+                    for name, description in fault_profile_entries()
+                ]
             )
+        if args.list_autoscalers:
+            tables.append(
+                [
+                    {"autoscaler": name, "control law": description}
+                    for name, description in autoscaler_entries()
+                ]
+            )
+        if args.list_traces:
+            tables.append(
+                [
+                    {"trace": name, "arrivals": description}
+                    for name, description in trace_entries()
+                ]
+            )
+        print("\n\n".join(render_table(rows) for rows in tables))
         return 0
     if args.model is None:
         print(
-            "error: a model is required unless --list-policies/--list-faults"
+            "error: a model is required unless a --list-* discovery flag"
             " is given"
         )
         return 2
@@ -634,6 +709,19 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     def ms(value: float | None) -> float | None:
         return None if value is None else value * 1e-3
+
+    autoscale = None
+    if args.autoscaler is not None:
+        autoscale = AutoscaleConfig(
+            controller=args.autoscaler,
+            min_replicas=args.min_replicas,
+            max_replicas=len(platforms),
+            interval_s=args.scale_interval_ms * 1e-3,
+            cooldown_s=args.scale_cooldown_ms * 1e-3,
+            provision_delay_s=args.provision_ms * 1e-3,
+            target_utilization=args.target_util,
+            slo_s=ms(args.slo_ms),
+        )
 
     router = ClusterRouter(
         ClusterConfig(
@@ -656,6 +744,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             deadline_s=ms(args.deadline_ms),
             backend=args.backend,
             record_requests=args.record_requests,
+            autoscale=autoscale,
         )
     )
     capacity = router.fleet_capacity_rps()
@@ -700,6 +789,23 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             "note: fast path fell back to the reference loop:"
             f" {result.fast_path_fallback_reason}"
         )
+    if autoscale is not None:
+        print()
+        print(
+            f"autoscale: {autoscale.controller}"
+            f" [{autoscale.min_replicas},{autoscale.max_replicas}]"
+            f" mean_replicas={result.mean_replicas:.2f}"
+            f" replica_seconds={result.replica_seconds:.2f}"
+            f" scale_events={len(result.scale_events)}"
+        )
+        for event in result.scale_events[:20]:
+            print(
+                f"  t={event.time_s:8.3f}s {event.action:<8}"
+                f" replica={event.replica} serving={event.serving}"
+                f"  ({event.reason})"
+            )
+        if len(result.scale_events) > 20:
+            print(f"  ... {len(result.scale_events) - 20} more events")
     print()
     print("per-replica occupancy (of the cluster makespan):")
     replica_rows = []
@@ -774,25 +880,35 @@ def _cluster_sweep(args: argparse.Namespace, loads: tuple[float, ...]) -> int:
         deadline_s=ms(args.deadline_ms),
         backend=args.backend,
         record_requests=args.record_requests,
+        autoscalers=(args.autoscaler,),
+        autoscale_min_replicas=args.min_replicas,
+        autoscale_interval_s=args.scale_interval_ms * 1e-3,
+        autoscale_cooldown_s=args.scale_cooldown_ms * 1e-3,
+        autoscale_provision_s=args.provision_ms * 1e-3,
+        autoscale_target=args.target_util,
+        autoscale_slo_s=ms(args.slo_ms),
         seed=args.seed,
     )
     result = SweepRunner(workers=args.workers).run(spec)
     rows = []
     for record in result.records:
         cluster = record.serving
-        rows.append(
-            {
-                "load": record.point.load,
-                "offered_rps": round(cluster.offered_rate_rps, 2),
-                "served_rps": round(cluster.throughput_rps, 2),
-                "goodput_pct": round(100 * cluster.goodput, 1),
-                "p50_ms": round(cluster.p50_s * 1e3, 3),
-                "p99_ms": round(cluster.p99_s * 1e3, 3),
-                "shed": cluster.num_shed,
-                "failed": cluster.num_failed,
-                "retries": cluster.num_retries,
-            }
-        )
+        row = {
+            "load": record.point.load,
+            "offered_rps": round(cluster.offered_rate_rps, 2),
+            "served_rps": round(cluster.throughput_rps, 2),
+            "goodput_pct": round(100 * cluster.goodput, 1),
+            "p50_ms": round(cluster.p50_s * 1e3, 3),
+            "p99_ms": round(cluster.p99_s * 1e3, 3),
+            "shed": cluster.num_shed,
+            "failed": cluster.num_failed,
+            "retries": cluster.num_retries,
+        }
+        if args.autoscaler is not None:
+            row["mean_repl"] = round(cluster.mean_replicas, 2)
+            row["repl_s"] = round(cluster.replica_seconds, 2)
+            row["scale_ev"] = len(cluster.scale_events)
+        rows.append(row)
     print(render_table(rows))
     hits = sum(result.cache_info.get("hits", {}).values())
     disk_hits = sum(result.cache_info.get("disk_hits", {}).values())

@@ -14,6 +14,18 @@ router default to the columnar fast backend (:mod:`repro.serving.columnar`)
 fault model", and "Scaling the serving simulator" sections.
 """
 
+from repro.serving.autoscale import (
+    AutoscaleConfig,
+    AutoscaleObservation,
+    Autoscaler,
+    GoodputAutoscaler,
+    StepAutoscaler,
+    TargetUtilizationAutoscaler,
+    autoscaler_entries,
+    get_autoscaler,
+    list_autoscalers,
+    register_autoscaler,
+)
 from repro.serving.cluster import (
     AdmissionPolicy,
     ClusterConfig,
@@ -54,9 +66,11 @@ from repro.serving.metrics import (
     ClusterRequestRecord,
     ClusterResult,
     RequestRecord,
+    ScaleEvent,
     ServingResult,
     StreamingQuantile,
     StreamingStats,
+    apply_static_lifecycle,
     cap_cluster_result,
     cap_serving_result,
     nearest_rank,
@@ -84,12 +98,16 @@ from repro.serving.trace import (
     make_trace,
     poisson_trace,
     register_trace,
+    trace_entries,
 )
 
 __all__ = [
     "ACCEL_LOSS",
     "CRASH",
     "AdmissionPolicy",
+    "AutoscaleConfig",
+    "AutoscaleObservation",
+    "Autoscaler",
     "BatchCost",
     "BatchCostModel",
     "BatchScheduler",
@@ -104,6 +122,7 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "FaultWindow",
+    "GoodputAutoscaler",
     "LeastLoadedPolicy",
     "PowerOfTwoPolicy",
     "REQUEST_FAILED",
@@ -113,21 +132,28 @@ __all__ = [
     "RequestRecord",
     "RequestTrace",
     "RoundRobinPolicy",
+    "ScaleEvent",
     "ServingConfig",
     "ServingEngine",
     "ServingResult",
     "StaticBatchScheduler",
+    "StepAutoscaler",
     "StreamingQuantile",
     "StreamingStats",
+    "TargetUtilizationAutoscaler",
+    "apply_static_lifecycle",
+    "autoscaler_entries",
     "batch_cost_from_simulation",
     "bursty_trace",
     "cap_cluster_result",
     "cap_serving_result",
     "closed_loop_trace",
     "fault_profile_entries",
+    "get_autoscaler",
     "get_policy",
     "get_scheduler",
     "kernel_for",
+    "list_autoscalers",
     "list_fault_profiles",
     "list_policies",
     "list_schedulers",
@@ -139,6 +165,7 @@ __all__ = [
     "sample_record_indices",
     "streaming_stats",
     "policy_entries",
+    "register_autoscaler",
     "register_fault_profile",
     "register_policy",
     "register_scheduler",
@@ -148,4 +175,5 @@ __all__ = [
     "serve_point",
     "simulate_cluster",
     "simulate_serving",
+    "trace_entries",
 ]

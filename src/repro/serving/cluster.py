@@ -36,13 +36,19 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.errors import ServingError
 from repro.hardware.device import DeviceKind
 from repro.hardware.platform import get_platform
+from repro.serving.autoscale import (
+    AutoscaleConfig,
+    AutoscaleObservation,
+    get_autoscaler,
+)
 from repro.serving.cost import BatchCostModel
 from repro.serving.engine import ServingConfig, ServingEngine, resolve_serving_target
 from repro.serving.faults import CRASH, FaultInjector
@@ -53,7 +59,9 @@ from repro.serving.metrics import (
     ClusterRequestRecord,
     ClusterResult,
     RequestRecord,
+    ScaleEvent,
     ServingResult,
+    apply_static_lifecycle,
     cap_cluster_result,
 )
 from repro.serving.scheduler import (
@@ -74,6 +82,10 @@ _PRIO_COMPLETE = 1
 _PRIO_ARRIVE = 2
 _PRIO_RETRY = 3
 _PRIO_HEDGE = 4
+#: controller evaluations run after every same-instant arrival/completion
+#: so the observation window includes its own boundary.  Replica-online
+#: transitions ride _PRIO_FAULT like the fault windows they compose with.
+_PRIO_SCALE = 5
 
 
 # -- admission policies -------------------------------------------------------
@@ -263,10 +275,22 @@ class ClusterConfig:
     #: cap on materialized records (cluster-level and per-replica); ``None``
     #: keeps full record lists.  See :attr:`ServingConfig.record_requests`.
     record_requests: int | None = None
+    #: elastic fleet control (see :mod:`repro.serving.autoscale`); ``None``
+    #: keeps every provisioned replica online for the whole run.  The
+    #: controller's ``max_replicas`` must equal ``len(platforms)`` — the
+    #: platforms tuple is the hardware ceiling the controller scales within.
+    autoscale: AutoscaleConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.platforms:
             raise ServingError("cluster needs at least one replica platform")
+        if self.autoscale is not None:
+            if self.autoscale.max_replicas != len(self.platforms):
+                raise ServingError(
+                    f"autoscale max_replicas ({self.autoscale.max_replicas})"
+                    f" must equal the provisioned fleet size"
+                    f" ({len(self.platforms)} platforms)"
+                )
         if self.backend not in ("fast", "reference"):
             raise ServingError(
                 f"unknown cluster backend {self.backend!r};"
@@ -376,6 +400,11 @@ class _Replica:
         "costs",
         "down",
         "accel_down",
+        "online",
+        "draining",
+        "provisioning",
+        "cost_spans",
+        "active_spans",
         "host_free",
         "accel_free",
         "ready_s",
@@ -406,6 +435,15 @@ class _Replica:
         self._cache = cache
         self.down = False
         self.accel_down = False
+        #: elastic lifecycle (autoscaled runs flip these; fixed fleets
+        #: keep every replica online and never draining).
+        self.online = True
+        self.draining = False
+        self.provisioning = False
+        #: paid spans [decision, offline) and active spans [online,
+        #: offline), closed at drain completion or end of run.
+        self.cost_spans: list[list[float]] = []
+        self.active_spans: list[list[float]] = []
         self.host_free = 0.0
         self.accel_free: dict[DeviceKind, float] = {}
         self.ready_s = 0.0
@@ -462,6 +500,26 @@ class _Replica:
             delay = 0.0
         return delay + backlog
 
+    @property
+    def serving(self) -> bool:
+        """Provisioned to admit work: online and not draining.  Crash
+        state is tracked separately in ``down`` — a crashed serving
+        replica rejoins admission when its fault window clears."""
+        return self.online and not self.draining
+
+
+def _clipped_span_sum(
+    spans: "list[list[float]]", start: float, end: float
+) -> float:
+    """Sum of span widths intersected with ``[start, end]``, accumulated
+    in span order (deterministic float fold)."""
+    total = 0.0
+    for lo, hi in spans:
+        width = min(hi, end) - max(lo, start)
+        if width > 0.0:
+            total += width
+    return total
+
 
 # -- the router ---------------------------------------------------------------
 
@@ -473,6 +531,8 @@ class ClusterRouter:
         self.config = config
         self.cache = cache
         get_policy(config.policy)  # fail fast on unknown names
+        if config.autoscale is not None:
+            get_autoscaler(config.autoscale.controller)
         self.engines = [
             ServingEngine(
                 ServingConfig(
@@ -517,7 +577,7 @@ class ClusterRouter:
             result.backend_used = "reference"
             if config.backend == "fast":
                 result.fast_path_fallback_reason = "empty trace"
-            return result
+            return apply_static_lifecycle(result)
         arrival_times = trace.arrival_column().tolist()
         request_ids = trace.id_column().tolist()
         decode_counts = trace.decode_column().tolist()
@@ -552,6 +612,19 @@ class ClusterRouter:
         policy = get_policy(config.policy)
         policy.reset(len(replicas))
         policy_rng = np.random.default_rng(config.policy_seed)
+
+        auto = config.autoscale
+        autoscaler = None
+        if auto is not None:
+            if auto.slo_s is None and config.deadline_s is not None:
+                auto = replace(auto, slo_s=config.deadline_s)
+            autoscaler = get_autoscaler(auto.controller)
+            autoscaler.reset(auto)
+            for replica in replicas[auto.start_replicas :]:
+                replica.online = False
+            for replica in replicas[: auto.start_replicas]:
+                replica.cost_spans.append([0.0, math.inf])
+                replica.active_spans.append([0.0, math.inf])
 
         fallback_reason = None
         if config.backend == "fast":
@@ -592,6 +665,21 @@ class ClusterRouter:
         for t in injector.transitions():
             push(t, _PRIO_FAULT, "fault", None)
 
+        # -- autoscale run state (inert when no controller is configured) -----
+
+        #: one observation window of telemetry, reset at each evaluation.
+        window_start_s = arrival_times[0]
+        window_arrivals = 0
+        window_steps = 0
+        window_busy = 0.0
+        window_latencies: list[float] = []
+        last_action_s = -math.inf
+        scale_log: list[ScaleEvent] = []
+        timeline: list[tuple[float, int]] = []
+        if autoscaler is not None:
+            timeline.append((0.0, auto.start_replicas))
+            push(arrival_times[0] + auto.interval_s, _PRIO_SCALE, "scale-eval", None)
+
         arrivals_left = total
         counters = {
             "terminal": 0,
@@ -630,6 +718,7 @@ class ClusterRouter:
             holder = replicas[copy.replica]
             if not holder.down:
                 holder.scheduler.cancel(copy_request_ids[id(copy)])
+                maybe_finish_drain(holder, now)
 
         # cancel_copy needs the request id of a copy; keep a side table to
         # avoid widening _Copy for one consumer.
@@ -685,7 +774,7 @@ class ClusterRouter:
                 counters["failed"] += 1
                 cancel_copy(entry_tracked.hedge)
                 return
-            alive = [r for r in replicas if not r.down]
+            alive = [r for r in replicas if not r.down and r.serving]
             previous = (
                 entry_tracked.primary.replica
                 if entry_tracked.primary is not None
@@ -712,9 +801,13 @@ class ClusterRouter:
             admit_copy(entry_tracked, chosen, when, is_hedge=False)
 
         def on_arrival(request: Request, when: float) -> None:
+            nonlocal window_arrivals, window_steps
             entry_tracked = _Tracked(request, config.timeout_s)
             tracked[request.request_id] = entry_tracked
-            alive = [r for r in replicas if not r.down]
+            if autoscaler is not None:
+                window_arrivals += 1
+                window_steps += request.decode_steps
+            alive = [r for r in replicas if not r.down and r.serving]
             if not alive:
                 if config.shed_queue_s is not None:
                     shed(entry_tracked)
@@ -731,7 +824,10 @@ class ClusterRouter:
             admit_copy(entry_tracked, chosen, when, is_hedge=False)
 
         def on_complete(replica: _Replica, entry: _InFlight) -> None:
+            nonlocal window_busy
             replica.inflight.remove(entry)
+            if autoscaler is not None:
+                window_busy += max(entry.busy.values(), default=0.0)
             for kind, delta in entry.busy.items():
                 replica.busy[kind] += delta
             for kind, delta in entry.energy.items():
@@ -751,6 +847,10 @@ class ClusterRouter:
                 finish(entry_tracked, REQUEST_OK)
                 entry_tracked.completion_s = entry.end_s
                 entry_tracked.winner_replica = replica.index
+                if autoscaler is not None:
+                    window_latencies.append(
+                        entry.end_s - entry_tracked.request.arrival_s
+                    )
                 won_by_hedge = (
                     entry_tracked.hedge is not None and copy is entry_tracked.hedge
                 )
@@ -760,6 +860,7 @@ class ClusterRouter:
                     cancel_copy(entry_tracked.primary)
                 else:
                     cancel_copy(entry_tracked.hedge)
+            maybe_finish_drain(replica, entry.end_s)
 
         def on_retry(request_id: int, when: float) -> None:
             entry_tracked = tracked[request_id]
@@ -774,6 +875,7 @@ class ClusterRouter:
                 route_primary(entry_tracked, when)
                 return
             if not copy.started and holder.scheduler.cancel(request_id):
+                maybe_finish_drain(holder, when)
                 route_primary(entry_tracked, when)
                 return
             # in service on a live replica: let it finish, but keep watching
@@ -788,7 +890,8 @@ class ClusterRouter:
             primary = entry_tracked.primary
             exclude = primary.replica if primary is not None else None
             candidates = [
-                r for r in replicas if not r.down and r.index != exclude
+                r for r in replicas
+                if not r.down and r.serving and r.index != exclude
             ]
             if not candidates:
                 return
@@ -813,6 +916,9 @@ class ClusterRouter:
             replica.host_free = 0.0
             replica.accel_free.clear()
             replica.ready_s = when
+            if replica.draining:
+                # the crash wiped the backlog the drain was waiting on.
+                finish_drain(replica, when)
 
         def on_fault(when: float) -> None:
             for replica in replicas:
@@ -827,6 +933,122 @@ class ClusterRouter:
                     replica.costs = (
                         replica.fallback_costs() if lost else replica.engine.costs
                     )
+
+        # -- elastic lifecycle (autoscaled runs only) -------------------------
+
+        def serving_count() -> int:
+            return sum(1 for r in replicas if r.serving)
+
+        def finish_drain(replica: _Replica, when: float) -> None:
+            """Backlog done: take the replica offline and close its spans."""
+            replica.draining = False
+            replica.online = False
+            for spans in (replica.cost_spans, replica.active_spans):
+                if spans and spans[-1][1] == math.inf:
+                    spans[-1][1] = when
+            scale_log.append(
+                ScaleEvent(when, "drained", replica.index, serving_count(), "backlog finished")
+            )
+            replica.scheduler.reset()
+            replica.host_free = 0.0
+            replica.accel_free.clear()
+            replica.ready_s = when
+            replica.wake_s = None
+
+        def maybe_finish_drain(replica: _Replica, when: float) -> None:
+            if (
+                replica.draining
+                and not replica.inflight
+                and not replica.scheduler.has_pending
+            ):
+                finish_drain(replica, when)
+
+        def begin_drain(replica: _Replica, when: float, reason: str) -> None:
+            """Stop admitting; the replica finishes its backlog, then leaves."""
+            replica.draining = True
+            scale_log.append(
+                ScaleEvent(when, "down", replica.index, serving_count(), reason)
+            )
+            timeline.append((when, serving_count()))
+            maybe_finish_drain(replica, when)
+
+        def on_scale_online(replica: _Replica, when: float) -> None:
+            """Provision delay elapsed: the replica admits work, cold."""
+            replica.provisioning = False
+            replica.online = True
+            replica.active_spans.append([when, math.inf])
+            # cold start: empty queue, fresh clocks (the reset a crash uses).
+            replica.scheduler.reset()
+            replica.host_free = 0.0
+            replica.accel_free.clear()
+            replica.ready_s = when
+            replica.wake_s = None
+            scale_log.append(
+                ScaleEvent(
+                    when,
+                    "online",
+                    replica.index,
+                    serving_count(),
+                    f"provisioned after {auto.provision_delay_s:g}s",
+                )
+            )
+            timeline.append((when, serving_count()))
+
+        def on_scale_eval(when: float) -> None:
+            nonlocal window_start_s, window_arrivals, window_steps
+            nonlocal window_busy, last_action_s
+            active = [r for r in replicas if r.serving]
+            observation = AutoscaleObservation(
+                start_s=window_start_s,
+                end_s=when,
+                active_replicas=len(active),
+                arrivals=window_arrivals,
+                arrival_steps=window_steps,
+                completions=len(window_latencies),
+                latencies_s=tuple(window_latencies),
+                busy_s=window_busy,
+                queue_depth=sum(r.scheduler.queue_depth for r in active),
+                unit_latency_s=replicas[0].unit_latency_s(),
+            )
+            desired = autoscaler.desired_replicas(observation)
+            desired = min(max(desired, auto.min_replicas), auto.max_replicas)
+            window_start_s = when
+            window_arrivals = 0
+            window_steps = 0
+            window_busy = 0.0
+            window_latencies.clear()
+            # self-limiting: exactly one future evaluation per evaluation.
+            # a stale event left in the heap when the run completes is
+            # never popped (the loop breaks on terminal count, not heap).
+            push(when + auto.interval_s, _PRIO_SCALE, "scale-eval", None)
+            if auto.cooldown_s > 0.0 and when - last_action_s < auto.cooldown_s:
+                return
+            reason = f"{autoscaler.name}: desired {desired}"
+            #: capacity already committed: serving plus still-provisioning.
+            committed = len(active) + sum(1 for r in replicas if r.provisioning)
+            if desired > committed:
+                pool = [r for r in replicas if not r.online and not r.provisioning]
+                chosen = pool[: desired - committed]
+                for replica in chosen:
+                    replica.provisioning = True
+                    replica.cost_spans.append([when, math.inf])
+                    push(
+                        when + auto.provision_delay_s,
+                        _PRIO_FAULT,
+                        "scale-online",
+                        replica,
+                    )
+                    scale_log.append(
+                        ScaleEvent(when, "up", replica.index, serving_count(), reason)
+                    )
+                if chosen:
+                    last_action_s = when
+            elif desired < len(active):
+                # drain the highest-index serving replicas first, so a
+                # rebound re-provisions the replicas that left most recently.
+                for replica in reversed(active[desired:]):
+                    begin_drain(replica, when, reason)
+                last_action_s = when
 
         def launch(replica: _Replica, verdict: Dispatch, when: float) -> None:
             cost = replica.costs.cost(verdict.size)
@@ -897,7 +1119,7 @@ class ClusterRouter:
 
         def decide(replica: _Replica) -> None:
             nonlocal turns
-            if replica.down:
+            if replica.down or not replica.online:
                 return
             while replica.ready_s <= now:
                 turns += 1
@@ -935,7 +1157,7 @@ class ClusterRouter:
             if chunked_arrivals and arrive_index < total:
                 candidates.append(arrival_times[arrive_index])
             for replica in replicas:
-                if replica.down:
+                if replica.down or not replica.online:
                     continue
                 if replica.wake_s is not None:
                     candidates.append(replica.wake_s)
@@ -974,10 +1196,20 @@ class ClusterRouter:
                         continue
                 if not heap or heap[0][0] > now:
                     break
+                _, _, _, kind, payload = heapq.heappop(heap)
+                if kind == "scale-eval":
+                    # controller turns strictly advance time (one future
+                    # evaluation per evaluation), so they stay outside the
+                    # stall budget — an overloaded run's evaluation count
+                    # is unbounded by the request count.
+                    on_scale_eval(now)
+                    continue
+                if kind == "scale-online":
+                    on_scale_online(payload, now)
+                    continue
                 turns += 1
                 if turns > max_turns:
                     raise stall(f"no progress after {max_turns} event turns")
-                _, _, _, kind, payload = heapq.heappop(heap)
                 if kind == "fault":
                     on_fault(now)
                 elif kind == "complete":
@@ -1074,6 +1306,31 @@ class ClusterRouter:
             if after is not None:
                 recovery = max(recovery, after - window.end_s)
         result.time_to_recovery_s = recovery
+        if autoscaler is None or (
+            not scale_log and auto.start_replicas == len(replicas)
+        ):
+            # a whole-fleet controller that never acted (min == max)
+            # reports the same lifecycle arithmetic as a fixed fleet, so
+            # its result stays bit-identical to the plain router's.  A
+            # controller that held a *partial* fleet still accounts below.
+            apply_static_lifecycle(result)
+        else:
+            run_start = arrival_times[0]
+            run_end = run_start + result.makespan_s
+            for replica in replicas:
+                for spans in (replica.cost_spans, replica.active_spans):
+                    if spans and spans[-1][1] == math.inf:
+                        spans[-1][1] = run_end
+            result.replica_seconds = math.fsum(
+                _clipped_span_sum(r.cost_spans, run_start, run_end)
+                for r in replicas
+            )
+            result.replica_active_s = tuple(
+                _clipped_span_sum(r.active_spans, run_start, run_end)
+                for r in replicas
+            )
+            result.replica_timeline = tuple(timeline)
+            result.scale_events = tuple(scale_log)
         if config.record_requests is not None:
             result = cap_cluster_result(result, config.record_requests)
         result.backend_used = "reference"
@@ -1105,6 +1362,18 @@ def serve_cluster_point(point) -> ClusterResult:
         raise ServingError(f"cluster sweep point has no positive load: {point.load!r}")
     if point.policy is None:
         raise ServingError("cluster sweep point has no admission policy")
+    autoscale = None
+    if getattr(point, "autoscaler", None) is not None:
+        autoscale = AutoscaleConfig(
+            controller=point.autoscaler,
+            min_replicas=point.autoscale_min_replicas,
+            max_replicas=point.num_replicas,
+            interval_s=point.autoscale_interval_s,
+            cooldown_s=point.autoscale_cooldown_s,
+            provision_delay_s=point.autoscale_provision_s,
+            target_utilization=point.autoscale_target,
+            slo_s=point.autoscale_slo_s,
+        )
     router = ClusterRouter(
         ClusterConfig(
             model=point.model,
@@ -1125,6 +1394,7 @@ def serve_cluster_point(point) -> ClusterResult:
             deadline_s=point.deadline_s,
             backend=getattr(point, "backend", "fast"),
             record_requests=getattr(point, "record_requests", None),
+            autoscale=autoscale,
         )
     )
     rate_rps = point.load * router.fleet_capacity_rps()

@@ -72,6 +72,7 @@ from repro.serving.metrics import (
     ClusterResult,
     RequestRecord,
     ServingResult,
+    apply_static_lifecycle,
     sample_record_indices,
     streaming_stats,
 )
@@ -112,6 +113,8 @@ def fast_path_fallback_reason(config, policy, scheduler) -> "str | None":
 
     if config.backend != "fast":
         return "backend='reference' requested"
+    if config.autoscale is not None:
+        return "autoscale set (elastic lifecycle runs in the event loop)"
     if config.hedge_after_s is not None:
         return "hedge_after_s set (hedged dispatch is not replayed in columns)"
     if type(policy) not in (RoundRobinPolicy, LeastLoadedPolicy, PowerOfTwoPolicy):
@@ -568,7 +571,9 @@ def run_fast_cluster(
                 )
             )
     result.records = records
-    return result
+    # the columnar rails only serve fixed fleets (autoscale falls back),
+    # so the lifecycle fields are the static single-step form.
+    return apply_static_lifecycle(result)
 
 
 # -- fault-capable replay (Route B) -------------------------------------------
@@ -1429,4 +1434,4 @@ def run_fast_faulted(
             recovery = max(recovery, after - window.end_s)
     result.time_to_recovery_s = recovery
     result.backend_used = "columnar-faulted"
-    return result
+    return apply_static_lifecycle(result)

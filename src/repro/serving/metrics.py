@@ -433,6 +433,23 @@ class ClusterRequestRecord(NamedTuple):
         return self.completion_s - self.arrival_s
 
 
+class ScaleEvent(NamedTuple):
+    """One entry of the autoscaling audit log.
+
+    ``action`` is ``"up"`` (provisioning decided), ``"online"`` (the
+    provision delay elapsed, the replica admits work), ``"down"`` (drain
+    decided, the replica stops admitting), or ``"drained"`` (backlog
+    finished, the replica went offline).  ``serving`` is the number of
+    replicas online-and-not-draining once the event takes effect.
+    """
+
+    time_s: float
+    action: str
+    replica: int
+    serving: int
+    reason: str
+
+
 @dataclass
 class ClusterResult:
     """Aggregate outcome of one multi-replica cluster simulation.
@@ -469,6 +486,21 @@ class ClusterResult:
     #: worst time from a fault window clearing to the afflicted replica's
     #: first dispatch completion afterwards (0 when no fault or no work).
     time_to_recovery_s: float = 0.0
+    #: serving-replica count over time: ``(time_s, count)`` steps, starting
+    #: at t=0.  A fixed fleet (or an autoscaled run whose controller never
+    #: acted) has the single entry ``(0.0, num_replicas)``.
+    replica_timeline: tuple[tuple[float, int], ...] = ()
+    #: autoscaling audit log (empty for fixed fleets).
+    scale_events: tuple[ScaleEvent, ...] = ()
+    #: provisioned capacity paid for, in replica-seconds: each replica's
+    #: held span (scale-up decision through drain completion, provisioning
+    #: delay included) clipped to the run's [first arrival, last
+    #: completion] window.  ``num_replicas * makespan_s`` for fixed fleets.
+    replica_seconds: float = 0.0
+    #: per-replica *active window* (online span within the run window, in
+    #: seconds) — the denominator :meth:`active_utilization` normalizes
+    #: by.  Every entry equals ``makespan_s`` for fixed fleets.
+    replica_active_s: tuple[float, ...] = ()
     #: trace size / completions / within-deadline completions when
     #: ``records`` is a capped sample; ``None`` means records are complete.
     num_requests_total: int | None = None
@@ -565,6 +597,38 @@ class ClusterResult:
             for r in self.replicas
         ]
 
+    def active_utilization(self) -> list[dict[DeviceKind, float]]:
+        """Per-replica busy fraction of that replica's *active window*.
+
+        Normalizing by the cluster makespan understates replicas that
+        joined late or drained early; this divides each replica's busy
+        time by its own online span (``replica_active_s``), so an
+        autoscaled replica that served hard for a short life reads as
+        busy, not idle.  Falls back to the makespan when lifecycle fields
+        are absent (a result predating them), matching :meth:`utilization`.
+        """
+        out = []
+        for index, replica in enumerate(self.replicas):
+            window = (
+                self.replica_active_s[index]
+                if index < len(self.replica_active_s)
+                else self.makespan_s
+            )
+            if window <= 0.0:
+                out.append({kind: 0.0 for kind in replica.busy_s})
+            else:
+                out.append(
+                    {kind: busy / window for kind, busy in replica.busy_s.items()}
+                )
+        return out
+
+    @property
+    def mean_replicas(self) -> float:
+        """Time-averaged paid fleet size (replica-seconds over makespan)."""
+        if self.makespan_s <= 0.0:
+            return 0.0
+        return self.replica_seconds / self.makespan_s
+
     @property
     def total_energy_j(self) -> float:
         return sum(sum(r.energy_j.values()) for r in self.replicas)
@@ -587,6 +651,24 @@ class ClusterResult:
             f" p99 {self.p99_s * 1e3:.2f} ms, shed {self.num_shed},"
             f" retries {self.num_retries}, hedge wins {self.num_hedge_wins}"
         )
+
+
+def apply_static_lifecycle(result: ClusterResult) -> ClusterResult:
+    """Fill the lifecycle fields of a fixed-fleet run.
+
+    Every replica is online for the whole run, so the timeline is one
+    step, the paid cost is ``replicas * makespan`` (a single multiply —
+    the arithmetic an autoscaled run with zero scale events must also
+    use, so a pinned ``min == max`` controller stays bit-identical to the
+    plain router on every rail).
+    """
+    count = result.num_replicas
+    span = result.makespan_s
+    result.replica_timeline = ((0.0, count),)
+    result.scale_events = ()
+    result.replica_seconds = count * span
+    result.replica_active_s = (span,) * count
+    return result
 
 
 def cap_cluster_result(result: ClusterResult, cap: int) -> ClusterResult:

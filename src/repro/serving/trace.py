@@ -392,6 +392,17 @@ def list_traces() -> list[str]:
     return sorted(_TRACES)
 
 
+def trace_entries() -> list[tuple[str, str]]:
+    """(name, one-line description) rows for discovery surfaces (CLI,
+    docs), mirroring ``fault_profile_entries``: the description is the
+    first line of the generator's docstring."""
+    entries = []
+    for name in list_traces():
+        doc = _TRACES[name].__doc__ or ""
+        entries.append((name, doc.strip().splitlines()[0] if doc.strip() else ""))
+    return entries
+
+
 def make_trace(
     kind: str,
     rate_rps: float,

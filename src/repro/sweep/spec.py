@@ -17,12 +17,12 @@ from repro.errors import RegistryError
 from repro.hardware.device import DeviceKind, as_device_kind
 
 #: canonical dimension nesting order; specs may reorder any prefix subset.
-#: ("load" was appended for the serving simulator, and "policy"/"fault" for
-#: the cluster layer; their default singleton values keep every pre-existing
-#: spec's point grid unchanged.)
+#: ("load" was appended for the serving simulator, "policy"/"fault" for the
+#: cluster layer, and "autoscaler" for elastic fleets; their default
+#: singleton values keep every pre-existing spec's point grid unchanged.)
 DIMENSIONS = (
     "platform", "model", "seq_len", "batch_size", "flow", "device", "transform",
-    "load", "policy", "fault",
+    "load", "policy", "fault", "autoscaler",
 )
 
 #: legacy device axis values (the axis now accepts any registered
@@ -77,6 +77,17 @@ class SweepPoint:
     backend: str = "fast"
     #: cap on materialized per-request records; None keeps everything.
     record_requests: int | None = None
+    #: elastic-fleet axis: a non-None controller name autoscales the
+    #: cluster between ``autoscale_min_replicas`` and ``num_replicas``
+    #: (the provisioned ceiling).  None keeps the whole fleet online.
+    autoscaler: str | None = None
+    #: autoscale knobs, copied from the spec (read when ``autoscaler`` set).
+    autoscale_min_replicas: int = 1
+    autoscale_interval_s: float = 0.1
+    autoscale_cooldown_s: float = 0.0
+    autoscale_provision_s: float = 0.1
+    autoscale_target: float = 0.6
+    autoscale_slo_s: float | None = None
 
     @property
     def device(self) -> str:
@@ -101,6 +112,11 @@ class SweepPoint:
             parts.append(f"{self.num_replicas}x {self.policy}")
             if self.fault_profile:
                 parts.append(f"faults={self.fault_profile}")
+            if self.autoscaler:
+                parts.append(
+                    f"autoscale={self.autoscaler}"
+                    f" [{self.autoscale_min_replicas},{self.num_replicas}]"
+                )
         return " ".join(parts)
 
 
@@ -127,6 +143,11 @@ class SweepSpec:
     #: cluster ``fault`` axis: fault profile names (see
     #: ``repro.serving.faults``).  Only meaningful alongside a policy.
     fault_profiles: tuple[str | None, ...] = (None,)
+    #: elastic-fleet ``autoscaler`` axis: controller names (see
+    #: ``repro.serving.autoscale``).  Only meaningful alongside a policy;
+    #: ``num_replicas`` is the provisioned ceiling the controller scales
+    #: within.
+    autoscalers: tuple[str | None, ...] = (None,)
     #: serving knobs shared by every load point of the grid.
     scheduler: str = "dynamic"
     trace: str = "poisson"
@@ -146,6 +167,13 @@ class SweepSpec:
     backend: str = "fast"
     #: record cap for every load point of the grid (None: keep everything).
     record_requests: int | None = None
+    #: autoscale knobs shared by every autoscaler point of the grid.
+    autoscale_min_replicas: int = 1
+    autoscale_interval_s: float = 0.1
+    autoscale_cooldown_s: float = 0.0
+    autoscale_provision_s: float = 0.1
+    autoscale_target: float = 0.6
+    autoscale_slo_s: float | None = None
     iterations: int = 3
     seed: int = 0
     #: outermost-to-innermost loop order; unlisted dimensions follow in
@@ -165,6 +193,7 @@ class SweepSpec:
             "load": self.loads,
             "policy": self.policies,
             "fault": self.fault_profiles,
+            "autoscaler": self.autoscalers,
         }[dimension]
 
     def resolved_order(self) -> tuple[str, ...]:
@@ -223,6 +252,11 @@ class SweepSpec:
                     "fault profile points require an admission policy; set"
                     " the spec's policies axis"
                 )
+            if values["autoscaler"] is not None and values["policy"] is None:
+                raise RegistryError(
+                    "autoscaler points require an admission policy; set"
+                    " the spec's policies axis"
+                )
             points.append(
                 SweepPoint(
                     platform=values["platform"],
@@ -253,6 +287,13 @@ class SweepSpec:
                     deadline_s=self.deadline_s,
                     backend=self.backend,
                     record_requests=self.record_requests,
+                    autoscaler=values["autoscaler"],
+                    autoscale_min_replicas=self.autoscale_min_replicas,
+                    autoscale_interval_s=self.autoscale_interval_s,
+                    autoscale_cooldown_s=self.autoscale_cooldown_s,
+                    autoscale_provision_s=self.autoscale_provision_s,
+                    autoscale_target=self.autoscale_target,
+                    autoscale_slo_s=self.autoscale_slo_s,
                 )
             )
         return points

@@ -155,6 +155,12 @@ class TestServeCLI:
             assert name in out
         assert "iteration-level" in out
 
+    def test_list_traces(self, capsys):
+        assert cli_main(["serve", "--list-traces"]) == 0
+        out = capsys.readouterr().out
+        for name in ("poisson", "bursty", "closed-loop"):
+            assert name in out
+
     def test_serve_requires_model(self, capsys):
         assert cli_main(["serve"]) == 2
         assert "model is required" in capsys.readouterr().out
@@ -194,9 +200,32 @@ class TestClusterCLI:
         for name in ("none", "crash", "accel-loss", "straggler"):
             assert name in out
 
+    def test_list_autoscalers_and_traces(self, capsys):
+        assert cli_main(["cluster", "--list-autoscalers", "--list-traces"]) == 0
+        out = capsys.readouterr().out
+        for name in ("target-utilization", "goodput", "step"):
+            assert name in out
+        for name in ("poisson", "bursty", "closed-loop"):
+            assert name in out
+
     def test_cluster_requires_model(self, capsys):
         assert cli_main(["cluster"]) == 2
         assert "model is required" in capsys.readouterr().out
+
+    def test_cluster_autoscaled_run(self, capsys):
+        code = cli_main(
+            [
+                "cluster", "gpt2", "--replicas", "4", "--policy", "least-loaded",
+                "--scheduler", "continuous", "--autoscaler", "goodput",
+                "--min-replicas", "1", "--load", "1", "--requests", "64",
+                "--trace", "bursty", "--decode-steps", "1:4",
+                "--deadline-ms", "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "autoscale: goodput [1,4]" in out
+        assert "replica_seconds=" in out and "mean_replicas=" in out
 
     def test_cluster_run_with_faults(self, capsys):
         code = cli_main(

@@ -77,3 +77,11 @@ def test_fault_study(capsys):
     assert "crash + shedding" in out and "stragglers + hedging" in out
     assert "degrading gracefully beats queueing behind a dead replica" in out
     assert "duplicates" in out and "capacity headroom" in out
+
+
+def test_autoscale_study(capsys):
+    out = _run_example("autoscale_study.py", capsys)
+    assert "single-replica capacity" in out
+    assert "static-4" in out and "goodput" in out and "replica_seconds" in out
+    assert "found the knee online" in out
+    assert "audit log" in out and "provisioned after" in out
